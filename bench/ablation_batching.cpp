@@ -1,0 +1,73 @@
+// Ablation: dynamic-batching design choices (Section 2.1/2.3 knobs).
+//
+// Sweeps the scheduler's max batch size and max queue delay, and compares
+// fixed-batch scheduling against Triton-style dynamic batching, quantifying
+// the throughput/tail-latency trade-off the paper's configuration search
+// navigates.
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "models/model_zoo.h"
+
+using namespace serve;
+using core::ExperimentSpec;
+using serving::PreprocDevice;
+
+namespace {
+
+core::ExperimentResult run(bool dynamic, int max_batch, sim::Time delay, int concurrency) {
+  ExperimentSpec spec;
+  spec.server.model = models::vit_base();
+  spec.server.preproc = PreprocDevice::kGpu;
+  spec.server.dynamic_batching = dynamic;
+  spec.server.max_batch = max_batch;
+  spec.server.fixed_batch = max_batch;
+  spec.server.max_queue_delay = delay;
+  spec.concurrency = concurrency;
+  spec.measure = sim::seconds(6.0);
+  return core::run_experiment(spec);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation", "Dynamic batching: max batch size & max queue delay");
+
+  metrics::Table batch_table({"scheduler", "max_batch", "tput_img_s", "p99_ms", "mean_batch"});
+  double tput_mb[4] = {};
+  int i = 0;
+  for (int mb : {8, 32, 64, 128}) {
+    const auto r = run(true, mb, 0, 256);
+    batch_table.add_row({std::string("dynamic"), static_cast<std::int64_t>(mb),
+                         r.throughput_rps, r.p99_latency_s * 1e3, r.mean_batch});
+    tput_mb[i++] = r.throughput_rps;
+  }
+  const auto fixed = run(false, 64, 0, 256);
+  batch_table.add_row({std::string("fixed"), std::int64_t{64}, fixed.throughput_rps,
+                       fixed.p99_latency_s * 1e3, fixed.mean_batch});
+  bench::print_table(batch_table);
+
+  metrics::Table delay_table({"max_queue_delay_ms", "tput_img_s", "p99_ms", "mean_batch"});
+  double p99_delay0 = 0, p99_delay20 = 0;
+  for (double d : {0.0, 1.0, 5.0, 20.0}) {
+    const auto r = run(true, 64, sim::milliseconds(d), 64);
+    delay_table.add_row(
+        {d, r.throughput_rps, r.p99_latency_s * 1e3, r.mean_batch});
+    if (d == 0.0) p99_delay0 = r.p99_latency_s;
+    if (d == 20.0) p99_delay20 = r.p99_latency_s;
+  }
+  bench::print_table(delay_table);
+
+  std::vector<bench::ShapeCheck> checks;
+  checks.push_back({"larger batch limits raise throughput (batch amortization)",
+                    tput_mb[3] > tput_mb[0] * 1.2,
+                    std::to_string(tput_mb[0]) + " -> " + std::to_string(tput_mb[3])});
+  checks.push_back({"dynamic batching matches fixed-batch peak throughput within 10%",
+                    run(true, 64, 0, 256).throughput_rps > fixed.throughput_rps * 0.9,
+                    "see table"});
+  checks.push_back({"queue delay inflates tail latency at moderate load",
+                    p99_delay20 > p99_delay0,
+                    std::to_string(p99_delay0 * 1e3) + " -> " + std::to_string(p99_delay20 * 1e3) +
+                        " ms p99"});
+  bench::print_checks(checks);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench prints (1) the regenerated table/series for its figure,
+// (2) the paper's reported values next to measured ones, and (3) shape
+// checks: the qualitative claims (who wins, approximate factors, crossover
+// points) that the reproduction is expected to preserve.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/table.h"
+
+namespace serve::bench {
+
+inline void print_banner(const std::string& figure, const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("============================================================\n");
+}
+
+struct ShapeCheck {
+  std::string claim;    ///< the paper's qualitative statement
+  bool pass;
+  std::string detail;   ///< measured numbers backing the verdict
+};
+
+/// Prints the shape checks; returns the number of failures.
+inline int print_checks(const std::vector<ShapeCheck>& checks) {
+  int failures = 0;
+  std::printf("\nShape checks vs paper:\n");
+  for (const auto& c : checks) {
+    std::printf("  [%s] %s (%s)\n", c.pass ? "PASS" : "DEVIATION", c.claim.c_str(),
+                c.detail.c_str());
+    failures += c.pass ? 0 : 1;
+  }
+  std::printf("%d/%zu shape checks passed\n", static_cast<int>(checks.size()) - failures,
+              checks.size());
+  return failures;
+}
+
+inline void print_table(const metrics::Table& table) {
+  table.print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace serve::bench

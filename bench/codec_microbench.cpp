@@ -1,0 +1,155 @@
+// google-benchmark micro-benchmarks of the real preprocessing substrate:
+// JPEG encode/decode, resize, normalization, and the DCT kernels.
+//
+// These ground the CpuCalib rates: the measured MPix/s of this codec on the
+// build machine documents what "one preprocessing worker" does, while the
+// simulator uses the calibrated i9-13900K/libjpeg-turbo-class rates.
+#include <benchmark/benchmark.h>
+
+#include "codec/dct.h"
+#include "codec/deflate.h"
+#include "codec/jpeg.h"
+#include "codec/png.h"
+#include "codec/synthetic.h"
+#include "codec/transform.h"
+#include "workload/corpus.h"
+
+using namespace serve;
+
+namespace {
+
+const workload::CorpusEntry& corpus_entry(hw::ImageSpec spec) {
+  static const auto small = workload::make_corpus(hw::kSmallImage, 1, 7)[0];
+  static const auto medium = workload::make_corpus(hw::kMediumImage, 1, 7)[0];
+  if (spec == hw::kSmallImage) return small;
+  return medium;
+}
+
+void BM_JpegEncodeMedium(benchmark::State& state) {
+  const codec::Image img = codec::make_synthetic(500, 375, codec::Pattern::kScene, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec::encode_jpeg(img, {.quality = 85}));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 500 * 375 / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_JpegEncodeMedium);
+
+void BM_JpegDecodeSmall(benchmark::State& state) {
+  const auto& entry = corpus_entry(hw::kSmallImage);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::decode_jpeg(entry.jpeg));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JpegDecodeSmall);
+
+void BM_JpegDecodeMedium(benchmark::State& state) {
+  const auto& entry = corpus_entry(hw::kMediumImage);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::decode_jpeg(entry.jpeg));
+  state.SetItemsProcessed(state.iterations());
+  state.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 500 * 375 / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_JpegDecodeMedium);
+
+void BM_ResizeMediumTo224(benchmark::State& state) {
+  const codec::Image img = codec::make_synthetic(500, 375, codec::Pattern::kScene, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::resize(img, 224, 224));
+  state.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 500 * 375 / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ResizeMediumTo224);
+
+void BM_Normalize224(benchmark::State& state) {
+  const codec::Image img = codec::make_synthetic(224, 224, codec::Pattern::kScene, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::normalize_chw(img));
+  state.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 224 * 224 / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Normalize224);
+
+void BM_FullPreprocessPipelineMedium(benchmark::State& state) {
+  // The paper's complete preprocessing stage: decode -> resize -> normalize.
+  const auto& entry = corpus_entry(hw::kMediumImage);
+  for (auto _ : state) {
+    const codec::Image decoded = codec::decode_jpeg(entry.jpeg);
+    const codec::Image resized = codec::resize(decoded, 224, 224);
+    benchmark::DoNotOptimize(codec::normalize_chw(resized));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullPreprocessPipelineMedium);
+
+void BM_JpegEncodeOptimizedHuffman(benchmark::State& state) {
+  const codec::Image img = codec::make_synthetic(500, 375, codec::Pattern::kScene, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec::encode_jpeg(img, {.quality = 85, .optimize_huffman = true}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JpegEncodeOptimizedHuffman);
+
+void BM_PngEncodeMedium(benchmark::State& state) {
+  const codec::Image img = codec::make_synthetic(500, 375, codec::Pattern::kScene, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::encode_png(img));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PngEncodeMedium);
+
+void BM_PngDecodeMedium(benchmark::State& state) {
+  const codec::Image img = codec::make_synthetic(500, 375, codec::Pattern::kScene, 3);
+  const auto bytes = codec::encode_png(img);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::decode_png(bytes));
+  state.SetItemsProcessed(state.iterations());
+  state.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 500 * 375 / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PngDecodeMedium);
+
+void BM_DeflateText(benchmark::State& state) {
+  std::vector<std::uint8_t> data(256 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>("serving overheads dominate "[i % 27]);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(codec::deflate(data));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_DeflateText);
+
+void BM_InflateText(benchmark::State& state) {
+  std::vector<std::uint8_t> data(256 * 1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>("serving overheads dominate "[i % 27]);
+  }
+  const auto compressed = codec::deflate(data);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::inflate(compressed, data.size()));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_InflateText);
+
+void BM_Fdct8x8(benchmark::State& state) {
+  float in[64], out[64];
+  for (int i = 0; i < 64; ++i) in[i] = static_cast<float>((i * 37) % 255) - 128.0f;
+  for (auto _ : state) {
+    codec::jpeg::fdct8x8(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fdct8x8);
+
+void BM_Idct8x8(benchmark::State& state) {
+  float in[64], out[64];
+  for (int i = 0; i < 64; ++i) in[i] = static_cast<float>((i * 17) % 101);
+  for (auto _ : state) {
+    codec::jpeg::idct8x8(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Idct8x8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

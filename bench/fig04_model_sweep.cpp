@@ -1,0 +1,83 @@
+// Reproduces paper Fig. 4: throughput and inference-time percentage for a
+// broad sweep of HuggingFace vision models, with CPU and GPU preprocessing.
+//
+// Paper findings: throughput falls as GFLOPs rise; GPU-preprocessing gain
+// ranges -2.9%..104% (avg ~34%); models under 5 GFLOPs are dominated by
+// non-inference time; even >10 GFLOP models spend 16-49% outside the DNN.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "models/model_zoo.h"
+
+using namespace serve;
+using core::ExperimentSpec;
+using metrics::Stage;
+using serving::PreprocDevice;
+
+int main() {
+  bench::print_banner("Figure 4", "Model sweep: throughput + inference share, CPU vs GPU preproc");
+
+  metrics::Table table({"model", "gflops", "tput_cpu_pre", "tput_gpu_pre", "gpu_gain_%",
+                        "inference_%"});
+  double min_gain = 1e9, max_gain = -1e9, gain_sum = 0;
+  int n = 0;
+  bool small_models_dominated_by_overhead = true;
+  double min_share_large = 1.0, max_share_large = 0.0;
+
+  // Sort by GFLOPs for a readable sweep.
+  std::vector<models::ModelDesc> sweep{models::zoo().begin(), models::zoo().end()};
+  std::sort(sweep.begin(), sweep.end(),
+            [](const auto& a, const auto& b) { return a.gflops < b.gflops; });
+
+  for (const auto& model : sweep) {
+    ExperimentSpec spec;
+    spec.server.model = model;
+    spec.concurrency = 256;
+    spec.measure = sim::seconds(6.0);
+    spec.server.preproc = PreprocDevice::kCpu;
+    const auto cpu = core::run_experiment(spec);
+    spec.server.preproc = PreprocDevice::kGpu;
+    const auto gpu = core::run_experiment(spec);
+
+    const double gain = gpu.throughput_rps / cpu.throughput_rps - 1.0;
+    // Fig. 4 bottom: "average time spent on DNN inference from the point at
+    // which an image enters the host CPU until the result is returned" —
+    // the processing span, i.e. excluding pure scheduler queueing (measured
+    // on the GPU-preprocessing deployment, as in the optimized server).
+    const double processing =
+        gpu.breakdown.mean_total() - gpu.breakdown.mean(Stage::kQueue);
+    const double inf_share =
+        processing > 0 ? gpu.breakdown.mean(Stage::kInference) / processing : 0.0;
+    table.add_row({std::string(model.name), model.gflops, cpu.throughput_rps,
+                   gpu.throughput_rps, 100 * gain, 100 * inf_share});
+    min_gain = std::min(min_gain, gain);
+    max_gain = std::max(max_gain, gain);
+    gain_sum += gain;
+    ++n;
+    if (model.gflops < 5.0 && inf_share > 0.5) small_models_dominated_by_overhead = false;
+    if (model.gflops > 10.0) {
+      min_share_large = std::min(min_share_large, inf_share);
+      max_share_large = std::max(max_share_large, inf_share);
+    }
+  }
+  bench::print_table(table);
+  const double avg_gain = gain_sum / n;
+
+  std::vector<bench::ShapeCheck> checks;
+  checks.push_back({"GPU-preprocessing gain spans roughly -3%..104% (paper: -2.9%..104%)",
+                    min_gain > -0.15 && min_gain < 0.10 && max_gain > 0.5 && max_gain < 1.5,
+                    "measured " + std::to_string(100 * min_gain) + "%.." +
+                        std::to_string(100 * max_gain) + "%"});
+  checks.push_back({"average GPU-preprocessing gain ~34% (paper)",
+                    avg_gain > 0.15 && avg_gain < 0.55,
+                    std::to_string(100 * avg_gain) + " %"});
+  checks.push_back({"models under 5 GFLOPs are dominated by non-inference time",
+                    small_models_dominated_by_overhead, "all <5 GF models have inference <50%"});
+  checks.push_back({"models over 10 GFLOPs still lose 16-49% to overheads",
+                    min_share_large > 0.45 && max_share_large < 0.92,
+                    "inference share range " + std::to_string(100 * min_share_large) + "%.." +
+                        std::to_string(100 * max_share_large) + "%"});
+  bench::print_checks(checks);
+  return 0;
+}

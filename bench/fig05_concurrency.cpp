@@ -1,0 +1,84 @@
+// Reproduces paper Fig. 5: throughput, average latency, and queuing time of
+// the throughput-optimized server at different concurrencies (ViT, medium
+// image, CPU vs GPU preprocessing).
+//
+// Paper findings: throughput rises then saturates; GPU preprocessing gives
+// higher throughput / lower latency but *declines* at very high concurrency
+// (GPU memory eviction); CPU preprocessing saturates flat; queuing reaches
+// ~3 s at 4096 concurrency and 34-91% of latency at optimal 64-512.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "models/model_zoo.h"
+
+using namespace serve;
+using core::ExperimentSpec;
+using metrics::Stage;
+using serving::PreprocDevice;
+
+int main() {
+  bench::print_banner("Figure 5",
+                      "Throughput / latency / queuing vs concurrency (ViT, medium image)");
+
+  const int concurrencies[] = {1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096};
+  metrics::Table table({"preproc", "concurrency", "tput_img_s", "avg_lat_ms", "p99_lat_ms",
+                        "queue_%", "mean_batch", "gpu_evictions"});
+
+  double peak[2] = {0, 0};
+  double at4096[2] = {0, 0};
+  double queue_share_64 = 0, queue_share_512 = 0, queue_s_4096 = 0;
+  std::uint64_t evictions_4096_gpu = 0;
+
+  for (auto dev : {PreprocDevice::kCpu, PreprocDevice::kGpu}) {
+    const int d = dev == PreprocDevice::kCpu ? 0 : 1;
+    for (int c : concurrencies) {
+      ExperimentSpec spec;
+      spec.server.model = models::vit_base();
+      spec.server.preproc = dev;
+      spec.concurrency = c;
+      spec.warmup = sim::seconds(c >= 1024 ? 4.0 : 2.0);
+      spec.measure = sim::seconds(8.0);
+      const auto r = core::run_experiment(spec);
+      const double qshare = r.stage_share(Stage::kQueue);
+      table.add_row({std::string(dev == PreprocDevice::kCpu ? "cpu" : "gpu"),
+                     static_cast<std::int64_t>(c), r.throughput_rps, r.mean_latency_s * 1e3,
+                     r.p99_latency_s * 1e3, 100 * qshare, r.mean_batch,
+                     static_cast<std::int64_t>(r.gpu_evictions)});
+      peak[d] = std::max(peak[d], r.throughput_rps);
+      if (c == 4096) {
+        at4096[d] = r.throughput_rps;
+        if (d == 1) {
+          evictions_4096_gpu = r.gpu_evictions;
+          queue_s_4096 = r.mean_latency_s * qshare;
+        }
+      }
+      if (d == 1 && c == 64) queue_share_64 = qshare;
+      if (d == 1 && c == 512) queue_share_512 = qshare;
+    }
+  }
+  bench::print_table(table);
+
+  std::vector<bench::ShapeCheck> checks;
+  checks.push_back({"GPU preprocessing reaches higher peak throughput than CPU",
+                    peak[1] > peak[0] * 1.1,
+                    "gpu " + std::to_string(peak[1]) + " vs cpu " + std::to_string(peak[0])});
+  checks.push_back({"GPU preprocessing declines at very high concurrency (memory eviction)",
+                    at4096[1] < 0.85 * peak[1] && evictions_4096_gpu > 0,
+                    "4096-concurrency tput " + std::to_string(at4096[1]) + " vs peak " +
+                        std::to_string(peak[1]) + ", evictions " +
+                        std::to_string(evictions_4096_gpu)});
+  checks.push_back({"CPU preprocessing saturates and holds its rate under high load",
+                    at4096[0] > 0.95 * peak[0],
+                    "4096-concurrency tput " + std::to_string(at4096[0]) + " vs peak " +
+                        std::to_string(peak[0])});
+  checks.push_back({"queuing is 34-91% of latency across optimal concurrency 64-512",
+                    queue_share_64 > 0.10 && queue_share_64 < 0.60 && queue_share_512 > 0.60,
+                    "share@64 " + std::to_string(100 * queue_share_64) + " %, share@512 " +
+                        std::to_string(100 * queue_share_512) + " %"});
+  checks.push_back({"queuing reaches seconds-scale at 4096 concurrency (paper: ~3 s)",
+                    queue_s_4096 > 1.5,
+                    std::to_string(queue_s_4096) + " s mean queue time"});
+  bench::print_checks(checks);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 8: CPU and GPU energy per processed image for each
+// model/size, CPU preprocessing (left bar) vs GPU preprocessing (right bar).
+//
+// Paper findings: CPU preprocessing costs more energy overall; moving from
+// medium to large images raises CPU energy in both modes; the GPU portion is
+// consistently smaller when the GPU does both preprocessing and inference
+// (better utilization over-compensates for the extra work).
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "models/model_zoo.h"
+
+using namespace serve;
+using core::ExperimentSpec;
+using serving::PreprocDevice;
+
+int main() {
+  bench::print_banner("Figure 8", "Energy per image (CPU + GPU split) per model and image size");
+
+  metrics::Table table(
+      {"model", "image", "preproc", "cpu_mJ_img", "gpu_mJ_img", "total_mJ_img"});
+  table.set_precision(1);
+
+  const models::ModelDesc* sweep[] = {&models::vit_base(), &models::resnet50(),
+                                      &models::tiny_vit()};
+  const std::pair<const char*, hw::ImageSpec> sizes[] = {{"medium", hw::kMediumImage},
+                                                         {"large", hw::kLargeImage}};
+  bool cpu_pre_costlier_overall = true;
+  bool gpu_portion_smaller_when_gpu_does_both = true;
+  bool large_raises_cpu_energy = true;
+  std::string details;
+
+  for (const auto* model : sweep) {
+    for (const auto& [size_name, image] : sizes) {
+      double cpu_j[2], gpu_j[2];
+      for (auto dev : {PreprocDevice::kCpu, PreprocDevice::kGpu}) {
+        ExperimentSpec spec;
+        spec.server.model = *model;
+        spec.server.preproc = dev;
+        spec.image = image;
+        spec.concurrency = 256;
+        spec.measure = sim::seconds(6.0);
+        const auto r = core::run_experiment(spec);
+        const int d = dev == PreprocDevice::kCpu ? 0 : 1;
+        cpu_j[d] = r.cpu_joules_per_image();
+        gpu_j[d] = r.gpu_joules_per_image();
+        table.add_row({std::string(model->name), std::string(size_name),
+                       std::string(d == 0 ? "cpu" : "gpu"), cpu_j[d] * 1e3, gpu_j[d] * 1e3,
+                       (cpu_j[d] + gpu_j[d]) * 1e3});
+      }
+      if (cpu_j[0] + gpu_j[0] <= cpu_j[1] + gpu_j[1]) cpu_pre_costlier_overall = false;
+      if (gpu_j[1] >= gpu_j[0]) {
+        gpu_portion_smaller_when_gpu_does_both = false;
+        details += std::string(model->name) + "/" + size_name + " ";
+      }
+    }
+    // medium -> large must raise CPU energy per image in both modes.
+    for (auto dev : {PreprocDevice::kCpu, PreprocDevice::kGpu}) {
+      ExperimentSpec spec;
+      spec.server.model = *model;
+      spec.server.preproc = dev;
+      spec.concurrency = 256;
+      spec.measure = sim::seconds(5.0);
+      spec.image = hw::kMediumImage;
+      const double med = core::run_experiment(spec).cpu_joules_per_image();
+      spec.image = hw::kLargeImage;
+      const double lrg = core::run_experiment(spec).cpu_joules_per_image();
+      if (lrg <= med) large_raises_cpu_energy = false;
+    }
+  }
+  bench::print_table(table);
+
+  std::vector<bench::ShapeCheck> checks;
+  checks.push_back({"CPU-based preprocessing uses more energy overall (paper)",
+                    cpu_pre_costlier_overall, "all model/size cells"});
+  checks.push_back({"GPU energy portion smaller when GPU does both preproc+inference (paper)",
+                    gpu_portion_smaller_when_gpu_does_both,
+                    details.empty() ? "all cells" : "violations: " + details});
+  checks.push_back({"medium->large image raises CPU energy in both modes (paper)",
+                    large_raises_cpu_energy, "all models"});
+  bench::print_checks(checks);
+  return 0;
+}

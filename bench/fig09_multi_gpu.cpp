@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 9: throughput scaling with GPU count (1..4) for the
+// medium and large images under CPU preprocessing, GPU preprocessing, and
+// inference-only.
+//
+// Paper findings: medium image scales ~linearly for both preprocessing
+// devices; large image + GPU preprocessing improves notably from 1->2 GPUs
+// then stalls; large image + CPU preprocessing barely moves; inference-only
+// scales linearly (inference is not the bottleneck).
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "models/model_zoo.h"
+
+using namespace serve;
+using core::ExperimentSpec;
+using serving::PipelineMode;
+using serving::PreprocDevice;
+
+namespace {
+
+double run(const models::ModelDesc& model, hw::ImageSpec image, PreprocDevice dev,
+           PipelineMode mode, int gpus) {
+  ExperimentSpec spec;
+  spec.server.model = model;
+  spec.server.preproc = dev;
+  spec.server.mode = mode;
+  spec.image = image;
+  spec.gpu_count = gpus;
+  spec.concurrency = 1024;
+  spec.measure = sim::seconds(6.0);
+  return core::run_experiment(spec).throughput_rps;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 9", "Multi-GPU scaling (medium & large image, 1..4 GPUs)");
+
+  struct Series {
+    const char* name;
+    hw::ImageSpec image;
+    PreprocDevice dev;
+    PipelineMode mode;
+    double tput[4];
+  };
+  Series series[] = {
+      {"medium/cpu-preproc", hw::kMediumImage, PreprocDevice::kCpu, PipelineMode::kEndToEnd, {}},
+      {"medium/gpu-preproc", hw::kMediumImage, PreprocDevice::kGpu, PipelineMode::kEndToEnd, {}},
+      {"large/cpu-preproc", hw::kLargeImage, PreprocDevice::kCpu, PipelineMode::kEndToEnd, {}},
+      {"large/gpu-preproc", hw::kLargeImage, PreprocDevice::kGpu, PipelineMode::kEndToEnd, {}},
+      {"large/inference-only", hw::kLargeImage, PreprocDevice::kGpu,
+       PipelineMode::kInferenceOnly, {}},
+  };
+
+  metrics::Table table({"workload", "1_gpu", "2_gpus", "3_gpus", "4_gpus", "4gpu_speedup"});
+  for (auto& s : series) {
+    for (int g = 1; g <= 4; ++g) {
+      s.tput[g - 1] = run(models::vit_base(), s.image, s.dev, s.mode, g);
+    }
+    table.add_row({std::string(s.name), s.tput[0], s.tput[1], s.tput[2], s.tput[3],
+                   s.tput[3] / s.tput[0]});
+  }
+  bench::print_table(table);
+
+  auto speedup = [&](int i, int g) { return series[i].tput[g - 1] / series[i].tput[0]; };
+  std::vector<bench::ShapeCheck> checks;
+  checks.push_back({"medium image scales ~linearly with GPUs (CPU preprocessing)",
+                    speedup(0, 4) > 3.3, "4-GPU speedup " + std::to_string(speedup(0, 4))});
+  checks.push_back({"medium image scales ~linearly with GPUs (GPU preprocessing)",
+                    speedup(1, 4) > 3.5, "4-GPU speedup " + std::to_string(speedup(1, 4))});
+  checks.push_back({"large image + CPU preprocessing: minimal change with more GPUs",
+                    speedup(2, 4) < 1.25, "4-GPU speedup " + std::to_string(speedup(2, 4))});
+  checks.push_back(
+      {"large image + GPU preprocessing: notable 1->2 gain, marginal beyond (paper)",
+       speedup(3, 2) > 1.5 && (speedup(3, 4) - speedup(3, 3)) < 0.25 &&
+           speedup(3, 4) < 2.8,
+       "speedups 2/3/4 GPUs = " + std::to_string(speedup(3, 2)) + "/" +
+           std::to_string(speedup(3, 3)) + "/" + std::to_string(speedup(3, 4))});
+  checks.push_back({"inference-only scales linearly (inference is not the bottleneck)",
+                    speedup(4, 4) > 3.3, "4-GPU speedup " + std::to_string(speedup(4, 4))});
+  bench::print_checks(checks);
+  return 0;
+}

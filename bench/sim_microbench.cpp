@@ -1,0 +1,89 @@
+// google-benchmark micro-benchmarks of the discrete-event simulation kernel:
+// raw event throughput, channel hand-offs, resource cycles, and whole-server
+// simulation speed (virtual seconds per wall second).
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "models/model_zoo.h"
+#include "sim/channel.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+using namespace serve;
+
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 10000; ++i) sim.schedule_at(i, [] {});
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventDispatch);
+
+sim::Process pingpong_producer(sim::Simulator&, sim::Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) co_await ch.put(i);
+  ch.close();
+}
+
+sim::Process pingpong_consumer(sim::Simulator&, sim::Channel<int>& ch) {
+  while (co_await ch.get()) {
+  }
+}
+
+void BM_ChannelHandoff(benchmark::State& state) {
+  const int n = 10000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> ch{sim, 8};
+    sim.spawn(pingpong_producer(sim, ch, n));
+    sim.spawn(pingpong_consumer(sim, ch));
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelHandoff);
+
+sim::Process resource_cycler(sim::Simulator& sim, sim::Resource& res, int n) {
+  for (int i = 0; i < n; ++i) {
+    auto tok = co_await res.acquire();
+    co_await sim.wait(sim::microseconds(1.0));
+  }
+}
+
+void BM_ResourceCycle(benchmark::State& state) {
+  const int n = 5000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Resource res{sim, 2};
+    for (int p = 0; p < 4; ++p) sim.spawn(resource_cycler(sim, res, n / 4));
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ResourceCycle);
+
+void BM_FullServerSimulation(benchmark::State& state) {
+  // Virtual-time speed of the complete Fig. 5-style experiment; the counter
+  // reports simulated requests per wall second.
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    core::ExperimentSpec spec;
+    spec.server.model = models::vit_base();
+    spec.concurrency = 256;
+    spec.warmup = sim::seconds(0.5);
+    spec.measure = sim::seconds(2.0);
+    const auto r = core::run_experiment(spec);
+    requests += r.completed;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["sim_requests/s"] =
+      benchmark::Counter(static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullServerSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

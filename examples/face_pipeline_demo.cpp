@@ -1,0 +1,56 @@
+// Example: choosing a broker for a multi-DNN pipeline (paper Section 4.7).
+//
+// A video-analytics service runs face detection (Faster R-CNN) and face
+// identification (FaceNet) with a rate mismatch: one frame fans out to many
+// identification calls. This example answers the deployment question the
+// paper poses — Kafka, Redis, or a fused process? — for *your* expected
+// faces-per-frame, including stochastic (Poisson) face counts.
+//
+//   $ ./face_pipeline_demo [mean_faces_per_frame]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/face_pipeline.h"
+#include "metrics/table.h"
+
+using namespace serve;
+
+int main(int argc, char** argv) {
+  const int mean_faces = argc > 1 ? std::atoi(argv[1]) : 6;
+  if (mean_faces < 1) {
+    std::fprintf(stderr, "mean faces/frame must be >= 1\n");
+    return 1;
+  }
+  std::printf("Broker selection for detection->identification, Poisson(%d) faces/frame\n\n",
+              mean_faces);
+
+  metrics::Table table({"deployment", "frames_per_s", "faces_per_s", "mean_latency_ms",
+                        "p99_latency_ms", "broker_share_%"});
+  double best_fps = 0;
+  core::BrokerKind best = core::BrokerKind::kFused;
+  for (auto kind :
+       {core::BrokerKind::kKafka, core::BrokerKind::kRedis, core::BrokerKind::kFused}) {
+    core::FacePipelineSpec spec;
+    spec.broker = kind;
+    spec.faces_per_frame = mean_faces;
+    spec.stochastic_faces = true;  // real frames vary
+    spec.concurrency = 16;
+    spec.measure = sim::seconds(20.0);
+    const auto r = core::run_face_pipeline(spec);
+    table.add_row({std::string(core::broker_kind_name(kind)), r.frames_per_s, r.faces_per_s,
+                   r.mean_latency_s * 1e3, r.p99_latency_s * 1e3, 100 * r.broker_share()});
+    if (r.frames_per_s > best_fps) {
+      best_fps = r.frames_per_s;
+      best = kind;
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nRecommendation: %s (%.1f frames/s)\n",
+              std::string(core::broker_kind_name(best)).c_str(), best_fps);
+  std::printf(
+      "Rule of thumb from the paper: fuse the stages below ~9 faces/frame,\n"
+      "use an in-memory broker above; disk-backed brokers cost ~71%% of latency.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Example: video classification service design (the paper's Section 1
+// motivating workload).
+//
+// "A video classification service receives the video in a compressed format
+// like MPEG, decodes the video, samples a number of frames, then resizes
+// and normalizes the resulting images into the format required by the DNN."
+//
+// This example answers the two deployment questions for that service: where
+// to decode (CPU software vs the GPU's NVDEC engine), and how to sample
+// (decode everything vs keyframe seek) — for SD/HD/4K clips.
+//
+//   $ ./video_classification [sampled_frames]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/video_pipeline.h"
+#include "metrics/table.h"
+
+using namespace serve;
+using core::SamplingMode;
+using core::VideoDecodeDevice;
+
+int main(int argc, char** argv) {
+  const int samples = argc > 1 ? std::atoi(argv[1]) : 10;
+  std::printf("Video classification: 10 s clips, %d sampled frames, ViT-Base classifier\n\n",
+              samples);
+
+  metrics::Table table({"clip", "decode", "sampling", "clips_per_s", "mean_lat_ms",
+                        "decode_share_%"});
+  const std::pair<const char*, workload::VideoSpec> clips[] = {
+      {"SD 360p", workload::kSdClip}, {"HD 720p", workload::kHdClip},
+      {"4K 2160p", workload::k4kClip}};
+  for (const auto& [name, clip_base] : clips) {
+    for (auto dev : {VideoDecodeDevice::kCpu, VideoDecodeDevice::kNvdec}) {
+      for (auto mode : {SamplingMode::kDecodeAll, SamplingMode::kKeyframeSeek}) {
+        core::VideoPipelineSpec spec;
+        spec.clip = clip_base;
+        spec.clip.sampled_frames = samples;
+        spec.decode = dev;
+        spec.sampling = mode;
+        spec.concurrency = 16;
+        spec.measure = sim::seconds(15.0);
+        const auto r = core::run_video_pipeline(spec);
+        table.add_row({std::string(name), std::string(video_decode_device_name(dev)),
+                       std::string(mode == SamplingMode::kDecodeAll ? "decode-all"
+                                                                    : "keyframe-seek"),
+                       r.clips_per_s, r.mean_latency_s * 1e3, 100 * r.decode_share()});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nTakeaways mirror the paper's still-image findings: the DNN is rarely\n"
+      "the bottleneck — video decode placement and the sampling strategy\n"
+      "dominate both throughput and latency, especially at 4K.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Simulated message brokers for multi-DNN pipelines (paper Section 4.7).
+//
+// The paper compares three ways to connect a face-detection stage to a
+// face-identification stage running at different rates:
+//   - Apache Kafka: disk-backed log, durable per-message writes (prior work);
+//   - Redis: in-memory broker on the same host;
+//   - Fused: no broker, both stages in one process.
+// SimBroker models the first two with a profile (publish service time on a
+// bounded IO-thread pool + delivery latency); Fused is the absence of a
+// broker in the pipeline code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hw/calibration.h"
+#include "sim/channel.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace serve::broker {
+
+/// Cost profile of a broker deployment.
+struct BrokerProfile {
+  std::string name;
+  double publish_service_s = 0.0;  ///< broker-side work per message (serialized
+                                   ///< across io_threads; fsync for disk logs)
+  double consume_latency_s = 0.0;  ///< poll/fetch delay charged to the consumer
+  int io_threads = 1;
+  bool disk_backed = false;
+};
+
+[[nodiscard]] inline BrokerProfile kafka_profile(const hw::BrokerCalib& c) {
+  return {.name = "kafka",
+          .publish_service_s = c.kafka_publish_service_s,
+          .consume_latency_s = c.kafka_consume_latency_s,
+          .io_threads = c.kafka_io_threads,
+          .disk_backed = true};
+}
+
+[[nodiscard]] inline BrokerProfile redis_profile(const hw::BrokerCalib& c) {
+  return {.name = "redis",
+          .publish_service_s = c.redis_publish_service_s,
+          .consume_latency_s = c.redis_consume_latency_s,
+          .io_threads = c.redis_io_threads,
+          .disk_backed = false};
+}
+
+/// Simulated publish/subscribe topic with broker-side costs.
+template <typename T>
+class SimBroker {
+ public:
+  SimBroker(sim::Simulator& sim, BrokerProfile profile)
+      : sim_(sim),
+        profile_(std::move(profile)),
+        io_(sim, static_cast<std::size_t>(profile_.io_threads), profile_.name + ".io"),
+        topic_(sim, std::numeric_limits<std::size_t>::max(), profile_.name + ".topic") {}
+
+  /// Publishes one message: occupies an IO thread for the service time, then
+  /// the message becomes visible to consumers.
+  sim::Task<> publish(T msg) {
+    auto io = co_await io_.acquire();
+    co_await sim_.wait(sim::seconds(profile_.publish_service_s));
+    io.release();
+    ++published_;
+    topic_.try_put(std::move(msg));
+  }
+
+  /// Blocks until a message is available (or the topic closes), then charges
+  /// the consumer-side delivery latency.
+  sim::Task<std::optional<T>> consume() {
+    auto msg = co_await topic_.get();
+    if (msg) {
+      co_await sim_.wait(sim::seconds(profile_.consume_latency_s));
+      ++consumed_;
+    }
+    co_return msg;
+  }
+
+  void close() { topic_.close(); }
+
+  [[nodiscard]] const BrokerProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
+  [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return topic_.size(); }
+  [[nodiscard]] sim::Resource& io() noexcept { return io_; }
+
+ private:
+  sim::Simulator& sim_;
+  BrokerProfile profile_;
+  sim::Resource io_;
+  sim::Channel<T> topic_;
+  std::uint64_t published_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace serve::broker

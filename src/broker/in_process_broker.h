@@ -1,0 +1,100 @@
+// Real (wall-clock, thread-safe) in-memory message broker.
+//
+// This is the "Redis-class" substrate used by the runnable examples and
+// integration tests: a bounded MPMC queue with blocking publish/consume and
+// close semantics, exercising actual thread synchronization rather than the
+// simulator. Single host, at-most-once delivery to one consumer per message.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+namespace serve::broker {
+
+template <typename T>
+class InProcessBroker {
+ public:
+  explicit InProcessBroker(std::size_t capacity = 1024) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("InProcessBroker: capacity must be positive");
+  }
+
+  /// Blocks while the topic is full; throws if the broker is closed.
+  void publish(T msg) {
+    std::unique_lock lock{mu_};
+    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) throw std::runtime_error("InProcessBroker: publish after close");
+    queue_.push_back(std::move(msg));
+    ++published_;
+    not_empty_.notify_one();
+  }
+
+  /// Non-blocking publish; false when full.
+  bool try_publish(T msg) {
+    std::lock_guard lock{mu_};
+    if (closed_) throw std::runtime_error("InProcessBroker: publish after close");
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(msg));
+    ++published_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a message arrives; std::nullopt once closed and drained.
+  std::optional<T> consume() {
+    std::unique_lock lock{mu_};
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    ++consumed_;
+    not_full_.notify_one();
+    return msg;
+  }
+
+  std::optional<T> try_consume() {
+    std::lock_guard lock{mu_};
+    if (queue_.empty()) return std::nullopt;
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    ++consumed_;
+    not_full_.notify_one();
+    return msg;
+  }
+
+  /// Wakes all blocked publishers (error) and consumers (drain-then-null).
+  void close() {
+    std::lock_guard lock{mu_};
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::uint64_t published() const {
+    std::lock_guard lock{mu_};
+    return published_;
+  }
+  [[nodiscard]] std::uint64_t consumed() const {
+    std::lock_guard lock{mu_};
+    return consumed_;
+  }
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lock{mu_};
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::uint64_t published_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace serve::broker

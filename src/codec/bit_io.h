@@ -1,0 +1,112 @@
+// Bit-level I/O for JPEG entropy-coded segments, including 0xFF byte
+// stuffing (writer) and unstuffing / restart-marker handling (reader).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace serve::codec::jpeg {
+
+/// Raised by the decoder on malformed streams.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// MSB-first bit writer with JPEG byte stuffing: every emitted 0xFF data
+/// byte is followed by 0x00 so it cannot be mistaken for a marker.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put_bits(std::uint32_t value, int count) {
+    // value's low `count` bits, MSB first.
+    for (int i = count - 1; i >= 0; --i) {
+      acc_ = static_cast<std::uint8_t>((acc_ << 1) | ((value >> i) & 1u));
+      if (++filled_ == 8) flush_byte();
+    }
+  }
+
+  /// Pads the final partial byte with 1-bits (T.81 F.1.2.3) and flushes.
+  void finish() {
+    while (filled_ != 0) {
+      acc_ = static_cast<std::uint8_t>((acc_ << 1) | 1u);
+      if (++filled_ == 8) flush_byte();
+    }
+  }
+
+ private:
+  void flush_byte() {
+    out_.push_back(acc_);
+    if (acc_ == 0xFF) out_.push_back(0x00);  // stuffing
+    acc_ = 0;
+    filled_ = 0;
+  }
+
+  std::vector<std::uint8_t>& out_;
+  std::uint8_t acc_ = 0;
+  int filled_ = 0;
+};
+
+/// MSB-first bit reader over an entropy-coded segment. Unstuffs 0xFF00 and
+/// stops at any real marker (reporting it to the caller).
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  /// Reads one bit; throws CodecError past the end of the segment.
+  std::uint32_t get_bit() {
+    if (filled_ == 0) load_byte();
+    --filled_;
+    return (acc_ >> filled_) & 1u;
+  }
+
+  std::uint32_t get_bits(int count) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < count; ++i) v = (v << 1) | get_bit();
+    return v;
+  }
+
+  /// Byte position of the next unread byte (for marker resynchronization).
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  /// Discards buffered bits and consumes an expected RSTn marker. Returns
+  /// the restart index 0..7.
+  int consume_restart_marker() {
+    filled_ = 0;
+    if (pos_ + 1 >= size_ || data_[pos_] != 0xFF || data_[pos_ + 1] < 0xD0 ||
+        data_[pos_ + 1] > 0xD7) {
+      throw CodecError("expected restart marker");
+    }
+    const int idx = data_[pos_ + 1] - 0xD0;
+    pos_ += 2;
+    return idx;
+  }
+
+ private:
+  void load_byte() {
+    if (pos_ >= size_) throw CodecError("entropy segment exhausted");
+    std::uint8_t b = data_[pos_++];
+    if (b == 0xFF) {
+      if (pos_ >= size_) throw CodecError("dangling 0xFF at end of segment");
+      const std::uint8_t next = data_[pos_];
+      if (next == 0x00) {
+        ++pos_;  // stuffed byte
+      } else {
+        // A real marker inside entropy data: the scan ended prematurely.
+        throw CodecError("unexpected marker inside entropy-coded segment");
+      }
+    }
+    acc_ = b;
+    filled_ = 8;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint8_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace serve::codec::jpeg

@@ -1,0 +1,16 @@
+// 8x8 forward/inverse DCT-II used by the JPEG codec.
+#pragma once
+
+#include <array>
+
+namespace serve::codec::jpeg {
+
+/// Forward 2-D DCT of one level-shifted 8x8 block (row-major input),
+/// producing coefficients in natural order with JPEG's normalization.
+void fdct8x8(const float in[64], float out[64]) noexcept;
+
+/// Inverse 2-D DCT (natural-order coefficients -> spatial samples, still
+/// level-shifted around 0).
+void idct8x8(const float in[64], float out[64]) noexcept;
+
+}  // namespace serve::codec::jpeg

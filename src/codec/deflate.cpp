@@ -1,0 +1,477 @@
+#include "codec/deflate.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace serve::codec {
+
+using jpeg::CodecError;
+
+namespace {
+
+// --- RFC 1951 constant tables ------------------------------------------------
+
+constexpr std::array<int, 29> kLenBase{3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                       15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                       67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLenExtra{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                        2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::array<int, 30> kDistBase{1,    2,    3,    4,    5,    7,     9,    13,
+                                        17,   25,   33,   49,   65,   97,    129,  193,
+                                        257,  385,  513,  769,  1025, 1537,  2049, 3073,
+                                        4097, 6145, 8193, 12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra{0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                         4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                         9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+constexpr std::array<int, 19> kClcOrder{16, 17, 18, 0, 8, 7, 9, 6, 10, 5,
+                                        11, 4, 12, 3, 13, 2, 14, 1, 15};
+
+constexpr int kEndOfBlock = 256;
+constexpr std::size_t kWindow = 32768;
+
+// --- LSB-first bit I/O ---------------------------------------------------------
+
+class LsbWriter {
+ public:
+  explicit LsbWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  /// Writes `count` bits, LSB first (header fields, extra bits).
+  void put(std::uint32_t bits, int count) {
+    acc_ |= static_cast<std::uint64_t>(bits) << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Huffman codes pack MSB-of-code first: emit bit-reversed.
+  void put_code(std::uint32_t code, int len) {
+    std::uint32_t rev = 0;
+    for (int i = 0; i < len; ++i) rev |= ((code >> i) & 1u) << (len - 1 - i);
+    put(rev, len);
+  }
+
+  void align_byte() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+class LsbReader {
+ public:
+  explicit LsbReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint32_t bits(int count) {
+    while (filled_ < count) {
+      if (pos_ >= data_.size()) throw CodecError("deflate: stream exhausted");
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << filled_;
+      filled_ += 8;
+    }
+    const auto v = static_cast<std::uint32_t>(acc_ & ((1u << count) - 1u));
+    acc_ >>= count;
+    filled_ -= count;
+    return v;
+  }
+
+  void align_byte() {
+    const int drop = filled_ % 8;
+    acc_ >>= drop;
+    filled_ -= drop;
+  }
+
+  std::uint8_t byte() {
+    if (filled_ >= 8) {
+      const auto v = static_cast<std::uint8_t>(acc_ & 0xFF);
+      acc_ >>= 8;
+      filled_ -= 8;
+      return v;
+    }
+    if (pos_ >= data_.size()) throw CodecError("deflate: stream exhausted");
+    return data_[pos_++];
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+// --- canonical Huffman decoding ------------------------------------------------
+
+/// Canonical Huffman decoder built from per-symbol code lengths (0 = unused).
+class HuffDecoder {
+ public:
+  void build(std::span<const std::uint8_t> lengths) {
+    std::array<int, 16> count{};
+    for (auto l : lengths) {
+      if (l > 15) throw CodecError("deflate: code length > 15");
+      ++count[l];
+    }
+    count[0] = 0;
+    int total = 0;
+    for (int l = 1; l <= 15; ++l) total += count[static_cast<std::size_t>(l)];
+    if (total == 0) throw CodecError("deflate: empty Huffman code");
+    int code = 0;
+    int index = 0;
+    for (int l = 1; l <= 15; ++l) {
+      code = (code + count[static_cast<std::size_t>(l - 1)]) << 1;
+      first_code_[static_cast<std::size_t>(l)] = code;
+      first_index_[static_cast<std::size_t>(l)] = index;
+      index += count[static_cast<std::size_t>(l)];
+      num_[static_cast<std::size_t>(l)] = count[static_cast<std::size_t>(l)];
+    }
+    symbols_.resize(static_cast<std::size_t>(total));
+    std::array<int, 16> next{};
+    for (int l = 1; l <= 15; ++l) next[static_cast<std::size_t>(l)] = first_index_[static_cast<std::size_t>(l)];
+    for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+      const int l = lengths[sym];
+      if (l > 0) symbols_[static_cast<std::size_t>(next[static_cast<std::size_t>(l)]++)] = static_cast<int>(sym);
+    }
+  }
+
+  int decode(LsbReader& br) const {
+    int code = 0;
+    for (int l = 1; l <= 15; ++l) {
+      code = (code << 1) | static_cast<int>(br.bits(1));
+      const int n = num_[static_cast<std::size_t>(l)];
+      const int first = first_code_[static_cast<std::size_t>(l)];
+      if (n > 0 && code < first + n) {
+        return symbols_[static_cast<std::size_t>(first_index_[static_cast<std::size_t>(l)] + code - first)];
+      }
+    }
+    throw CodecError("deflate: invalid Huffman code");
+  }
+
+ private:
+  std::array<int, 16> first_code_{};
+  std::array<int, 16> first_index_{};
+  std::array<int, 16> num_{};
+  std::vector<int> symbols_;
+};
+
+const HuffDecoder& fixed_litlen_decoder() {
+  static const HuffDecoder dec = [] {
+    std::array<std::uint8_t, 288> lengths{};
+    for (int i = 0; i <= 143; ++i) lengths[static_cast<std::size_t>(i)] = 8;
+    for (int i = 144; i <= 255; ++i) lengths[static_cast<std::size_t>(i)] = 9;
+    for (int i = 256; i <= 279; ++i) lengths[static_cast<std::size_t>(i)] = 7;
+    for (int i = 280; i <= 287; ++i) lengths[static_cast<std::size_t>(i)] = 8;
+    HuffDecoder d;
+    d.build(lengths);
+    return d;
+  }();
+  return dec;
+}
+
+const HuffDecoder& fixed_dist_decoder() {
+  static const HuffDecoder dec = [] {
+    std::array<std::uint8_t, 30> lengths{};
+    lengths.fill(5);
+    HuffDecoder d;
+    d.build(lengths);
+    return d;
+  }();
+  return dec;
+}
+
+// --- fixed-code encoding helpers -----------------------------------------------
+
+/// (code value, bit length) of a literal/length symbol in the fixed tree.
+std::pair<std::uint32_t, int> fixed_litlen_code(int sym) {
+  if (sym <= 143) return {static_cast<std::uint32_t>(0x30 + sym), 8};
+  if (sym <= 255) return {static_cast<std::uint32_t>(0x190 + sym - 144), 9};
+  if (sym <= 279) return {static_cast<std::uint32_t>(sym - 256), 7};
+  return {static_cast<std::uint32_t>(0xC0 + sym - 280), 8};
+}
+
+int length_code(int len) {
+  for (int i = 28; i >= 0; --i) {
+    if (len >= kLenBase[static_cast<std::size_t>(i)]) return i;
+  }
+  throw CodecError("deflate: bad match length");
+}
+
+int distance_code(int dist) {
+  for (int i = 29; i >= 0; --i) {
+    if (dist >= kDistBase[static_cast<std::size_t>(i)]) return i;
+  }
+  throw CodecError("deflate: bad match distance");
+}
+
+// --- LZ77 greedy matcher ---------------------------------------------------------
+
+struct Matcher {
+  static constexpr int kHashBits = 15;
+  static constexpr std::size_t kHashSize = 1u << kHashBits;
+  static constexpr int kMaxChain = 64;
+
+  explicit Matcher(std::span<const std::uint8_t> data)
+      : data_(data), head_(kHashSize, -1), prev_(data.size(), -1) {}
+
+  [[nodiscard]] std::uint32_t hash(std::size_t i) const noexcept {
+    // 3-byte rolling hash.
+    return (static_cast<std::uint32_t>(data_[i]) * 506832829u ^
+            static_cast<std::uint32_t>(data_[i + 1]) * 2654435761u ^
+            static_cast<std::uint32_t>(data_[i + 2]) * 40503u) &
+           (kHashSize - 1);
+  }
+
+  void insert(std::size_t i) {
+    if (i + 2 >= data_.size()) return;
+    const auto h = hash(i);
+    prev_[i] = head_[h];
+    head_[h] = static_cast<std::int64_t>(i);
+  }
+
+  /// Longest match at `i` within the window; returns (length, distance) or
+  /// length 0.
+  std::pair<int, int> find(std::size_t i) const {
+    if (i + 2 >= data_.size()) return {0, 0};
+    const int max_len = static_cast<int>(std::min<std::size_t>(258, data_.size() - i));
+    int best_len = 0, best_dist = 0;
+    std::int64_t cand = head_[hash(i)];
+    int chain = kMaxChain;
+    while (cand >= 0 && chain-- > 0) {
+      const auto c = static_cast<std::size_t>(cand);
+      if (i - c > kWindow) break;
+      int len = 0;
+      while (len < max_len && data_[c + static_cast<std::size_t>(len)] ==
+                                  data_[i + static_cast<std::size_t>(len)]) {
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_dist = static_cast<int>(i - c);
+        if (len == max_len) break;
+      }
+      cand = prev_[c];
+    }
+    return {best_len, best_dist};
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::vector<std::int64_t> head_;
+  std::vector<std::int64_t> prev_;
+};
+
+std::vector<std::uint8_t> deflate_stored(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  std::size_t pos = 0;
+  do {
+    const std::size_t chunk = std::min<std::size_t>(65535, data.size() - pos);
+    const bool final = pos + chunk == data.size();
+    out.push_back(final ? 0x01 : 0x00);  // BFINAL + BTYPE=00 (byte aligned)
+    const auto len = static_cast<std::uint16_t>(chunk);
+    out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.push_back(static_cast<std::uint8_t>(~len & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((~len >> 8) & 0xFF));
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(pos),
+               data.begin() + static_cast<std::ptrdiff_t>(pos + chunk));
+    pos += chunk;
+  } while (pos < data.size());
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t adler32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t a = 1, b = 0;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    // Largest n with no overflow before the mod (per zlib).
+    const std::size_t n = std::min<std::size_t>(5552, data.size() - i);
+    for (std::size_t k = 0; k < n; ++k) {
+      a += data[i + k];
+      b += a;
+    }
+    a %= 65521;
+    b %= 65521;
+    i += n;
+  }
+  return (b << 16) | a;
+}
+
+std::vector<std::uint8_t> deflate(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 2 + 64);
+  LsbWriter bw{out};
+  bw.put(1, 1);  // BFINAL
+  bw.put(1, 2);  // BTYPE = 01, fixed Huffman
+
+  if (data.empty()) {
+    const auto [code, len] = fixed_litlen_code(kEndOfBlock);
+    bw.put_code(code, len);
+    bw.align_byte();
+    return out;
+  }
+
+  Matcher matcher{data};
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const auto [mlen, mdist] = matcher.find(i);
+    if (mlen >= 3) {
+      const int lc = length_code(mlen);
+      const auto [code, clen] = fixed_litlen_code(257 + lc);
+      bw.put_code(code, clen);
+      if (kLenExtra[static_cast<std::size_t>(lc)] > 0) {
+        bw.put(static_cast<std::uint32_t>(mlen - kLenBase[static_cast<std::size_t>(lc)]),
+               kLenExtra[static_cast<std::size_t>(lc)]);
+      }
+      const int dc = distance_code(mdist);
+      bw.put_code(static_cast<std::uint32_t>(dc), 5);
+      if (kDistExtra[static_cast<std::size_t>(dc)] > 0) {
+        bw.put(static_cast<std::uint32_t>(mdist - kDistBase[static_cast<std::size_t>(dc)]),
+               kDistExtra[static_cast<std::size_t>(dc)]);
+      }
+      for (int k = 0; k < mlen; ++k) matcher.insert(i + static_cast<std::size_t>(k));
+      i += static_cast<std::size_t>(mlen);
+    } else {
+      const auto [code, clen] = fixed_litlen_code(data[i]);
+      bw.put_code(code, clen);
+      matcher.insert(i);
+      ++i;
+    }
+  }
+  const auto [code, len] = fixed_litlen_code(kEndOfBlock);
+  bw.put_code(code, len);
+  bw.align_byte();
+
+  // Incompressible input: fall back to stored blocks.
+  if (out.size() >= data.size() + 5 * (data.size() / 65535 + 1)) return deflate_stored(data);
+  return out;
+}
+
+std::vector<std::uint8_t> inflate(std::span<const std::uint8_t> data, std::size_t size_hint) {
+  std::vector<std::uint8_t> out;
+  out.reserve(size_hint);
+  LsbReader br{data};
+  bool final = false;
+  while (!final) {
+    final = br.bits(1) != 0;
+    const std::uint32_t btype = br.bits(2);
+    if (btype == 0) {
+      // Stored block.
+      br.align_byte();
+      const std::uint32_t len = br.byte() | (static_cast<std::uint32_t>(br.byte()) << 8);
+      const std::uint32_t nlen = br.byte() | (static_cast<std::uint32_t>(br.byte()) << 8);
+      if ((len ^ nlen) != 0xFFFF) throw CodecError("deflate: stored-block length mismatch");
+      for (std::uint32_t k = 0; k < len; ++k) out.push_back(br.byte());
+      continue;
+    }
+    if (btype == 3) throw CodecError("deflate: reserved block type");
+
+    HuffDecoder dyn_litlen, dyn_dist;
+    const HuffDecoder* litlen = nullptr;
+    const HuffDecoder* dist = nullptr;
+    if (btype == 1) {
+      litlen = &fixed_litlen_decoder();
+      dist = &fixed_dist_decoder();
+    } else {
+      const int hlit = static_cast<int>(br.bits(5)) + 257;
+      const int hdist = static_cast<int>(br.bits(5)) + 1;
+      const int hclen = static_cast<int>(br.bits(4)) + 4;
+      std::array<std::uint8_t, 19> clc_lengths{};
+      for (int k = 0; k < hclen; ++k) {
+        clc_lengths[static_cast<std::size_t>(kClcOrder[static_cast<std::size_t>(k)])] =
+            static_cast<std::uint8_t>(br.bits(3));
+      }
+      HuffDecoder clc;
+      clc.build(clc_lengths);
+      std::vector<std::uint8_t> lengths;
+      lengths.reserve(static_cast<std::size_t>(hlit + hdist));
+      while (static_cast<int>(lengths.size()) < hlit + hdist) {
+        const int sym = clc.decode(br);
+        if (sym < 16) {
+          lengths.push_back(static_cast<std::uint8_t>(sym));
+        } else if (sym == 16) {
+          if (lengths.empty()) throw CodecError("deflate: repeat with no previous length");
+          const int count = 3 + static_cast<int>(br.bits(2));
+          for (int k = 0; k < count; ++k) lengths.push_back(lengths.back());
+        } else if (sym == 17) {
+          const int count = 3 + static_cast<int>(br.bits(3));
+          lengths.insert(lengths.end(), static_cast<std::size_t>(count), 0);
+        } else {
+          const int count = 11 + static_cast<int>(br.bits(7));
+          lengths.insert(lengths.end(), static_cast<std::size_t>(count), 0);
+        }
+      }
+      if (static_cast<int>(lengths.size()) != hlit + hdist) {
+        throw CodecError("deflate: code-length overrun");
+      }
+      dyn_litlen.build(std::span<const std::uint8_t>{lengths.data(), static_cast<std::size_t>(hlit)});
+      dyn_dist.build(std::span<const std::uint8_t>{lengths.data() + hlit,
+                                                   static_cast<std::size_t>(hdist)});
+      litlen = &dyn_litlen;
+      dist = &dyn_dist;
+    }
+
+    while (true) {
+      const int sym = litlen->decode(br);
+      if (sym < 256) {
+        out.push_back(static_cast<std::uint8_t>(sym));
+        continue;
+      }
+      if (sym == kEndOfBlock) break;
+      if (sym > 285) throw CodecError("deflate: invalid length symbol");
+      const int lc = sym - 257;
+      const int len = kLenBase[static_cast<std::size_t>(lc)] +
+                      static_cast<int>(br.bits(kLenExtra[static_cast<std::size_t>(lc)]));
+      const int dsym = dist->decode(br);
+      if (dsym > 29) throw CodecError("deflate: invalid distance symbol");
+      const int d = kDistBase[static_cast<std::size_t>(dsym)] +
+                    static_cast<int>(br.bits(kDistExtra[static_cast<std::size_t>(dsym)]));
+      if (static_cast<std::size_t>(d) > out.size()) {
+        throw CodecError("deflate: distance beyond output");
+      }
+      const std::size_t start = out.size() - static_cast<std::size_t>(d);
+      for (int k = 0; k < len; ++k) out.push_back(out[start + static_cast<std::size_t>(k)]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> zlib_compress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  // CMF: deflate, 32K window (0x78); FLG chosen so (CMF<<8 | FLG) % 31 == 0.
+  out.push_back(0x78);
+  out.push_back(0x9C);
+  auto body = deflate(data);
+  out.insert(out.end(), body.begin(), body.end());
+  const std::uint32_t a = adler32(data);
+  out.push_back(static_cast<std::uint8_t>(a >> 24));
+  out.push_back(static_cast<std::uint8_t>((a >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((a >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(a & 0xFF));
+  return out;
+}
+
+std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> data,
+                                          std::size_t size_hint) {
+  if (data.size() < 6) throw CodecError("zlib: stream too short");
+  const std::uint8_t cmf = data[0], flg = data[1];
+  if ((cmf & 0x0F) != 8) throw CodecError("zlib: not deflate");
+  if ((static_cast<unsigned>(cmf) * 256 + flg) % 31 != 0) throw CodecError("zlib: bad header check");
+  if ((flg & 0x20) != 0) throw CodecError("zlib: preset dictionary unsupported");
+  auto body = inflate(data.subspan(2, data.size() - 6), size_hint);
+  const std::uint32_t stored = (static_cast<std::uint32_t>(data[data.size() - 4]) << 24) |
+                               (static_cast<std::uint32_t>(data[data.size() - 3]) << 16) |
+                               (static_cast<std::uint32_t>(data[data.size() - 2]) << 8) |
+                               static_cast<std::uint32_t>(data[data.size() - 1]);
+  if (stored != adler32(body)) throw CodecError("zlib: Adler-32 mismatch");
+  return body;
+}
+
+}  // namespace serve::codec

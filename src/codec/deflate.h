@@ -1,0 +1,33 @@
+// DEFLATE (RFC 1951) and zlib (RFC 1950) — the compression layer of the
+// PNG substrate, written from scratch.
+//
+// Encoder: greedy LZ77 (32 KiB window, hash-chain matcher) emitted with the
+// fixed Huffman code, with a stored-block fallback for incompressible data.
+// Decoder: full RFC 1951 — stored, fixed-Huffman and dynamic-Huffman blocks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/bit_io.h"  // CodecError
+
+namespace serve::codec {
+
+/// Compresses `data` into a raw DEFLATE stream.
+[[nodiscard]] std::vector<std::uint8_t> deflate(std::span<const std::uint8_t> data);
+
+/// Decompresses a raw DEFLATE stream. Throws jpeg::CodecError on malformed
+/// input. `size_hint` preallocates the output (0 = unknown).
+[[nodiscard]] std::vector<std::uint8_t> inflate(std::span<const std::uint8_t> data,
+                                                std::size_t size_hint = 0);
+
+/// RFC 1950 zlib wrapping: 2-byte header + DEFLATE + Adler-32 trailer.
+[[nodiscard]] std::vector<std::uint8_t> zlib_compress(std::span<const std::uint8_t> data);
+[[nodiscard]] std::vector<std::uint8_t> zlib_decompress(std::span<const std::uint8_t> data,
+                                                        std::size_t size_hint = 0);
+
+/// Adler-32 checksum (RFC 1950 Section 8).
+[[nodiscard]] std::uint32_t adler32(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace serve::codec

@@ -1,0 +1,54 @@
+// Baseline JPEG (ITU-T T.81) encoder and decoder, written from scratch.
+//
+// This is the *real* preprocessing substrate of the reproduction: the exact
+// computation (Huffman entropy coding, DCT, chroma subsampling) whose server
+// cost the paper measures. Supports baseline sequential DCT, 8-bit samples,
+// grayscale and YCbCr with 4:4:4 or 4:2:0 subsampling, restart intervals,
+// and the Annex K default tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/bit_io.h"
+#include "codec/image.h"
+
+namespace serve::codec {
+
+enum class Subsampling : std::uint8_t {
+  k444,  ///< no chroma subsampling
+  k422,  ///< 2x1 horizontal chroma subsampling
+  k420,  ///< 2x2 chroma subsampling (the common photographic default)
+};
+
+struct JpegEncodeOptions {
+  int quality = 85;  ///< 1..100, libjpeg-style quantizer scaling
+  Subsampling subsampling = Subsampling::k420;
+  /// Emit a DRI marker and RSTn markers every N MCUs (0 = no restarts).
+  int restart_interval_mcus = 0;
+  /// Two-pass encoding with per-image optimal Huffman tables (smaller files,
+  /// identical pixels — the tables are carried in the DHT segments).
+  bool optimize_huffman = false;
+};
+
+/// Encodes an RGB or grayscale image to a JFIF byte stream.
+[[nodiscard]] std::vector<std::uint8_t> encode_jpeg(const Image& img,
+                                                    const JpegEncodeOptions& opts = {});
+
+/// Decodes a baseline JPEG stream. Throws jpeg::CodecError on malformed or
+/// unsupported (e.g. progressive) input.
+[[nodiscard]] Image decode_jpeg(std::span<const std::uint8_t> data);
+
+/// Header summary without decoding the entropy data.
+struct JpegInfo {
+  int width = 0;
+  int height = 0;
+  int components = 0;
+  Subsampling subsampling = Subsampling::k444;
+};
+
+/// Parses markers up to SOS. Throws jpeg::CodecError on malformed input.
+[[nodiscard]] JpegInfo peek_jpeg_info(std::span<const std::uint8_t> data);
+
+}  // namespace serve::codec

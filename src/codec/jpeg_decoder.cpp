@@ -1,0 +1,377 @@
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "codec/dct.h"
+#include "codec/jpeg.h"
+#include "codec/jpeg_tables.h"
+
+namespace serve::codec {
+
+namespace jpeg {
+namespace {
+
+/// Canonical Huffman decoding tables (T.81 F.16).
+struct DecodeTable {
+  std::array<int, 17> mincode{};
+  std::array<int, 17> maxcode{};  ///< -1 where no codes of that length exist
+  std::array<int, 17> valptr{};
+  std::vector<std::uint8_t> vals;
+  bool present = false;
+
+  void build(const std::uint8_t bits[16], const std::uint8_t* huffval, int count) {
+    vals.assign(huffval, huffval + count);
+    int code = 0, k = 0;
+    for (int len = 1; len <= 16; ++len) {
+      if (bits[len - 1] == 0) {
+        maxcode[static_cast<std::size_t>(len)] = -1;
+      } else {
+        valptr[static_cast<std::size_t>(len)] = k;
+        mincode[static_cast<std::size_t>(len)] = code;
+        k += bits[len - 1];
+        code += bits[len - 1];
+        maxcode[static_cast<std::size_t>(len)] = code - 1;
+      }
+      code <<= 1;
+    }
+    present = true;
+  }
+
+  [[nodiscard]] std::uint8_t decode(BitReader& br) const {
+    int code = 0;
+    for (int len = 1; len <= 16; ++len) {
+      code = (code << 1) | static_cast<int>(br.get_bit());
+      const int mc = maxcode[static_cast<std::size_t>(len)];
+      if (mc >= 0 && code <= mc) {
+        return vals[static_cast<std::size_t>(valptr[static_cast<std::size_t>(len)] + code -
+                                             mincode[static_cast<std::size_t>(len)])];
+      }
+    }
+    throw CodecError("invalid Huffman code");
+  }
+};
+
+/// Sign extension of an ssss-bit magnitude (T.81 F.12).
+int extend(int v, int ssss) noexcept {
+  return v < (1 << (ssss - 1)) ? v - (1 << ssss) + 1 : v;
+}
+
+struct Component {
+  int id = 0;
+  int h = 1, v = 1;        ///< sampling factors
+  int quant_id = 0;
+  int dc_table = 0, ac_table = 0;
+  int plane_w = 0, plane_h = 0;        ///< subsampled plane dims
+  int blocks_w = 0, blocks_h = 0;      ///< plane dims in 8x8 blocks (MCU-padded)
+  std::vector<float> plane;            ///< decoded samples
+  int dc_pred = 0;
+};
+
+struct Parser {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  std::uint8_t u8() {
+    if (pos >= data.size()) throw CodecError("unexpected end of stream");
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    const auto hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  void skip(std::size_t n) {
+    if (pos + n > data.size()) throw CodecError("unexpected end of stream");
+    pos += n;
+  }
+};
+
+struct DecoderState {
+  int width = 0, height = 0;
+  std::vector<Component> comps;
+  std::array<std::array<std::uint16_t, kBlockSize>, 4> quant{};
+  std::array<bool, 4> quant_present{};
+  std::array<DecodeTable, 4> dc_tables;
+  std::array<DecodeTable, 4> ac_tables;
+  int restart_interval = 0;
+  bool have_sof = false;
+  std::size_t scan_start = 0;  ///< offset of entropy data after SOS header
+};
+
+void parse_dqt(Parser& p, DecoderState& st, std::uint16_t seg_len) {
+  std::size_t remaining = seg_len - 2u;
+  while (remaining > 0) {
+    const std::uint8_t pq_tq = p.u8();
+    const int precision = pq_tq >> 4;
+    const int id = pq_tq & 0x0F;
+    if (id > 3) throw CodecError("DQT: table id out of range");
+    if (precision > 1) throw CodecError("DQT: bad precision");
+    const std::size_t entry = precision == 0 ? 65u : 129u;
+    if (remaining < entry) throw CodecError("DQT: truncated segment");
+    for (int i = 0; i < kBlockSize; ++i) {
+      const std::uint16_t q = precision == 0 ? p.u8() : p.u16();
+      st.quant[static_cast<std::size_t>(id)][kZigZag[static_cast<std::size_t>(i)]] = q;
+    }
+    st.quant_present[static_cast<std::size_t>(id)] = true;
+    remaining -= entry;
+  }
+}
+
+void parse_dht(Parser& p, DecoderState& st, std::uint16_t seg_len) {
+  std::size_t remaining = seg_len - 2u;
+  while (remaining > 0) {
+    const std::uint8_t tc_th = p.u8();
+    const int cls = tc_th >> 4;
+    const int id = tc_th & 0x0F;
+    if (cls > 1 || id > 3) throw CodecError("DHT: bad table class/id");
+    std::uint8_t bits[16];
+    int count = 0;
+    for (auto& b : bits) {
+      b = p.u8();
+      count += b;
+    }
+    if (count > 256) throw CodecError("DHT: too many codes");
+    std::vector<std::uint8_t> vals(static_cast<std::size_t>(count));
+    for (auto& v : vals) v = p.u8();
+    auto& table = cls == 0 ? st.dc_tables[static_cast<std::size_t>(id)]
+                           : st.ac_tables[static_cast<std::size_t>(id)];
+    table.build(bits, vals.data(), count);
+    if (remaining < 17u + static_cast<std::size_t>(count)) throw CodecError("DHT: truncated");
+    remaining -= 17u + static_cast<std::size_t>(count);
+  }
+}
+
+void parse_sof0(Parser& p, DecoderState& st) {
+  const int precision = p.u8();
+  if (precision != 8) throw CodecError("SOF0: only 8-bit precision supported");
+  st.height = p.u16();
+  st.width = p.u16();
+  const int ncomp = p.u8();
+  if (st.width == 0 || st.height == 0) throw CodecError("SOF0: zero dimensions");
+  if (ncomp != 1 && ncomp != 3) throw CodecError("SOF0: only 1 or 3 components supported");
+  st.comps.resize(static_cast<std::size_t>(ncomp));
+  for (auto& c : st.comps) {
+    c.id = p.u8();
+    const std::uint8_t hv = p.u8();
+    c.h = hv >> 4;
+    c.v = hv & 0x0F;
+    c.quant_id = p.u8();
+    if (c.h < 1 || c.h > 2 || c.v < 1 || c.v > 2) {
+      throw CodecError("SOF0: unsupported sampling factor");
+    }
+    if (c.quant_id > 3) throw CodecError("SOF0: bad quant table id");
+  }
+  st.have_sof = true;
+}
+
+void parse_sos(Parser& p, DecoderState& st) {
+  if (!st.have_sof) throw CodecError("SOS before SOF");
+  const int ncomp = p.u8();
+  if (ncomp != static_cast<int>(st.comps.size())) {
+    throw CodecError("SOS: non-interleaved scans not supported");
+  }
+  for (int i = 0; i < ncomp; ++i) {
+    const int cid = p.u8();
+    const std::uint8_t tables = p.u8();
+    bool found = false;
+    for (auto& c : st.comps) {
+      if (c.id == cid) {
+        c.dc_table = tables >> 4;
+        c.ac_table = tables & 0x0F;
+        found = true;
+      }
+    }
+    if (!found) throw CodecError("SOS: unknown component id");
+  }
+  p.skip(3);  // Ss, Se, Ah/Al — fixed for baseline
+  st.scan_start = p.pos;
+}
+
+DecoderState parse_headers(std::span<const std::uint8_t> data) {
+  Parser p{data};
+  DecoderState st;
+  if (p.u8() != 0xFF || p.u8() != 0xD8) throw CodecError("missing SOI marker");
+  while (true) {
+    std::uint8_t b = p.u8();
+    if (b != 0xFF) throw CodecError("expected marker");
+    std::uint8_t marker = p.u8();
+    while (marker == 0xFF) marker = p.u8();  // fill bytes
+    switch (marker) {
+      case 0xC0:  // SOF0 baseline
+      case 0xC1: {
+        const std::uint16_t len = p.u16();
+        (void)len;
+        parse_sof0(p, st);
+        break;
+      }
+      case 0xC2:
+        throw CodecError("progressive JPEG (SOF2) not supported");
+      case 0xC4: {
+        const std::uint16_t len = p.u16();
+        parse_dht(p, st, len);
+        break;
+      }
+      case 0xDB: {
+        const std::uint16_t len = p.u16();
+        parse_dqt(p, st, len);
+        break;
+      }
+      case 0xDD: {
+        const std::uint16_t len = p.u16();
+        if (len != 4) throw CodecError("DRI: bad length");
+        st.restart_interval = p.u16();
+        break;
+      }
+      case 0xDA: {
+        const std::uint16_t len = p.u16();
+        (void)len;
+        parse_sos(p, st);
+        return st;  // entropy data follows
+      }
+      case 0xD9:
+        throw CodecError("EOI before SOS (no image data)");
+      default: {
+        if (marker >= 0xD0 && marker <= 0xD7) throw CodecError("unexpected RST marker");
+        // Skippable segment (APPn, COM, ...)
+        const std::uint16_t len = p.u16();
+        if (len < 2) throw CodecError("bad segment length");
+        p.skip(len - 2u);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jpeg
+
+JpegInfo peek_jpeg_info(std::span<const std::uint8_t> data) {
+  using namespace jpeg;
+  DecoderState st = parse_headers(data);
+  JpegInfo info;
+  info.width = st.width;
+  info.height = st.height;
+  info.components = static_cast<int>(st.comps.size());
+  info.subsampling = Subsampling::k444;
+  if (st.comps.size() == 3 && st.comps[0].h == 2) {
+    info.subsampling = st.comps[0].v == 2 ? Subsampling::k420 : Subsampling::k422;
+  }
+  return info;
+}
+
+Image decode_jpeg(std::span<const std::uint8_t> data) {
+  using namespace jpeg;
+  DecoderState st = parse_headers(data);
+
+  int hmax = 1, vmax = 1;
+  for (const auto& c : st.comps) {
+    hmax = std::max(hmax, c.h);
+    vmax = std::max(vmax, c.v);
+  }
+  const int mcu_w = 8 * hmax, mcu_h = 8 * vmax;
+  const int mcus_x = (st.width + mcu_w - 1) / mcu_w;
+  const int mcus_y = (st.height + mcu_h - 1) / mcu_h;
+
+  for (auto& c : st.comps) {
+    if (!st.quant_present[static_cast<std::size_t>(c.quant_id)]) {
+      throw CodecError("missing quantization table");
+    }
+    c.plane_w = (st.width * c.h + hmax - 1) / hmax;
+    c.plane_h = (st.height * c.v + vmax - 1) / vmax;
+    c.blocks_w = mcus_x * c.h;
+    c.blocks_h = mcus_y * c.v;
+    c.plane.assign(static_cast<std::size_t>(c.blocks_w) * 8 * static_cast<std::size_t>(c.blocks_h) * 8,
+                   0.0f);
+  }
+
+  BitReader br{data.data() + st.scan_start, data.size() - st.scan_start};
+  float coeffs[64], samples[64];
+  int mcu_count = 0;
+  for (int my = 0; my < mcus_y; ++my) {
+    for (int mx = 0; mx < mcus_x; ++mx) {
+      if (st.restart_interval > 0 && mcu_count > 0 && mcu_count % st.restart_interval == 0) {
+        br.consume_restart_marker();
+        for (auto& c : st.comps) c.dc_pred = 0;
+      }
+      ++mcu_count;
+      for (auto& c : st.comps) {
+        const auto& dc = st.dc_tables[static_cast<std::size_t>(c.dc_table)];
+        const auto& ac = st.ac_tables[static_cast<std::size_t>(c.ac_table)];
+        if (!dc.present || !ac.present) throw CodecError("missing Huffman table");
+        const auto& quant = st.quant[static_cast<std::size_t>(c.quant_id)];
+        for (int by = 0; by < c.v; ++by) {
+          for (int bx = 0; bx < c.h; ++bx) {
+            // Entropy-decode one block in zig-zag order.
+            std::memset(coeffs, 0, sizeof coeffs);
+            const int ssss = dc.decode(br);
+            int diff = 0;
+            if (ssss > 0) diff = extend(static_cast<int>(br.get_bits(ssss)), ssss);
+            c.dc_pred += diff;
+            coeffs[0] = static_cast<float>(c.dc_pred * quant[0]);
+            for (int k = 1; k < 64;) {
+              const std::uint8_t rs = ac.decode(br);
+              const int run = rs >> 4;
+              const int size = rs & 0x0F;
+              if (size == 0) {
+                if (run == 15) {
+                  k += 16;  // ZRL
+                  continue;
+                }
+                break;  // EOB
+              }
+              k += run;
+              if (k > 63) throw CodecError("AC run past end of block");
+              const int nat = kZigZag[static_cast<std::size_t>(k)];
+              const int v = extend(static_cast<int>(br.get_bits(size)), size);
+              coeffs[nat] = static_cast<float>(v * quant[static_cast<std::size_t>(nat)]);
+              ++k;
+            }
+            idct8x8(coeffs, samples);
+            // Place into the component plane.
+            const int px = (mx * c.h + bx) * 8;
+            const int py = (my * c.v + by) * 8;
+            const int stride = c.blocks_w * 8;
+            for (int y = 0; y < 8; ++y) {
+              float* row = &c.plane[static_cast<std::size_t>(py + y) *
+                                        static_cast<std::size_t>(stride) +
+                                    static_cast<std::size_t>(px)];
+              for (int x = 0; x < 8; ++x) row[x] = samples[y * 8 + x] + 128.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Upsample (nearest) and convert to the output image.
+  const bool gray = st.comps.size() == 1;
+  Image img{st.width, st.height, gray ? 1 : 3};
+  auto sample = [&](const Component& c, int x, int y) {
+    const int sx = std::min(x * c.h / hmax, c.plane_w - 1);
+    const int sy = std::min(y * c.v / vmax, c.plane_h - 1);
+    const int stride = c.blocks_w * 8;
+    return c.plane[static_cast<std::size_t>(sy) * static_cast<std::size_t>(stride) +
+                   static_cast<std::size_t>(sx)];
+  };
+  auto clamp255 = [](float v) {
+    return static_cast<std::uint8_t>(v < 0.0f ? 0 : (v > 255.0f ? 255 : std::lround(v)));
+  };
+  for (int y = 0; y < st.height; ++y) {
+    for (int x = 0; x < st.width; ++x) {
+      if (gray) {
+        img.at(x, y, 0) = clamp255(sample(st.comps[0], x, y));
+      } else {
+        const float Y = sample(st.comps[0], x, y);
+        const float Cb = sample(st.comps[1], x, y) - 128.0f;
+        const float Cr = sample(st.comps[2], x, y) - 128.0f;
+        img.at(x, y, 0) = clamp255(Y + 1.402f * Cr);
+        img.at(x, y, 1) = clamp255(Y - 0.344136f * Cb - 0.714136f * Cr);
+        img.at(x, y, 2) = clamp255(Y + 1.772f * Cb);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace serve::codec

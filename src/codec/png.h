@@ -1,0 +1,41 @@
+// PNG (RFC 2083 / ISO 15948) encoder and decoder, written from scratch on
+// top of the in-repo zlib/DEFLATE implementation.
+//
+// The paper's serving workloads accept images "in many different sizes,
+// formats"; PNG is the lossless counterpart to JPEG with a very different
+// wire-size/decode-cost trade-off (see bench/ablation_image_format).
+// Supports 8-bit grayscale and RGB, adaptive per-row filtering (None / Sub /
+// Up / Average / Paeth), no interlacing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/image.h"
+
+namespace serve::codec {
+
+struct PngEncodeOptions {
+  /// Per-row adaptive filter selection (minimum-absolute-sum heuristic).
+  /// When false every row uses filter type None (faster, compresses worse).
+  bool adaptive_filters = true;
+};
+
+/// Encodes an 8-bit grayscale or RGB image as a PNG byte stream.
+[[nodiscard]] std::vector<std::uint8_t> encode_png(const Image& img,
+                                                   const PngEncodeOptions& opts = {});
+
+/// Decodes a PNG stream (8-bit gray/RGB, non-interlaced). Throws
+/// jpeg::CodecError on malformed or unsupported input.
+[[nodiscard]] Image decode_png(std::span<const std::uint8_t> data);
+
+/// Header summary without decompressing the pixel data.
+struct PngInfo {
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+};
+[[nodiscard]] PngInfo peek_png_info(std::span<const std::uint8_t> data);
+
+}  // namespace serve::codec

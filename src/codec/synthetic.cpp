@@ -1,0 +1,109 @@
+#include "codec/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace serve::codec {
+
+namespace {
+
+std::uint8_t to_u8(double v) {
+  return static_cast<std::uint8_t>(std::clamp(std::lround(v), 0L, 255L));
+}
+
+}  // namespace
+
+Image make_synthetic(int width, int height, Pattern pattern, std::uint64_t seed) {
+  Image img{width, height, 3};
+  sim::Rng rng{seed};
+  const double w = width, h = height;
+
+  switch (pattern) {
+    case Pattern::kGradient:
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          img.at(x, y, 0) = to_u8(255.0 * x / w);
+          img.at(x, y, 1) = to_u8(255.0 * y / h);
+          img.at(x, y, 2) = to_u8(128.0 + 64.0 * std::sin(6.28318 * (x + y) / (w + h)));
+        }
+      }
+      break;
+
+    case Pattern::kTexture: {
+      // Smooth value noise: random lattice every 8px, bilinear in between.
+      const int gx = width / 8 + 2, gy = height / 8 + 2;
+      std::vector<double> lattice(static_cast<std::size_t>(gx) * static_cast<std::size_t>(gy) * 3);
+      for (auto& v : lattice) v = rng.uniform(0.0, 255.0);
+      auto lat = [&](int ix, int iy, int c) {
+        return lattice[(static_cast<std::size_t>(iy) * static_cast<std::size_t>(gx) +
+                        static_cast<std::size_t>(ix)) *
+                           3 +
+                       static_cast<std::size_t>(c)];
+      };
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          const int ix = x / 8, iy = y / 8;
+          const double ax = (x % 8) / 8.0, ay = (y % 8) / 8.0;
+          for (int c = 0; c < 3; ++c) {
+            const double v = lat(ix, iy, c) * (1 - ax) * (1 - ay) +
+                             lat(ix + 1, iy, c) * ax * (1 - ay) +
+                             lat(ix, iy + 1, c) * (1 - ax) * ay + lat(ix + 1, iy + 1, c) * ax * ay;
+            img.at(x, y, c) = to_u8(v + rng.normal(0.0, 6.0));
+          }
+        }
+      }
+      break;
+    }
+
+    case Pattern::kScene: {
+      // Sky-to-ground gradient with a few colored rectangles and noise —
+      // roughly the spectral content of a photo.
+      struct Rect {
+        int x0, y0, x1, y1;
+        double r, g, b;
+      };
+      std::vector<Rect> rects;
+      for (int i = 0; i < 6; ++i) {
+        const int x0 = static_cast<int>(rng.uniform_int(0, std::max(1, width - 2)));
+        const int y0 = static_cast<int>(rng.uniform_int(0, std::max(1, height - 2)));
+        rects.push_back({x0, y0,
+                         std::min(width, x0 + static_cast<int>(rng.uniform_int(8, width / 2 + 8))),
+                         std::min(height, y0 + static_cast<int>(rng.uniform_int(8, height / 2 + 8))),
+                         rng.uniform(0, 255), rng.uniform(0, 255), rng.uniform(0, 255)});
+      }
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          double r = 120 + 100.0 * y / h, g = 160 - 40.0 * y / h, b = 220 - 120.0 * y / h;
+          for (const auto& rc : rects) {
+            if (x >= rc.x0 && x < rc.x1 && y >= rc.y0 && y < rc.y1) {
+              r = 0.7 * rc.r + 0.3 * r;
+              g = 0.7 * rc.g + 0.3 * g;
+              b = 0.7 * rc.b + 0.3 * b;
+            }
+          }
+          const double n = rng.normal(0.0, 3.0);
+          img.at(x, y, 0) = to_u8(r + n);
+          img.at(x, y, 1) = to_u8(g + n);
+          img.at(x, y, 2) = to_u8(b + n);
+        }
+      }
+      break;
+    }
+
+    case Pattern::kCheckers:
+      for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+          const bool on = ((x / 4) + (y / 4)) % 2 == 0;
+          img.at(x, y, 0) = on ? 230 : 25;
+          img.at(x, y, 1) = on ? 40 : 210;
+          img.at(x, y, 2) = on ? 120 : 60;
+        }
+      }
+      break;
+  }
+  return img;
+}
+
+}  // namespace serve::codec

@@ -1,0 +1,24 @@
+// Synthetic test-image generation (the reproduction has no ImageNet access;
+// DESIGN.md documents this substitution). Generates photograph-like content
+// with smooth gradients, texture, and structure so JPEG compression ratios
+// land in a realistic range.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/image.h"
+
+namespace serve::codec {
+
+enum class Pattern : std::uint8_t {
+  kGradient,   ///< smooth two-axis color gradient (compresses well)
+  kTexture,    ///< band-limited pseudo-noise (compresses poorly)
+  kScene,      ///< gradients + shapes + mild noise (photograph-like)
+  kCheckers,   ///< high-frequency blocks (stress for the entropy coder)
+};
+
+/// Deterministic synthetic image for a (pattern, seed) pair.
+[[nodiscard]] Image make_synthetic(int width, int height, Pattern pattern,
+                                   std::uint64_t seed = 1);
+
+}  // namespace serve::codec

@@ -1,0 +1,80 @@
+#include "codec/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace serve::codec {
+
+Image resize(const Image& src, int dst_w, int dst_h, ResizeFilter filter) {
+  if (src.empty()) throw std::invalid_argument("resize: empty source");
+  if (dst_w <= 0 || dst_h <= 0) throw std::invalid_argument("resize: non-positive target");
+  Image dst{dst_w, dst_h, src.channels()};
+  const double sx = static_cast<double>(src.width()) / dst_w;
+  const double sy = static_cast<double>(src.height()) / dst_h;
+  for (int y = 0; y < dst_h; ++y) {
+    for (int x = 0; x < dst_w; ++x) {
+      // Pixel-center mapping keeps the image from shifting by half a pixel.
+      const double fx = (x + 0.5) * sx - 0.5;
+      const double fy = (y + 0.5) * sy - 0.5;
+      if (filter == ResizeFilter::kNearest) {
+        const int ix = static_cast<int>(std::lround(fx));
+        const int iy = static_cast<int>(std::lround(fy));
+        for (int c = 0; c < src.channels(); ++c) dst.at(x, y, c) = src.at_clamped(ix, iy, c);
+      } else {
+        const int x0 = static_cast<int>(std::floor(fx));
+        const int y0 = static_cast<int>(std::floor(fy));
+        const double ax = fx - x0;
+        const double ay = fy - y0;
+        for (int c = 0; c < src.channels(); ++c) {
+          const double v00 = src.at_clamped(x0, y0, c);
+          const double v10 = src.at_clamped(x0 + 1, y0, c);
+          const double v01 = src.at_clamped(x0, y0 + 1, c);
+          const double v11 = src.at_clamped(x0 + 1, y0 + 1, c);
+          const double v = v00 * (1 - ax) * (1 - ay) + v10 * ax * (1 - ay) +
+                           v01 * (1 - ax) * ay + v11 * ax * ay;
+          dst.at(x, y, c) = static_cast<std::uint8_t>(std::clamp(std::lround(v), 0L, 255L));
+        }
+      }
+    }
+  }
+  return dst;
+}
+
+std::vector<float> normalize_chw(const Image& img, const std::array<float, 3>& mean,
+                                 const std::array<float, 3>& stddev) {
+  if (img.channels() != 3) throw std::invalid_argument("normalize_chw: need RGB input");
+  for (float s : stddev) {
+    if (s <= 0.0f) throw std::invalid_argument("normalize_chw: stddev must be positive");
+  }
+  const auto plane = static_cast<std::size_t>(img.width()) * static_cast<std::size_t>(img.height());
+  std::vector<float> out(plane * 3);
+  for (int c = 0; c < 3; ++c) {
+    float* dst = out.data() + static_cast<std::size_t>(c) * plane;
+    const float m = mean[static_cast<std::size_t>(c)];
+    const float inv = 1.0f / stddev[static_cast<std::size_t>(c)];
+    std::size_t i = 0;
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        dst[i++] = (static_cast<float>(img.at(x, y, c)) / 255.0f - m) * inv;
+      }
+    }
+  }
+  return out;
+}
+
+Image center_crop(const Image& src, int side) {
+  if (side <= 0) throw std::invalid_argument("center_crop: non-positive side");
+  const int s = std::min({side, src.width(), src.height()});
+  const int x0 = (src.width() - s) / 2;
+  const int y0 = (src.height() - s) / 2;
+  Image dst{s, s, src.channels()};
+  for (int y = 0; y < s; ++y) {
+    for (int x = 0; x < s; ++x) {
+      for (int c = 0; c < src.channels(); ++c) dst.at(x, y, c) = src.at(x0 + x, y0 + y, c);
+    }
+  }
+  return dst;
+}
+
+}  // namespace serve::codec

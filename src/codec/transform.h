@@ -1,0 +1,33 @@
+// Post-decode transforms: resize and normalization — the remaining stages of
+// the paper's preprocessing pipeline ("JPEG decoding followed by image
+// resizing and normalization", Section 4).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "codec/image.h"
+
+namespace serve::codec {
+
+enum class ResizeFilter { kNearest, kBilinear };
+
+/// Resamples `src` to `dst_w x dst_h`.
+[[nodiscard]] Image resize(const Image& src, int dst_w, int dst_h,
+                           ResizeFilter filter = ResizeFilter::kBilinear);
+
+/// Standard ImageNet normalization constants.
+inline constexpr std::array<float, 3> kImageNetMean{0.485f, 0.456f, 0.406f};
+inline constexpr std::array<float, 3> kImageNetStd{0.229f, 0.224f, 0.225f};
+
+/// Converts an RGB image to a CHW fp32 tensor: x = (v/255 - mean) / std.
+/// Returns channels*height*width floats, channel-major (the layout vision
+/// models consume).
+[[nodiscard]] std::vector<float> normalize_chw(const Image& img,
+                                               const std::array<float, 3>& mean = kImageNetMean,
+                                               const std::array<float, 3>& stddev = kImageNetStd);
+
+/// Center-crop to a square of `side` (clamped to image bounds).
+[[nodiscard]] Image center_crop(const Image& src, int side);
+
+}  // namespace serve::codec

@@ -1,0 +1,57 @@
+#include "core/autotuner.h"
+
+namespace serve::core {
+
+namespace {
+
+template <typename T>
+std::vector<T> or_default(const std::vector<T>& dim, T fallback) {
+  return dim.empty() ? std::vector<T>{fallback} : dim;
+}
+
+}  // namespace
+
+TuneReport tune_server(const ExperimentSpec& base, const TuneSpace& space,
+                       const TuneObjective& objective) {
+  TuneReport report;
+  report.best.result.throughput_rps = 0.0;
+
+  const auto batches = or_default(space.max_batches, base.server.effective_max_batch());
+  const auto concurrencies = or_default(space.concurrencies, base.concurrency);
+  const auto devices = or_default(space.preproc_devices, base.server.preproc);
+  const auto workers = or_default(space.preproc_workers, base.calib.cpu.preproc_workers);
+  const auto instances = or_default(space.instance_counts, base.server.instance_count);
+
+  for (auto dev : devices) {
+    for (int w : workers) {
+      // Worker count only matters on the CPU-preprocessing path; skip the
+      // redundant GPU-path sweep beyond the first value.
+      if (dev == serving::PreprocDevice::kGpu && w != workers.front()) continue;
+      for (int inst : instances) {
+      for (int mb : batches) {
+        for (int conc : concurrencies) {
+          ExperimentSpec spec = base;
+          spec.server.preproc = dev;
+          spec.server.max_batch = mb;
+          spec.server.fixed_batch = mb;
+          spec.server.instance_count = inst;
+          spec.concurrency = conc;
+          spec.calib.cpu.preproc_workers = w;
+          TunePoint point;
+          point.spec = spec;
+          point.result = run_experiment(spec);
+          point.feasible = point.result.p99_latency_s <= objective.p99_slo_s;
+          const bool better =
+              point.feasible && (!report.best.feasible ||
+                                 point.result.throughput_rps > report.best.result.throughput_rps);
+          report.trace.push_back(point);
+          if (better) report.best = report.trace.back();
+        }
+      }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace serve::core

@@ -1,0 +1,50 @@
+// Server-configuration auto-tuner.
+//
+// The paper (Section 2.3) reports ~300 img/s from "a quick search on the
+// server settings that include the number of preprocessing and inference
+// processes, the maximum allowed batch size, and the concurrency per
+// server". This module is that search: grid exploration over the deployment
+// knobs, maximizing throughput subject to an optional tail-latency SLO.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace serve::core {
+
+/// Knob grid to explore. Empty dimensions keep the spec's current value.
+struct TuneSpace {
+  std::vector<int> max_batches{16, 32, 64, 128};
+  std::vector<int> concurrencies{64, 128, 256, 512};
+  std::vector<serving::PreprocDevice> preproc_devices{serving::PreprocDevice::kCpu,
+                                                      serving::PreprocDevice::kGpu};
+  std::vector<int> preproc_workers{};  ///< CPU preprocessing pool sizes
+  std::vector<int> instance_counts{};  ///< execution instances per GPU
+};
+
+/// Optimization target: maximize throughput subject to a p99 SLO.
+struct TuneObjective {
+  double p99_slo_s = std::numeric_limits<double>::infinity();
+};
+
+struct TunePoint {
+  ExperimentSpec spec;
+  ExperimentResult result;
+  bool feasible = false;  ///< met the SLO
+};
+
+struct TuneReport {
+  TunePoint best;                ///< highest-throughput feasible point
+  std::vector<TunePoint> trace;  ///< every evaluated point, in search order
+  [[nodiscard]] bool found_feasible() const noexcept { return best.feasible; }
+};
+
+/// Exhaustive grid search from `base` over `space`. Every run is an
+/// independent deterministic simulation; `base` supplies model, image,
+/// platform and measurement windows.
+[[nodiscard]] TuneReport tune_server(const ExperimentSpec& base, const TuneSpace& space,
+                                     const TuneObjective& objective = {});
+
+}  // namespace serve::core

@@ -1,0 +1,105 @@
+#include "core/experiment.h"
+
+#include "hw/tracing.h"
+
+namespace serve::core {
+
+namespace {
+
+void reset_platform_stats(hw::Platform& platform) {
+  platform.cpu().cores().reset_stats();
+  platform.cpu().preproc_workers().reset_stats();
+  platform.host_link().reset_stats();
+  for (std::size_t i = 0; i < platform.gpu_count(); ++i) {
+    auto& g = platform.gpu(i);
+    g.compute().reset_stats();
+    g.preproc().reset_stats();
+    g.copy_h2d().reset_stats();
+    g.copy_d2h().reset_stats();
+    g.stall().reset_stats();
+  }
+}
+
+std::uint64_t total_evictions(hw::Platform& platform) {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < platform.gpu_count(); ++i) n += platform.gpu(i).stager().evictions();
+  return n;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared warmup/measure/drain skeleton for closed- and open-loop runs.
+template <typename Clients>
+ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& platform,
+                                  serving::InferenceServer& server, Clients& clients) {
+  auto& sim = platform.sim();
+  clients.start();
+
+  // Warmup: fill queues and reach steady state, then reset all statistics.
+  sim.run_until(spec.warmup);
+  server.stats().begin();
+  reset_platform_stats(platform);
+  const std::uint64_t evictions_before = total_evictions(platform);
+  const sim::Time window_start = sim.now();
+
+  sim.run_until(spec.warmup + spec.measure);
+  const sim::Time window_end = sim.now();
+
+  ExperimentResult r;
+  const auto& stats = server.stats();
+  r.throughput_rps = stats.throughput();
+  r.completed = stats.completed();
+  r.mean_latency_s = stats.latency().mean();
+  r.p50_latency_s = stats.latency().p50();
+  r.p99_latency_s = stats.latency().p99();
+  r.mean_batch = stats.batch_sizes().mean();
+  r.breakdown = stats.breakdown();
+  r.energy = hw::measure_energy(platform, window_start, window_end);
+  r.gpu_evictions = total_evictions(platform) - evictions_before;
+
+  // Drain: stop the clients, let in-flight requests complete, close the
+  // server so scheduler processes exit cleanly.
+  clients.stop();
+  sim.run();
+  server.shutdown();
+  sim.run();
+  return r;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  sim::Simulator sim;
+  hw::Platform platform{sim, {.calib = spec.calib, .gpu_count = spec.gpu_count}};
+  if (spec.trace != nullptr) hw::attach_tracer(platform, *spec.trace);
+  serving::InferenceServer server{platform, spec.server};
+  serving::ClosedLoopClients clients{server,
+                                     {.concurrency = spec.concurrency,
+                                      .image_source = serving::fixed_image(spec.image),
+                                      .seed = spec.seed}};
+  return run_with_clients(spec, platform, server, clients);
+}
+
+ExperimentResult run_open_loop(const ExperimentSpec& spec,
+                               serving::OpenLoopClients::Interarrival interarrival) {
+  sim::Simulator sim;
+  hw::Platform platform{sim, {.calib = spec.calib, .gpu_count = spec.gpu_count}};
+  if (spec.trace != nullptr) hw::attach_tracer(platform, *spec.trace);
+  serving::InferenceServer server{platform, spec.server};
+  serving::OpenLoopClients clients{server,
+                                   {.interarrival = std::move(interarrival),
+                                    .image_source = serving::fixed_image(spec.image),
+                                    .seed = spec.seed}};
+  return run_with_clients(spec, platform, server, clients);
+}
+
+ExperimentResult run_zero_load(ExperimentSpec spec) {
+  spec.concurrency = 1;
+  // One request at a time: a modest window gives thousands of samples.
+  if (spec.measure > sim::seconds(5.0)) spec.measure = sim::seconds(5.0);
+  return run_experiment(spec);
+}
+
+}  // namespace serve::core

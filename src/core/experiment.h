@@ -1,0 +1,73 @@
+// Experiment runner: stands up a platform + server + clients, runs a
+// warmup and a measurement window in virtual time, and returns the metrics
+// the paper's figures are built from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "hw/devices.h"
+#include "hw/energy.h"
+#include "metrics/breakdown.h"
+#include "serving/client.h"
+#include "serving/config.h"
+#include "serving/server.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace serve::core {
+
+/// Inputs for a single serving experiment.
+struct ExperimentSpec {
+  serving::ServerConfig server{};
+  int gpu_count = 1;
+  hw::Calibration calib = hw::default_calibration();
+
+  int concurrency = 256;                 ///< closed-loop clients
+  hw::ImageSpec image = hw::kMediumImage;
+  sim::Time warmup = sim::seconds(2.0);
+  sim::Time measure = sim::seconds(10.0);
+  std::uint64_t seed = 42;
+
+  /// Optional: record device-occupancy counters for chrome://tracing.
+  sim::TraceRecorder* trace = nullptr;
+};
+
+/// Outputs of a serving experiment (one point of a paper figure).
+struct ExperimentResult {
+  double throughput_rps = 0.0;   ///< completed requests / measurement second
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  std::uint64_t completed = 0;
+  double mean_batch = 0.0;
+  metrics::Breakdown breakdown{};  ///< per-stage latency decomposition
+  hw::EnergyReport energy{};       ///< over the measurement window
+  std::uint64_t gpu_evictions = 0; ///< staging-memory evictions observed
+
+  [[nodiscard]] double stage_share(metrics::Stage s) const noexcept {
+    return breakdown.share(s);
+  }
+  [[nodiscard]] double cpu_joules_per_image() const noexcept {
+    return completed ? energy.cpu_joules / static_cast<double>(completed) : 0.0;
+  }
+  [[nodiscard]] double gpu_joules_per_image() const noexcept {
+    return completed ? energy.gpu_joules / static_cast<double>(completed) : 0.0;
+  }
+};
+
+/// Runs one closed-loop serving experiment end to end in virtual time.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// Convenience: zero-load experiment (concurrency 1, short window) used for
+/// the Fig. 6 latency-breakdown study.
+[[nodiscard]] ExperimentResult run_zero_load(ExperimentSpec spec);
+
+/// Open-loop variant: requests arrive on `interarrival` (see
+/// workload/arrivals.h) instead of from closed-loop clients; `concurrency`
+/// is ignored. Use to study latency at a fixed offered rate and under
+/// bursty traffic.
+[[nodiscard]] ExperimentResult run_open_loop(const ExperimentSpec& spec,
+                                             serving::OpenLoopClients::Interarrival interarrival);
+
+}  // namespace serve::core

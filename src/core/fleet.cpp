@@ -1,0 +1,89 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "metrics/histogram.h"
+
+namespace serve::core {
+
+namespace {
+
+struct Fleet {
+  Fleet(sim::Simulator& sim_, const FleetSpec& spec_) : sim(sim_), spec(spec_), rng(spec_.seed) {
+    for (int gpus : spec.gpus_per_node) {
+      platforms.push_back(
+          std::make_unique<hw::Platform>(sim, hw::Platform::Config{spec.calib, gpus}));
+      servers.push_back(std::make_unique<serving::InferenceServer>(*platforms.back(), spec.server));
+    }
+  }
+
+  /// Balancer dispatch (the Fig. 1 box).
+  std::size_t pick_node() {
+    switch (spec.policy) {
+      case BalancerPolicy::kRoundRobin:
+        return next_node++ % servers.size();
+      case BalancerPolicy::kRandom:
+        return static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(servers.size()) - 1));
+      case BalancerPolicy::kLeastOutstanding: {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < servers.size(); ++i) {
+          if (servers[i]->in_flight() < servers[best]->in_flight()) best = i;
+        }
+        return best;
+      }
+    }
+    return 0;
+  }
+
+  sim::Process client() {
+    while (!stopping) {
+      const std::size_t node = pick_node();
+      auto req = std::make_shared<serving::Request>(sim, next_id++, spec.image);
+      servers[node]->submit(req);
+      co_await req->done.wait();
+      if (measuring && !req->dropped) latency.add(sim::to_seconds(req->latency()));
+    }
+  }
+
+  sim::Simulator& sim;
+  const FleetSpec& spec;
+  sim::Rng rng;
+  std::vector<std::unique_ptr<hw::Platform>> platforms;
+  std::vector<std::unique_ptr<serving::InferenceServer>> servers;
+  std::size_t next_node = 0;
+  std::uint64_t next_id = 1;
+  bool stopping = false;
+  bool measuring = false;
+  metrics::Histogram latency;
+};
+
+}  // namespace
+
+FleetResult run_fleet(const FleetSpec& spec) {
+  if (spec.gpus_per_node.empty()) throw std::invalid_argument("run_fleet: need >= 1 node");
+  sim::Simulator sim;
+  Fleet fleet{sim, spec};
+  for (int i = 0; i < spec.concurrency; ++i) sim.spawn(fleet.client());
+
+  sim.run_until(spec.warmup);
+  for (auto& s : fleet.servers) s->stats().begin();
+  fleet.measuring = true;
+  sim.run_until(spec.warmup + spec.measure);
+
+  FleetResult r;
+  for (auto& s : fleet.servers) {
+    r.node_throughput_rps.push_back(s->stats().throughput());
+    r.throughput_rps += s->stats().throughput();
+  }
+  r.mean_latency_s = fleet.latency.mean();
+  r.p99_latency_s = fleet.latency.p99();
+
+  fleet.stopping = true;
+  sim.run();
+  for (auto& s : fleet.servers) s->shutdown();
+  return r;
+}
+
+}  // namespace serve::core

@@ -1,0 +1,63 @@
+// Multi-node fleet with a load balancer (the paper's Fig. 1 system).
+//
+// "A load balancer within the datacenter receives incoming requests and
+// strategically distributes them among the available processing servers."
+// This module stands up N serving nodes (each its own CPU+GPU platform) in
+// one simulation and dispatches a shared client population across them
+// under a selectable balancing policy — including heterogeneous fleets
+// where nodes have different GPU counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace serve::core {
+
+enum class BalancerPolicy : std::uint8_t {
+  kRoundRobin,        ///< strict rotation
+  kRandom,            ///< uniform random node
+  kLeastOutstanding,  ///< join-the-shortest-queue on in-flight counts
+};
+
+[[nodiscard]] constexpr std::string_view balancer_policy_name(BalancerPolicy p) noexcept {
+  switch (p) {
+    case BalancerPolicy::kRoundRobin: return "round-robin";
+    case BalancerPolicy::kRandom: return "random";
+    case BalancerPolicy::kLeastOutstanding: return "least-outstanding";
+  }
+  return "?";
+}
+
+struct FleetSpec {
+  serving::ServerConfig server{};       ///< endpoint deployed on every node
+  std::vector<int> gpus_per_node{1, 1}; ///< one entry per node (heterogeneous ok)
+  BalancerPolicy policy = BalancerPolicy::kRoundRobin;
+  hw::Calibration calib = hw::default_calibration();
+  int concurrency = 512;                ///< fleet-wide closed-loop clients
+  hw::ImageSpec image = hw::kMediumImage;
+  sim::Time warmup = sim::seconds(2.0);
+  sim::Time measure = sim::seconds(10.0);
+  std::uint64_t seed = 5;
+};
+
+struct FleetResult {
+  double throughput_rps = 0.0;  ///< fleet aggregate
+  double mean_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  std::vector<double> node_throughput_rps;
+  /// max/min per-node throughput — 1.0 is perfectly balanced.
+  [[nodiscard]] double imbalance() const noexcept {
+    double lo = 1e300, hi = 0.0;
+    for (double t : node_throughput_rps) {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+    return node_throughput_rps.empty() || lo <= 0.0 ? 0.0 : hi / lo;
+  }
+};
+
+[[nodiscard]] FleetResult run_fleet(const FleetSpec& spec);
+
+}  // namespace serve::core

@@ -1,0 +1,222 @@
+#include "core/video_pipeline.h"
+
+#include <memory>
+#include <vector>
+
+#include "hw/devices.h"
+#include "metrics/histogram.h"
+#include "serving/batcher.h"
+#include "sim/channel.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace serve::core {
+
+namespace {
+
+using metrics::Stage;
+using sim::seconds;
+using sim::Time;
+
+struct Clip {
+  Clip(sim::Simulator& sim, std::uint64_t id_, int frames)
+      : id(id_), remaining(frames), arrival(sim.now()), done(sim) {}
+  std::uint64_t id;
+  int remaining;
+  Time arrival;
+  metrics::StageTimes stages{};
+  sim::Event done;
+};
+
+using ClipPtr = std::shared_ptr<Clip>;
+
+struct FrameJob {
+  ClipPtr clip;
+  int index = 0;
+};
+
+struct Pipeline {
+  Pipeline(sim::Simulator& sim_, const VideoPipelineSpec& spec_)
+      : sim(sim_),
+        spec(spec_),
+        platform(sim_, {.calib = spec_.calib, .gpu_count = 1}),
+        clips_in(sim_, std::numeric_limits<std::size_t>::max(), "clips"),
+        frame_batcher(sim_, {.dynamic = true, .max_batch = spec_.model.max_batch}) {}
+
+  sim::Simulator& sim;
+  const VideoPipelineSpec& spec;
+  hw::Platform platform;
+  sim::Channel<ClipPtr> clips_in;
+  serving::Batcher<FrameJob> frame_batcher;
+
+  bool measuring = false;
+  std::uint64_t clips_done = 0;
+  std::uint64_t frames_done = 0;
+  metrics::Histogram latency;
+  metrics::Breakdown breakdown;
+  std::uint64_t next_clip_id = 1;
+  bool stopping = false;
+
+  /// Pixels that must pass through the decoder to extract the samples.
+  [[nodiscard]] double decode_pixels() const {
+    const auto per_frame = static_cast<double>(spec.clip.frame_pixels());
+    if (spec.sampling == SamplingMode::kDecodeAll) {
+      return per_frame * static_cast<double>(spec.clip.total_frames());
+    }
+    // Keyframe seek: the decoder reconstructs roughly two frames (keyframe +
+    // target) per sample.
+    return per_frame * 2.0 * spec.clip.sampled_frames;
+  }
+
+  void finalize(Clip& clip, Time batch_span) {
+    clip.stages[Stage::kInference] += sim::to_seconds(batch_span);
+    const Time lat = sim.now() - clip.arrival;
+    const double other = sim::to_seconds(lat) - clip.stages.total();
+    if (other > 0.0) clip.stages[Stage::kQueue] += other;
+    if (measuring) {
+      ++clips_done;
+      frames_done += static_cast<std::uint64_t>(spec.clip.sampled_frames);
+      latency.add(sim::to_seconds(lat));
+      breakdown.add(clip.stages);
+    }
+    clip.done.set();
+  }
+};
+
+sim::Process clip_client(Pipeline& p) {
+  while (!p.stopping) {
+    auto clip =
+        std::make_shared<Clip>(p.sim, p.next_clip_id++, p.spec.clip.sampled_frames);
+    p.clips_in.try_put(clip);
+    co_await clip->done.wait();
+  }
+}
+
+/// Stage 1: ingest + video decode, then emit one FrameJob per sampled frame.
+sim::Process decode_loop(Pipeline& p) {
+  auto& cpu = p.platform.cpu();
+  auto& gpu = p.platform.gpu(0);
+  const auto& calib = p.spec.calib;
+  while (true) {
+    auto got = co_await p.clips_in.get();
+    if (!got) break;
+    ClipPtr clip = std::move(*got);
+
+    // Ingest the compressed clip on a host core.
+    {
+      const Time t0 = p.sim.now();
+      auto core = co_await cpu.cores().acquire();
+      clip->stages[Stage::kQueue] += sim::to_seconds(p.sim.now() - t0);
+      co_await p.sim.wait(seconds(cpu.ingest_seconds()));
+      clip->stages[Stage::kIngest] += cpu.ingest_seconds();
+    }
+
+    const double pixels = p.decode_pixels();
+    if (p.spec.decode == VideoDecodeDevice::kCpu) {
+      const Time t0 = p.sim.now();
+      auto worker = co_await cpu.preproc_workers().acquire();
+      clip->stages[Stage::kQueue] += sim::to_seconds(p.sim.now() - t0);
+      const double d = pixels / calib.cpu.video_decode_pix_per_s;
+      co_await p.sim.wait(seconds(d));
+      clip->stages[Stage::kPreprocess] += d;
+    } else {
+      // Ship the compressed stream over PCIe, then decode on NVDEC.
+      {
+        const std::int64_t bytes = p.spec.clip.compressed_bytes();
+        const Time t0 = p.sim.now();
+        {
+          auto host = co_await p.platform.host_link().acquire();
+          co_await p.sim.wait(seconds(p.platform.host_link_seconds(bytes)));
+        }
+        {
+          auto copy = co_await gpu.copy_h2d().acquire();
+          co_await p.sim.wait(seconds(gpu.link_seconds(bytes)));
+        }
+        clip->stages[Stage::kTransfer] += sim::to_seconds(p.sim.now() - t0);
+      }
+      const Time t0 = p.sim.now();
+      auto dec = co_await gpu.nvdec().acquire();
+      clip->stages[Stage::kQueue] += sim::to_seconds(p.sim.now() - t0);
+      const double d = calib.gpu.nvdec_clip_init_s + pixels / calib.gpu.nvdec_pix_per_s;
+      co_await p.sim.wait(seconds(d));
+      clip->stages[Stage::kPreprocess] += d;
+    }
+
+    for (int i = 0; i < p.spec.clip.sampled_frames; ++i) {
+      p.frame_batcher.input().try_put(FrameJob{clip, i});
+    }
+  }
+  p.frame_batcher.input().close();
+}
+
+/// Stage 2: per-frame resize/normalize + batched classification.
+sim::Process classify_loop(Pipeline& p) {
+  auto& gpu = p.platform.gpu(0);
+  const auto& calib = p.spec.calib;
+  while (true) {
+    std::vector<FrameJob> batch;
+    {
+      sim::Event ready{p.sim};
+      p.sim.spawn(p.frame_batcher.collect_into(batch, ready));
+      co_await ready.wait();
+    }
+    if (batch.empty()) break;
+    const auto b = static_cast<int>(batch.size());
+    // Frame preprocessing (resize to the network input + normalize) on the
+    // GPU preprocessing pipelines; decoded frames are already on-device for
+    // NVDEC, or cross PCIe for CPU decode — charge the batch either way.
+    {
+      auto pipe = co_await gpu.preproc().acquire();
+      const double resize =
+          static_cast<double>(p.spec.clip.frame_pixels()) / calib.gpu.gpu_resize_pix_per_s;
+      const double pre = calib.gpu.dali_batch_fixed_s + b * resize;
+      co_await p.sim.wait(seconds(pre));
+      for (auto& f : batch) f.clip->stages[Stage::kPreprocess] += pre;
+    }
+    const Time t0 = p.sim.now();
+    auto engine = co_await gpu.compute().acquire();
+    const double ct = gpu.inference_batch_seconds(p.spec.model.flops(), b, 1.0, true);
+    co_await p.sim.wait(seconds(ct));
+    engine.release();
+    const Time span = p.sim.now() - t0;
+    for (auto& f : batch) {
+      if (--f.clip->remaining == 0) p.finalize(*f.clip, span);
+    }
+  }
+}
+
+}  // namespace
+
+VideoPipelineResult run_video_pipeline(const VideoPipelineSpec& spec) {
+  VideoPipelineSpec resolved = spec;
+  if (resolved.model.name.empty()) resolved.model = models::vit_base();
+  resolved.clip.validate();
+
+  sim::Simulator sim;
+  Pipeline p{sim, resolved};
+  sim.spawn(decode_loop(p));
+  sim.spawn(classify_loop(p));
+  for (int i = 0; i < resolved.concurrency; ++i) sim.spawn(clip_client(p));
+
+  sim.run_until(resolved.warmup);
+  p.measuring = true;
+  const Time window_start = sim.now();
+  sim.run_until(resolved.warmup + resolved.measure);
+  const double window = sim::to_seconds(sim.now() - window_start);
+
+  VideoPipelineResult r;
+  r.clips = p.clips_done;
+  r.clips_per_s = window > 0 ? static_cast<double>(p.clips_done) / window : 0.0;
+  r.frames_per_s = window > 0 ? static_cast<double>(p.frames_done) / window : 0.0;
+  r.mean_latency_s = p.latency.mean();
+  r.p99_latency_s = p.latency.p99();
+  r.breakdown = p.breakdown;
+
+  p.stopping = true;
+  sim.run();
+  p.clips_in.close();
+  sim.run();
+  return r;
+}
+
+}  // namespace serve::core

@@ -1,0 +1,62 @@
+// Video classification pipeline (the paper's Section 1 motivating service).
+//
+// Per clip: ingest -> video decode (CPU software pool or the GPU's NVDEC
+// engine) -> sample frames -> per-frame resize/normalize -> dynamic-batched
+// DNN classification. One clip fans out to `sampled_frames` inference
+// calls, so this composes the paper's preprocessing findings (decode
+// dominates) with its rate-mismatch findings (Section 4.7) in a second
+// realistic multi-stage system.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/calibration.h"
+#include "metrics/breakdown.h"
+#include "models/model_zoo.h"
+#include "sim/time.h"
+#include "workload/video.h"
+
+namespace serve::core {
+
+enum class VideoDecodeDevice : std::uint8_t { kCpu, kNvdec };
+
+[[nodiscard]] constexpr std::string_view video_decode_device_name(VideoDecodeDevice d) noexcept {
+  return d == VideoDecodeDevice::kCpu ? "cpu-sw" : "nvdec";
+}
+
+/// How many frames must be decoded to extract the samples.
+enum class SamplingMode : std::uint8_t {
+  kDecodeAll,      ///< decode the whole clip, keep the sampled frames
+  kKeyframeSeek,   ///< seek to keyframes: decode ~2 frames per sample
+};
+
+struct VideoPipelineSpec {
+  workload::VideoSpec clip = workload::kHdClip;
+  models::ModelDesc model{};  ///< defaults to ViT-Base when name empty
+  VideoDecodeDevice decode = VideoDecodeDevice::kNvdec;
+  SamplingMode sampling = SamplingMode::kKeyframeSeek;
+  int concurrency = 8;  ///< clips in flight (closed loop)
+  hw::Calibration calib = hw::default_calibration();
+  sim::Time warmup = sim::seconds(2.0);
+  sim::Time measure = sim::seconds(20.0);
+};
+
+struct VideoPipelineResult {
+  double clips_per_s = 0.0;
+  double frames_per_s = 0.0;        ///< classified (sampled) frames
+  double mean_latency_s = 0.0;      ///< clip arrival -> last frame classified
+  double p99_latency_s = 0.0;
+  std::uint64_t clips = 0;
+  metrics::Breakdown breakdown{};   ///< per-clip stage decomposition
+
+  [[nodiscard]] double decode_share() const noexcept {
+    return breakdown.share(metrics::Stage::kPreprocess);
+  }
+  [[nodiscard]] double inference_share() const noexcept {
+    return breakdown.share(metrics::Stage::kInference);
+  }
+};
+
+[[nodiscard]] VideoPipelineResult run_video_pipeline(const VideoPipelineSpec& spec);
+
+}  // namespace serve::core

@@ -1,0 +1,177 @@
+// Calibration constants for the simulated serving testbed.
+//
+// The paper's measurements come from a dedicated node with a 13th-gen Intel
+// i9-13900K and an NVIDIA GeForce RTX 4090 running Triton Inference Server
+// with TensorRT, and DALI/nvJPEG for GPU preprocessing (paper Section 2.3,
+// footnote 2). We reproduce that testbed as an analytic device model; every
+// constant below is either (a) taken from a public datasheet, (b) back-solved
+// from a number the paper reports, or (c) a tuning knob whose value was fit
+// so the figure-level *shapes* match (see DESIGN.md Section 5 for the fit
+// order). Experiments may tweak individual fields; tests pin the defaults.
+#pragma once
+
+#include <cstdint>
+
+namespace serve::hw {
+
+/// Host CPU (i9-13900K-like) constants.
+struct CpuCalib {
+  int cores = 24;  ///< 8 P + 16 E cores presented as one pool
+
+  /// Preprocessing worker pool size in the *tuned* server configuration
+  /// (the paper tunes "the number of preprocessing and inference processes";
+  /// remaining cores serve the web stack and scheduler).
+  int preproc_workers = 24;
+
+  // Raw single-thread image-processing library rates (libjpeg-turbo-class),
+  // used directly by the Fig. 3 "python loop" baseline. Back-solved from
+  // Fig. 3's ~431 img/s PyTorch-loop throughput for the medium image.
+  double decode_mpix_per_s = 190e6;      ///< JPEG Huffman+IDCT on one worker
+  double resize_mpix_per_s = 1000e6;     ///< bilinear resample, source pixels
+  double normalize_mpix_per_s = 1200e6;  ///< uint8 -> fp32 + mean/std
+  double preproc_fixed_s = 50e-6;        ///< per-image dispatch into a worker
+
+  /// Slowdown of the in-server (Triton python-backend style) preprocessing
+  /// path relative to the raw library loop: serialization, per-request
+  /// tensor packaging, interpreter overhead. Back-solved from Fig. 6:
+  /// medium image CPU preprocessing ~3.3 ms => 56% zero-load share.
+  double server_preproc_factor = 2.9;
+
+  /// Software video decode (H.264-class) on one worker, in decoded pixels
+  /// per second. Used by the video-classification pipeline the paper's
+  /// introduction motivates.
+  double video_decode_pix_per_s = 160e6;
+
+  /// Host-side request handling (HTTP parse, protobuf, response) per request.
+  double ingest_s = 250e-6;
+  double postprocess_s = 100e-6;
+
+  /// Non-overlapped per-image cost of the CPU-preprocessing path's ensemble
+  /// hop: the python-backend handoff into the inference runtime serializes
+  /// (GIL + per-request packaging) with batch dispatch. The PCIe copy itself
+  /// is double-buffered behind the previous batch's compute, so this is a
+  /// flat per-image synchronization cost, independent of tensor size.
+  /// Back-solved so the CPU-preproc end-to-end plateau sits visibly below
+  /// the GPU-preproc plateau in Fig. 5 while big models keep near-zero
+  /// GPU-preprocessing gain in Fig. 4.
+  double staging_per_image_s = 120e-6;
+};
+
+/// Accelerator (RTX 4090-like) constants.
+struct GpuCalib {
+  // --- inference ---
+  /// Effective tensor throughput of TensorRT at large batch. Back-solved
+  /// from Fig. 3's ~1600+ img/s for ViT-Base (17.6 GFLOPs): 17.6e9 * 2000/s
+  /// = 35.2 TFLOP/s sustained (about 11% of the 4090's dense fp16 peak —
+  /// typical for transformer inference).
+  double effective_flops = 35.2e12;
+
+  /// Small-batch efficiency: eff(b) = b / (b + batch_half_life); batch 1
+  /// runs at 25% of sustained throughput, matching a ~2.2 ms zero-load
+  /// ViT-Base TensorRT latency.
+  double batch_half_life = 3.0;
+
+  double kernel_launch_s = 120e-6;  ///< per-batch launch + binding overhead
+
+  /// Backend derating vs TensorRT (Fig. 3 ladder): ONNX Runtime and eager
+  /// PyTorch sustain a fraction of TRT's effective FLOP/s.
+  double onnx_factor = 0.62;
+  double pytorch_factor = 0.40;
+
+  // --- DALI/nvJPEG-style batched GPU preprocessing ---
+  int preproc_pipelines = 6;          ///< concurrent DALI pipeline instances
+  double dali_batch_fixed_s = 2.2e-3; ///< per-batch pipeline launch chain
+  double dali_image_fixed_s = 350e-6; ///< per-image decode setup
+  /// nvJPEG's dedicated hardware decoder handles common image sizes; very
+  /// large images exceed its limits and fall back to the slower SM-based
+  /// decode path (the piecewise rate is what makes the paper's large image
+  /// dominate preprocessing even on the GPU).
+  double gpu_hw_decode_pix_per_s = 2.5e9;
+  double gpu_sm_decode_pix_per_s = 0.55e9;
+  std::int64_t hw_decoder_max_pixels = 4'000'000;
+  double gpu_resize_pix_per_s = 8e9;
+
+  // --- NVDEC-style hardware video decoder (separate fixed-function engine) ---
+  double nvdec_pix_per_s = 1.2e9;     ///< sustained decode rate
+  double nvdec_clip_init_s = 0.8e-3;  ///< per-clip session setup
+
+  /// Fraction of inference throughput lost while GPU preprocessing shares
+  /// the SMs (source of the small *negative* GPU-preproc gains in Fig. 4).
+  double preproc_compute_contention = 0.03;
+
+  // --- memory ---
+  std::int64_t memory_bytes = 24LL << 30;  ///< VRAM (RTX 4090: 24 GB)
+  /// Budget for staged request buffers after weights/context/DALI pools;
+  /// exceeding it triggers the eviction+reload behaviour the paper
+  /// postulates for the high-concurrency decline in Fig. 5.
+  std::int64_t staging_budget_bytes = 4LL << 30;
+};
+
+/// PCIe interconnect constants.
+struct PcieCalib {
+  double gpu_link_bytes_per_s = 7.9e9;  ///< effective per-GPU rate (pageable-copy path)
+  double host_agg_bytes_per_s = 6e9;    ///< host-side aggregate (shared switch
+                                        ///< + pinned-staging rate); caps
+                                        ///< multi-GPU feeding in Fig. 9
+  double per_transfer_fixed_s = 15e-6;  ///< doorbell + descriptor setup
+};
+
+/// Power-state constants for the energy model (Fig. 8). Absolute values are
+/// datasheet-order-of-magnitude; the figure's claims are orderings.
+struct PowerCalib {
+  double cpu_idle_w = 20.0;        ///< package idle
+  double cpu_core_active_w = 5.5;  ///< per fully-busy core
+  double gpu_idle_w = 35.0;  ///< server card idles higher than desktop
+  double gpu_compute_active_w = 300.0;  ///< inference engine fully busy
+  double gpu_preproc_active_w = 45.0;   ///< DALI pipelines fully busy (decode
+                                        ///< rides the low-power HW decoder)
+  /// Clocked-up-but-stalled power: the GPU sits at boost clocks while the
+  /// host-side ensemble hop blocks the pipeline. This is the "lower device
+  /// utilization" energy the paper attributes to CPU preprocessing (Fig. 8).
+  double gpu_stall_w = 180.0;
+  double pcie_active_w = 10.0;          ///< per-GPU link while transferring
+};
+
+/// Serving-runtime constants (Triton-like scheduler behaviour).
+struct ServingCalib {
+  /// Host-side gap between dispatched batches on the GPU-preprocessing path
+  /// (on-device handoff, CUDA graph launch).
+  double gpu_path_batch_gap_s = 150e-6;
+  /// Same gap on the CPU-preprocessing path (python-backend ensemble hop);
+  /// per-image staging is charged separately via CpuCalib.
+  double cpu_path_batch_gap_s = 350e-6;
+};
+
+/// Message-broker constants (Fig. 11). Back-solved from the paper's 125%
+/// throughput gap, 67% latency gap, and 71%/6% broker latency shares.
+struct BrokerCalib {
+  // Apache Kafka (disk-backed log, durable writes: fsync per message on a
+  // single in-order partition — the prior-work deployment).
+  double kafka_publish_service_s = 2.25e-3;  ///< broker CPU + fsync per message
+  double kafka_consume_latency_s = 180e-6;   ///< poll + fetch handoff
+  int kafka_io_threads = 1;                  ///< single partition, in-order
+
+  // Redis (in-memory, same host, single-threaded event loop).
+  double redis_publish_service_s = 60e-6;
+  double redis_consume_latency_s = 60e-6;
+  int redis_io_threads = 1;
+
+  /// Per-frame producer/consumer synchronization bubble the brokered
+  /// deployments add to the GPU pipeline (two processes sharing one GPU).
+  double pipeline_sync_s = 1.6e-3;
+};
+
+/// Complete calibration bundle.
+struct Calibration {
+  CpuCalib cpu{};
+  GpuCalib gpu{};
+  PcieCalib pcie{};
+  PowerCalib power{};
+  ServingCalib serving{};
+  BrokerCalib broker{};
+};
+
+/// The tuned testbed used for all paper-figure experiments.
+[[nodiscard]] inline Calibration default_calibration() { return Calibration{}; }
+
+}  // namespace serve::hw

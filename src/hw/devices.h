@@ -1,0 +1,179 @@
+// Device models composing the simulated serving node: host CPU, GPUs with
+// compute/preprocessing/copy engines, and the PCIe fabric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/calibration.h"
+#include "hw/gpu_memory.h"
+#include "hw/image_spec.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace serve::hw {
+
+/// Host CPU: a pool of cores for the web stack plus a tuned preprocessing
+/// worker pool, with analytic per-image preprocessing costs.
+class CpuModel {
+ public:
+  CpuModel(sim::Simulator& sim, const CpuCalib& calib)
+      : calib_(calib),
+        cores_(sim, static_cast<std::size_t>(calib.cores), "cpu.cores"),
+        preproc_workers_(sim, static_cast<std::size_t>(calib.preproc_workers),
+                         "cpu.preproc_workers") {}
+
+  [[nodiscard]] const CpuCalib& calib() const noexcept { return calib_; }
+  [[nodiscard]] sim::Resource& cores() noexcept { return cores_; }
+  [[nodiscard]] sim::Resource& preproc_workers() noexcept { return preproc_workers_; }
+
+  /// Seconds one worker takes to decode+resize+normalize one image down to a
+  /// `target_side`^2 network input using the raw image library (the Fig. 3
+  /// "python loop" path).
+  [[nodiscard]] double raw_preprocess_seconds(const ImageSpec& img, int target_side) const noexcept {
+    const auto src_pix = static_cast<double>(img.pixels());
+    const auto dst_pix = static_cast<double>(target_side) * target_side;
+    return calib_.preproc_fixed_s + src_pix / calib_.decode_mpix_per_s +
+           src_pix / calib_.resize_mpix_per_s + dst_pix / calib_.normalize_mpix_per_s;
+  }
+
+  /// Same work performed inside the serving framework's preprocessing
+  /// backend (per-request packaging and interpreter overhead included).
+  [[nodiscard]] double preprocess_seconds(const ImageSpec& img, int target_side) const noexcept {
+    return calib_.server_preproc_factor * raw_preprocess_seconds(img, target_side);
+  }
+
+  [[nodiscard]] double ingest_seconds() const noexcept { return calib_.ingest_s; }
+  [[nodiscard]] double postprocess_seconds() const noexcept { return calib_.postprocess_s; }
+  [[nodiscard]] double staging_seconds_per_image() const noexcept {
+    return calib_.staging_per_image_s;
+  }
+
+ private:
+  CpuCalib calib_;
+  sim::Resource cores_;
+  sim::Resource preproc_workers_;
+};
+
+/// One accelerator: serialized compute engine, DALI-style preprocessing
+/// pipelines, one copy engine per direction, and a staging-memory model.
+class GpuModel {
+ public:
+  GpuModel(sim::Simulator& sim, const GpuCalib& calib, const PcieCalib& pcie, int index)
+      : calib_(calib),
+        pcie_(pcie),
+        index_(index),
+        compute_(sim, 1, "gpu.compute"),
+        preproc_(sim, static_cast<std::size_t>(calib.preproc_pipelines), "gpu.preproc"),
+        copy_h2d_(sim, 1, "gpu.copy_h2d"),
+        copy_d2h_(sim, 1, "gpu.copy_d2h"),
+        stall_(sim, 1, "gpu.stall"),
+        nvdec_(sim, 1, "gpu.nvdec"),
+        stager_(calib.staging_budget_bytes) {}
+
+  [[nodiscard]] const GpuCalib& calib() const noexcept { return calib_; }
+  [[nodiscard]] int index() const noexcept { return index_; }
+  [[nodiscard]] sim::Resource& compute() noexcept { return compute_; }
+  [[nodiscard]] sim::Resource& preproc() noexcept { return preproc_; }
+  [[nodiscard]] sim::Resource& copy_h2d() noexcept { return copy_h2d_; }
+  [[nodiscard]] sim::Resource& copy_d2h() noexcept { return copy_d2h_; }
+  /// Held while the host-side scheduler blocks the GPU pipeline (energy
+  /// accounting for boost-clock stalls; see PowerCalib::gpu_stall_w).
+  [[nodiscard]] sim::Resource& stall() noexcept { return stall_; }
+  /// Fixed-function hardware video decoder (NVDEC-class).
+  [[nodiscard]] sim::Resource& nvdec() noexcept { return nvdec_; }
+  [[nodiscard]] GpuMemoryStager& stager() noexcept { return stager_; }
+
+  /// Small-batch efficiency of the tensor engine in (0, 1].
+  [[nodiscard]] double batch_efficiency(int batch) const noexcept {
+    const auto b = static_cast<double>(batch);
+    return b / (b + calib_.batch_half_life);
+  }
+
+  /// Seconds to run one batch of a model with `flops_per_item` FLOPs/image.
+  /// `backend_factor` derates TensorRT (1.0) to ONNX / PyTorch.
+  /// `contended` applies the SM-sharing tax while GPU preprocessing is on.
+  [[nodiscard]] double inference_batch_seconds(double flops_per_item, int batch,
+                                               double backend_factor,
+                                               bool contended) const noexcept {
+    const double rate = calib_.effective_flops * backend_factor * batch_efficiency(batch) *
+                        (contended ? 1.0 - calib_.preproc_compute_contention : 1.0);
+    return calib_.kernel_launch_s + static_cast<double>(batch) * flops_per_item / rate;
+  }
+
+  /// Per-image GPU preprocessing cost (decode + resize) excluding the
+  /// per-batch fixed pipeline cost. Images beyond the hardware JPEG
+  /// decoder's limits fall back to the slower SM decode path.
+  [[nodiscard]] double preproc_image_seconds(const ImageSpec& img) const noexcept {
+    const auto pix = static_cast<double>(img.pixels());
+    const double decode_rate = img.pixels() <= calib_.hw_decoder_max_pixels
+                                   ? calib_.gpu_hw_decode_pix_per_s
+                                   : calib_.gpu_sm_decode_pix_per_s;
+    return calib_.dali_image_fixed_s + pix / decode_rate + pix / calib_.gpu_resize_pix_per_s;
+  }
+
+  [[nodiscard]] double preproc_batch_fixed_seconds() const noexcept {
+    return calib_.dali_batch_fixed_s;
+  }
+
+  /// Seconds the per-GPU PCIe link is occupied moving `bytes`.
+  [[nodiscard]] double link_seconds(std::int64_t bytes) const noexcept {
+    return pcie_.per_transfer_fixed_s +
+           static_cast<double>(bytes) / pcie_.gpu_link_bytes_per_s;
+  }
+
+ private:
+  GpuCalib calib_;
+  PcieCalib pcie_;
+  int index_;
+  sim::Resource compute_;
+  sim::Resource preproc_;
+  sim::Resource copy_h2d_;
+  sim::Resource copy_d2h_;
+  sim::Resource stall_;
+  sim::Resource nvdec_;
+  GpuMemoryStager stager_;
+};
+
+/// Complete simulated node: CPU + N GPUs + shared host PCIe fabric.
+class Platform {
+ public:
+  struct Config {
+    Calibration calib = default_calibration();
+    int gpu_count = 1;
+  };
+
+  Platform(sim::Simulator& sim, Config config)
+      : sim_(sim),
+        calib_(config.calib),
+        cpu_(sim, config.calib.cpu),
+        host_link_(sim, 1, "pcie.host") {
+    if (config.gpu_count < 1) throw std::invalid_argument("Platform: need at least one GPU");
+    gpus_.reserve(static_cast<std::size_t>(config.gpu_count));
+    for (int i = 0; i < config.gpu_count; ++i) {
+      gpus_.push_back(std::make_unique<GpuModel>(sim, config.calib.gpu, config.calib.pcie, i));
+    }
+  }
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] const Calibration& calib() const noexcept { return calib_; }
+  [[nodiscard]] CpuModel& cpu() noexcept { return cpu_; }
+  [[nodiscard]] std::size_t gpu_count() const noexcept { return gpus_.size(); }
+  [[nodiscard]] GpuModel& gpu(std::size_t i) { return *gpus_.at(i); }
+
+  /// Shared host-side PCIe fabric (one staging engine feeding all GPUs).
+  [[nodiscard]] sim::Resource& host_link() noexcept { return host_link_; }
+  [[nodiscard]] double host_link_seconds(std::int64_t bytes) const noexcept {
+    return static_cast<double>(bytes) / calib_.pcie.host_agg_bytes_per_s;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  Calibration calib_;
+  CpuModel cpu_;
+  sim::Resource host_link_;
+  std::vector<std::unique_ptr<GpuModel>> gpus_;
+};
+
+}  // namespace serve::hw

@@ -1,0 +1,52 @@
+// Utilization-integrated energy model (paper Fig. 8).
+#pragma once
+
+#include "hw/devices.h"
+#include "metrics/energy_accumulator.h"
+#include "sim/time.h"
+
+namespace serve::hw {
+
+/// Energy consumed by a Platform over an observation window.
+struct EnergyReport {
+  double cpu_joules = 0.0;
+  double gpu_joules = 0.0;
+  [[nodiscard]] double total_joules() const noexcept { return cpu_joules + gpu_joules; }
+};
+
+/// Computes energy from the time-weighted busy integrals of every device
+/// engine: E = idle_power * elapsed + sum_engine active_power * busy_share.
+///
+/// Call after a measurement window; resource stats should have been reset at
+/// the window start (Resource::reset_stats).
+[[nodiscard]] inline EnergyReport measure_energy(Platform& platform, sim::Time window_start,
+                                                 sim::Time window_end) {
+  const PowerCalib& p = platform.calib().power;
+  const double elapsed = sim::to_seconds(window_end - window_start);
+  if (elapsed <= 0.0) return {};
+
+  EnergyReport report;
+  // CPU: package idle + per-busy-core active power. Preprocessing workers
+  // run on physical cores, so both pools contribute core-seconds.
+  const double core_seconds = (platform.cpu().cores().usage_integral_ns() +
+                               platform.cpu().preproc_workers().usage_integral_ns()) *
+                              1e-9;
+  report.cpu_joules = p.cpu_idle_w * elapsed + p.cpu_core_active_w * core_seconds;
+
+  for (std::size_t i = 0; i < platform.gpu_count(); ++i) {
+    GpuModel& g = platform.gpu(i);
+    const double compute_busy_s = g.compute().usage_integral_ns() * 1e-9;
+    // Preprocessing power scales with pipeline-pool utilization.
+    const double preproc_busy_s =
+        g.preproc().usage_integral_ns() * 1e-9 / static_cast<double>(g.preproc().capacity());
+    const double copy_busy_s =
+        (g.copy_h2d().usage_integral_ns() + g.copy_d2h().usage_integral_ns()) * 1e-9;
+    const double stall_busy_s = g.stall().usage_integral_ns() * 1e-9;
+    report.gpu_joules += p.gpu_idle_w * elapsed + p.gpu_compute_active_w * compute_busy_s +
+                         p.gpu_preproc_active_w * preproc_busy_s + p.pcie_active_w * copy_busy_s +
+                         p.gpu_stall_w * stall_busy_s;
+  }
+  return report;
+}
+
+}  // namespace serve::hw

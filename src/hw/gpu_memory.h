@@ -1,0 +1,104 @@
+// GPU staging-memory model with LRU eviction.
+//
+// The paper (Section 4.3) postulates that the GPU-preprocessing throughput
+// decline at very high concurrency comes from preprocessed inputs being
+// "temporarily ousted from the GPU memory, necessitating a subsequent
+// reload". This class implements exactly that hypothesis: staged buffers
+// live in a fixed budget; overflow evicts the least-recently-staged resident
+// buffer, and claiming an evicted buffer reports how many bytes must be
+// re-uploaded over PCIe.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace serve::hw {
+
+class GpuMemoryStager {
+ public:
+  using Handle = std::uint64_t;
+
+  explicit GpuMemoryStager(std::int64_t budget_bytes) : budget_(budget_bytes) {
+    if (budget_bytes <= 0) throw std::invalid_argument("GpuMemoryStager: budget must be positive");
+  }
+
+  /// Stages a buffer of `bytes`, evicting older resident buffers if needed.
+  /// Buffers larger than the whole budget are staged as immediately evicted
+  /// (they will always pay the reload).
+  Handle stage(std::int64_t bytes) {
+    if (bytes < 0) throw std::invalid_argument("GpuMemoryStager: negative size");
+    const Handle h = next_handle_++;
+    const bool fits = bytes <= budget_;
+    if (fits) {
+      while (resident_bytes_ + bytes > budget_ && !lru_.empty()) evict_oldest();
+    }
+    const bool resident = fits && resident_bytes_ + bytes <= budget_;
+    auto it = entries_.emplace(h, Entry{bytes, resident, lru_.end()}).first;
+    if (resident) {
+      resident_bytes_ += bytes;
+      lru_.push_back(h);
+      it->second.lru_pos = std::prev(lru_.end());
+    } else {
+      ++evictions_;  // staged already spilled
+    }
+    return h;
+  }
+
+  /// Consumes a staged buffer; returns the number of bytes that must be
+  /// re-uploaded (0 when still resident).
+  std::int64_t claim(Handle h) {
+    auto it = entries_.find(h);
+    if (it == entries_.end()) throw std::logic_error("GpuMemoryStager: unknown handle");
+    const Entry e = it->second;
+    remove(it);
+    return e.resident ? 0 : e.bytes;
+  }
+
+  /// Drops a staged buffer without using it.
+  void release(Handle h) {
+    auto it = entries_.find(h);
+    if (it == entries_.end()) throw std::logic_error("GpuMemoryStager: unknown handle");
+    remove(it);
+  }
+
+  [[nodiscard]] std::int64_t budget_bytes() const noexcept { return budget_; }
+  [[nodiscard]] std::int64_t resident_bytes() const noexcept { return resident_bytes_; }
+  [[nodiscard]] std::size_t staged_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Entry {
+    std::int64_t bytes;
+    bool resident;
+    std::list<Handle>::iterator lru_pos;
+  };
+
+  void evict_oldest() {
+    const Handle victim = lru_.front();
+    lru_.pop_front();
+    auto it = entries_.find(victim);
+    it->second.resident = false;
+    it->second.lru_pos = lru_.end();
+    resident_bytes_ -= it->second.bytes;
+    ++evictions_;
+  }
+
+  void remove(std::unordered_map<Handle, Entry>::iterator it) {
+    if (it->second.resident) {
+      resident_bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_pos);
+    }
+    entries_.erase(it);
+  }
+
+  std::int64_t budget_;
+  std::int64_t resident_bytes_ = 0;
+  Handle next_handle_ = 1;
+  std::uint64_t evictions_ = 0;
+  std::list<Handle> lru_;
+  std::unordered_map<Handle, Entry> entries_;
+};
+
+}  // namespace serve::hw

@@ -1,0 +1,42 @@
+// Description of a client image as it travels through the serving pipeline.
+#pragma once
+
+#include <cstdint>
+
+namespace serve::hw {
+
+/// Geometry and on-the-wire size of one input image.
+///
+/// The paper's three representative ImageNet sizes (footnote 3) are provided
+/// as presets; arbitrary sizes are supported for sweeps.
+struct ImageSpec {
+  int width = 0;
+  int height = 0;
+  std::int64_t compressed_bytes = 0;  ///< JPEG size as received from the client
+
+  [[nodiscard]] constexpr std::int64_t pixels() const noexcept {
+    return static_cast<std::int64_t>(width) * height;
+  }
+
+  /// Raw decoded RGB888 size at original resolution.
+  [[nodiscard]] constexpr std::int64_t decoded_bytes() const noexcept { return pixels() * 3; }
+
+  constexpr bool operator==(const ImageSpec&) const noexcept = default;
+};
+
+/// Tensor produced by preprocessing: `side x side` RGB in fp32 (the layout
+/// TensorRT vision models consume). 224x224x3x4 = 602,112 bytes — the "~5x
+/// larger than the compressed medium image" transfer the paper root-causes
+/// in Section 4.4.
+[[nodiscard]] constexpr std::int64_t tensor_bytes(int side) noexcept {
+  return static_cast<std::int64_t>(side) * side * 3 * 4;
+}
+
+/// Paper footnote 3: "Small: 4kB 60x70" from ImageNet.
+inline constexpr ImageSpec kSmallImage{60, 70, 4 * 1024};
+/// Paper footnote 3: "Medium: 121kB 500x375".
+inline constexpr ImageSpec kMediumImage{500, 375, 121 * 1024};
+/// Paper footnote 3: "Large: 9528kB 3564x2880".
+inline constexpr ImageSpec kLargeImage{3564, 2880, 9528 * 1024};
+
+}  // namespace serve::hw

@@ -1,0 +1,64 @@
+// Named platform presets.
+//
+// The paper measures one testbed (i9-13900K + RTX 4090). The calibration
+// structure generalizes: these presets describe other deployment classes so
+// the same experiments can ask "would the conclusions hold on a datacenter
+// accelerator or an edge box?" — the cross-platform ablation bench does
+// exactly that. Values are datasheet-order-of-magnitude, documented per
+// field; only *relative* behaviour is meaningful.
+#pragma once
+
+#include "hw/calibration.h"
+
+namespace serve::hw {
+
+/// The paper's testbed (default calibration): desktop i9 + RTX 4090.
+[[nodiscard]] inline Calibration rtx4090_i9_preset() { return default_calibration(); }
+
+/// Datacenter node: 2x32-core server CPU + A100-class accelerator.
+/// More host cores and PCIe headroom, similar tensor throughput for
+/// inference-sized batches, bigger memory, higher idle draw.
+[[nodiscard]] inline Calibration a100_server_preset() {
+  Calibration c = default_calibration();
+  c.cpu.cores = 64;
+  c.cpu.preproc_workers = 48;
+  c.gpu.effective_flops = 48e12;            // A100 fp16 tensor, serving-efficiency
+  c.gpu.memory_bytes = 80LL << 30;
+  c.gpu.staging_budget_bytes = 16LL << 30;  // far more staging headroom
+  c.gpu.preproc_pipelines = 8;              // DALI scales with the bigger L2
+  c.pcie.gpu_link_bytes_per_s = 20e9;       // Gen4 x16 with pinned staging
+  c.pcie.host_agg_bytes_per_s = 32e9;       // server root complex
+  c.power.cpu_idle_w = 90.0;
+  c.power.cpu_core_active_w = 4.0;
+  c.power.gpu_idle_w = 55.0;
+  c.power.gpu_compute_active_w = 330.0;
+  return c;
+}
+
+/// Edge box: 8-core mobile CPU + small integrated accelerator. Tiny batch
+/// appetite, shared memory (cheap "transfers"), low power.
+[[nodiscard]] inline Calibration edge_box_preset() {
+  Calibration c = default_calibration();
+  c.cpu.cores = 8;
+  c.cpu.preproc_workers = 4;
+  c.cpu.decode_mpix_per_s = 90e6;   // mobile-class core
+  c.cpu.resize_mpix_per_s = 500e6;
+  c.gpu.effective_flops = 2.2e12;   // Orin-class tensor throughput
+  c.gpu.batch_half_life = 1.0;      // small engines saturate at tiny batches
+  c.gpu.preproc_pipelines = 2;
+  c.gpu.gpu_hw_decode_pix_per_s = 0.6e9;
+  c.gpu.gpu_sm_decode_pix_per_s = 0.2e9;
+  c.gpu.memory_bytes = 8LL << 30;   // shared with the host
+  c.gpu.staging_budget_bytes = 1LL << 30;
+  c.pcie.gpu_link_bytes_per_s = 30e9;  // unified memory: copies are cheap...
+  c.pcie.host_agg_bytes_per_s = 30e9;  // ...but the fabric is shared
+  c.power.cpu_idle_w = 5.0;
+  c.power.cpu_core_active_w = 2.5;
+  c.power.gpu_idle_w = 3.0;
+  c.power.gpu_compute_active_w = 30.0;
+  c.power.gpu_preproc_active_w = 8.0;
+  c.power.gpu_stall_w = 10.0;
+  return c;
+}
+
+}  // namespace serve::hw

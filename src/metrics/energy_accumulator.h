@@ -1,0 +1,42 @@
+// Energy bookkeeping for the CPU/GPU power model (paper Fig. 8).
+#pragma once
+
+#include <cstdint>
+
+namespace serve::metrics {
+
+/// Integrates device energy over simulated time and attributes it per image.
+///
+/// Devices report (power_watts, duration_seconds) chunks as they run; the
+/// accumulator splits totals by device class so Fig. 8's stacked CPU/GPU bars
+/// can be regenerated.
+class EnergyAccumulator {
+ public:
+  void add_cpu(double watts, double seconds) noexcept { cpu_joules_ += watts * seconds; }
+  void add_gpu(double watts, double seconds) noexcept { gpu_joules_ += watts * seconds; }
+  void count_image(std::uint64_t n = 1) noexcept { images_ += n; }
+
+  [[nodiscard]] double cpu_joules() const noexcept { return cpu_joules_; }
+  [[nodiscard]] double gpu_joules() const noexcept { return gpu_joules_; }
+  [[nodiscard]] double total_joules() const noexcept { return cpu_joules_ + gpu_joules_; }
+  [[nodiscard]] std::uint64_t images() const noexcept { return images_; }
+
+  [[nodiscard]] double cpu_joules_per_image() const noexcept {
+    return images_ ? cpu_joules_ / static_cast<double>(images_) : 0.0;
+  }
+  [[nodiscard]] double gpu_joules_per_image() const noexcept {
+    return images_ ? gpu_joules_ / static_cast<double>(images_) : 0.0;
+  }
+  [[nodiscard]] double joules_per_image() const noexcept {
+    return cpu_joules_per_image() + gpu_joules_per_image();
+  }
+
+  void reset() noexcept { *this = EnergyAccumulator{}; }
+
+ private:
+  double cpu_joules_ = 0.0;
+  double gpu_joules_ = 0.0;
+  std::uint64_t images_ = 0;
+};
+
+}  // namespace serve::metrics

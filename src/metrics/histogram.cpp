@@ -1,0 +1,80 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace serve::metrics {
+
+Histogram::Histogram(const Options& opts) : opts_(opts) {
+  if (!(opts_.min_value > 0.0) || !(opts_.max_value > opts_.min_value)) {
+    throw std::invalid_argument("Histogram: require 0 < min_value < max_value");
+  }
+  if (!(opts_.growth > 1.0)) {
+    throw std::invalid_argument("Histogram: growth factor must exceed 1");
+  }
+  log_growth_inv_ = 1.0 / std::log(opts_.growth);
+  const double span = std::log(opts_.max_value / opts_.min_value) * log_growth_inv_;
+  // +2: one underflow bucket in front, one overflow bucket at the back.
+  counts_.assign(static_cast<std::size_t>(std::ceil(span)) + 2, 0);
+}
+
+std::size_t Histogram::bucket_index(double value) const noexcept {
+  if (value < opts_.min_value) return 0;
+  if (value >= opts_.max_value) return counts_.size() - 1;
+  const double pos = std::log(value / opts_.min_value) * log_growth_inv_;
+  const auto idx = static_cast<std::size_t>(pos) + 1;
+  return std::min(idx, counts_.size() - 2);
+}
+
+double Histogram::bucket_lower(std::size_t i) const noexcept {
+  if (i == 0) return 0.0;
+  return opts_.min_value * std::pow(opts_.growth, static_cast<double>(i - 1));
+}
+
+double Histogram::bucket_upper(std::size_t i) const noexcept {
+  if (i + 1 >= counts_.size()) return stats_.max();
+  return opts_.min_value * std::pow(opts_.growth, static_cast<double>(i));
+}
+
+void Histogram::add(double value) noexcept {
+  ++counts_[bucket_index(value)];
+  stats_.add(value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: incompatible layouts");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  stats_.merge(other.stats_);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (stats_.count() == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<double>(stats_.count()) * q;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = counts_[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      // Interpolate within the bucket; clamp to observed extrema so that
+      // quantile(0) >= min and quantile(1) <= max exactly.
+      const double frac = (target - static_cast<double>(cum)) / static_cast<double>(c);
+      const double lo = std::max(bucket_lower(i), stats_.min());
+      const double hi = std::min(bucket_upper(i), stats_.max());
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += c;
+  }
+  return stats_.max();
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  stats_.reset();
+}
+
+}  // namespace serve::metrics

@@ -1,0 +1,62 @@
+// Log-bucketed histogram for latency-style distributions.
+//
+// Buckets grow geometrically between a configurable [min, max] range so that
+// relative error is bounded (default ~2%) across six orders of magnitude —
+// the same idea as HdrHistogram, sized for serving latencies (1 us .. 1000 s).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/stat_accumulator.h"
+
+namespace serve::metrics {
+
+/// Fixed-layout geometric histogram with percentile queries.
+///
+/// Values below `min_value` land in the first bucket, values above
+/// `max_value` in the last; exact counts/mean are tracked separately by an
+/// embedded StatAccumulator so summary stats have no bucketing error.
+class Histogram {
+ public:
+  struct Options {
+    double min_value = 1e-6;        ///< lower edge of first regular bucket
+    double max_value = 1e3;         ///< upper edge of last regular bucket
+    double growth = 1.04;           ///< geometric bucket growth factor
+  };
+
+  Histogram() : Histogram(Options{}) {}
+  explicit Histogram(const Options& opts);
+
+  void add(double value) noexcept;
+  void merge(const Histogram& other);
+
+  /// Returns the value at quantile q in [0, 1] (e.g. 0.99 for p99).
+  /// Linear interpolation within the containing bucket.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return stats_.count(); }
+  [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double min() const noexcept { return stats_.min(); }
+  [[nodiscard]] double max() const noexcept { return stats_.max(); }
+  [[nodiscard]] const StatAccumulator& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+
+  void reset() noexcept;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
+  [[nodiscard]] double bucket_lower(std::size_t i) const noexcept;
+  [[nodiscard]] double bucket_upper(std::size_t i) const noexcept;
+
+  Options opts_;
+  double log_growth_inv_ = 0.0;  ///< 1 / ln(growth), cached
+  std::vector<std::uint64_t> counts_;
+  StatAccumulator stats_;
+};
+
+}  // namespace serve::metrics

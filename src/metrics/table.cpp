@@ -1,0 +1,106 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace serve::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+Table& Table::add_row(std::vector<Cell> row) {
+  if (row.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+std::string Table::format(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream os;
+  if (const auto* d = std::get_if<double>(&c)) {
+    os << std::fixed << std::setprecision(precision_) << *d;
+  } else {
+    os << std::get<std::int64_t>(c);
+  }
+  return os.str();
+}
+
+std::string Table::cell_text(std::size_t row, std::size_t col) const {
+  return format(rows_.at(row).at(col));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> text;
+  text.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    auto& t = text.emplace_back();
+    t.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      t.push_back(format(row[c]));
+      widths[c] = std::max(widths[c], t.back().size());
+    }
+  }
+  auto line = [&] {
+    for (auto w : widths) os << '+' << std::string(w + 2, '-');
+    os << "+\n";
+  };
+  line();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << headers_[c] << " |";
+  }
+  os << '\n';
+  line();
+  for (const auto& t : text) {
+    os << '|';
+    for (std::size_t c = 0; c < t.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << t[c] << " |";
+    }
+    os << '\n';
+  }
+  line();
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  os << '|';
+  for (const auto& h : headers_) os << ' ' << h << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (const auto& cell : row) os << ' ' << format(cell) << " |";
+    os << '\n';
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << escape(headers_[c]) << (c + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << escape(format(row[c])) << (c + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+}  // namespace serve::metrics

@@ -1,0 +1,46 @@
+// Result-table formatting for bench binaries.
+//
+// Every figure-reproduction bench prints a table of measured values next to
+// the paper's reported numbers. Table renders aligned console output,
+// CSV, and GitHub markdown from the same data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace serve::metrics {
+
+/// A cell is either text or a number (formatted with per-column precision).
+using Cell = std::variant<std::string, double, std::int64_t>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of fraction digits used when formatting double cells (default 2).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  Table& add_row(std::vector<Cell> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept { return headers_; }
+
+  /// Returns the formatted string for cell (row, col).
+  [[nodiscard]] std::string cell_text(std::size_t row, std::size_t col) const;
+
+  void print(std::ostream& os) const;          ///< aligned console table
+  void print_markdown(std::ostream& os) const; ///< GitHub-flavoured markdown
+  void print_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string format(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 2;
+};
+
+}  // namespace serve::metrics

@@ -1,0 +1,48 @@
+#include "models/model_zoo.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace serve::models {
+namespace {
+
+// GFLOPs and parameter counts follow the public model cards / timm tables
+// for the 224x224 checkpoints (DETR/Faster R-CNN at their detection input).
+constexpr std::array<ModelDesc, 16> kZoo{{
+    {"mobilenet-v2", Task::kClassification, 0.31, 3.5, 224, 4000, 128},
+    {"efficientnet-b0", Task::kClassification, 0.39, 5.3, 224, 4000, 128},
+    {"tinyvit-5m", Task::kClassification, 1.30, 5.4, 224, 4000, 128},
+    {"facenet-inception-resnet", Task::kFaceIdentification, 1.43, 23.5, 160, 512, 128},
+    {"resnet-18", Task::kClassification, 1.82, 11.7, 224, 4000, 128},
+    {"mobilevit-small", Task::kClassification, 2.03, 5.6, 256, 4000, 128},
+    {"resnet-50", Task::kClassification, 4.09, 25.6, 224, 4000, 64},
+    {"convnext-tiny", Task::kClassification, 4.47, 28.6, 224, 4000, 64},
+    {"swin-tiny", Task::kClassification, 4.51, 28.3, 224, 4000, 64},
+    {"deit-small", Task::kClassification, 4.61, 22.1, 224, 4000, 64},
+    {"segformer-b2", Task::kSegmentation, 6.20, 27.4, 512, 262144, 32, 4e-3},
+    {"vit-base", Task::kClassification, 17.58, 86.6, 224, 4000, 64},
+    {"convnext-base", Task::kClassification, 15.38, 88.6, 224, 4000, 64},
+    {"dpt-hybrid-midas", Task::kDepthEstimation, 57.30, 123.0, 384, 589824, 16, 6e-3},
+    {"detr-resnet-50", Task::kDetection, 86.00, 41.3, 800, 8000, 8, 8e-3},
+    {"faster-rcnn-resnet50", Task::kDetection, 180.00, 41.8, 800, 8000, 8, 12e-3},
+}};
+
+}  // namespace
+
+std::span<const ModelDesc> zoo() noexcept { return kZoo; }
+
+const ModelDesc& find_model(std::string_view name) {
+  for (const ModelDesc& m : kZoo) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("unknown model: " + std::string(name));
+}
+
+const ModelDesc& vit_base() noexcept { return kZoo[11]; }
+const ModelDesc& resnet50() noexcept { return kZoo[6]; }
+const ModelDesc& tiny_vit() noexcept { return kZoo[2]; }
+const ModelDesc& faster_rcnn() noexcept { return kZoo[15]; }
+const ModelDesc& facenet() noexcept { return kZoo[3]; }
+
+}  // namespace serve::models

@@ -1,0 +1,93 @@
+// Descriptors for the computer-vision DNNs the paper benchmarks.
+//
+// The paper profiles "a large number of computer vision DNNs from
+// HuggingFace" (Fig. 4) spanning classification, segmentation, detection and
+// depth estimation, plus the Faster R-CNN -> FaceNet pipeline of Section 4.7.
+// We describe each model by its published compute/parameter footprint; the
+// simulator turns FLOPs into batch latency through the calibrated GPU model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "hw/calibration.h"
+
+namespace serve::models {
+
+enum class Task : std::uint8_t {
+  kClassification,
+  kSegmentation,
+  kDetection,
+  kDepthEstimation,
+  kFaceIdentification,
+};
+
+[[nodiscard]] constexpr std::string_view task_name(Task t) noexcept {
+  switch (t) {
+    case Task::kClassification: return "classification";
+    case Task::kSegmentation: return "segmentation";
+    case Task::kDetection: return "detection";
+    case Task::kDepthEstimation: return "depth-estimation";
+    case Task::kFaceIdentification: return "face-identification";
+  }
+  return "?";
+}
+
+/// Model-execution backend (the Fig. 3 software ladder).
+enum class Backend : std::uint8_t { kPyTorch, kOnnxRuntime, kTensorRT };
+
+[[nodiscard]] constexpr std::string_view backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kPyTorch: return "pytorch";
+    case Backend::kOnnxRuntime: return "onnxruntime";
+    case Backend::kTensorRT: return "tensorrt";
+  }
+  return "?";
+}
+
+/// Sustained-throughput derating of a backend relative to TensorRT.
+[[nodiscard]] constexpr double backend_factor(const hw::GpuCalib& gpu, Backend b) noexcept {
+  switch (b) {
+    case Backend::kPyTorch: return gpu.pytorch_factor;
+    case Backend::kOnnxRuntime: return gpu.onnx_factor;
+    case Backend::kTensorRT: return 1.0;
+  }
+  return 1.0;
+}
+
+/// Static description of one deployable DNN.
+struct ModelDesc {
+  std::string_view name;        ///< HuggingFace-style identifier
+  Task task{};
+  double gflops = 0.0;          ///< forward-pass compute per image
+  double params_m = 0.0;        ///< parameters, millions
+  int input_side = 224;         ///< square network input resolution
+  std::int64_t output_bytes = 4000;  ///< logits / boxes / maps returned
+  int max_batch = 64;           ///< compiled engine's maximum batch size
+  /// Host-side postprocessing per image (argmax is trivial for classifiers;
+  /// NMS / mask decoding / depth re-projection are not).
+  double postprocess_cpu_s = 100e-6;
+
+  [[nodiscard]] constexpr double flops() const noexcept { return gflops * 1e9; }
+  [[nodiscard]] constexpr std::int64_t input_tensor_bytes() const noexcept {
+    return static_cast<std::int64_t>(input_side) * input_side * 3 * 4;  // fp32 CHW
+  }
+};
+
+/// The Fig. 4 sweep: 16 models spanning 0.3 .. 180 GFLOPs across the tasks
+/// named in the paper's abstract. GFLOPs/params are the publicly documented
+/// values for the HuggingFace checkpoints (rounded).
+[[nodiscard]] std::span<const ModelDesc> zoo() noexcept;
+
+/// Looks a model up by name; throws std::out_of_range if absent.
+[[nodiscard]] const ModelDesc& find_model(std::string_view name);
+
+// Named accessors for the models individual experiments rely on.
+[[nodiscard]] const ModelDesc& vit_base() noexcept;        ///< ViT-Base/16, 17.6 GF
+[[nodiscard]] const ModelDesc& resnet50() noexcept;        ///< ResNet-50, 4.1 GF
+[[nodiscard]] const ModelDesc& tiny_vit() noexcept;        ///< TinyViT-5M, 1.3 GF
+[[nodiscard]] const ModelDesc& faster_rcnn() noexcept;     ///< detection stage (Sec. 4.7)
+[[nodiscard]] const ModelDesc& facenet() noexcept;         ///< identification stage (Sec. 4.7)
+
+}  // namespace serve::models

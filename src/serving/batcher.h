@@ -1,0 +1,79 @@
+// Dynamic batch formation (Triton-style scheduler core).
+#pragma once
+
+#include <vector>
+
+#include "sim/channel.h"
+#include "sim/sync.h"
+#include "sim/time.h"
+
+namespace serve::serving {
+
+/// Collects items from a channel into batches on demand.
+///
+/// The consumer (an execution instance) calls `collect` whenever it is free:
+///  - dynamic mode, no delay: block for the first item, then drain whatever
+///    else is queued up to `max_batch` (Triton's default dynamic batcher);
+///  - dynamic mode with `max_queue_delay`: after the first item, keep
+///    waiting until the batch fills or the delay expires;
+///  - fixed mode: wait for exactly `fixed_batch` items (or close).
+///
+/// Returns an empty vector once the channel is closed and drained.
+template <typename T>
+class Batcher {
+ public:
+  struct Options {
+    bool dynamic = true;
+    int max_batch = 64;
+    sim::Time max_queue_delay = 0;
+    int fixed_batch = 64;
+  };
+
+  Batcher(sim::Simulator& sim, Options opts)
+      : sim_(sim), opts_(opts), in_(sim, std::numeric_limits<std::size_t>::max(), "batcher.in") {}
+
+  [[nodiscard]] sim::Channel<T>& input() noexcept { return in_; }
+  [[nodiscard]] std::size_t queued() const noexcept { return in_.size(); }
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+  /// Coroutine: assembles the next batch (see class comment).
+  sim::Process collect_into(std::vector<T>& out, sim::Event& ready) {
+    out.clear();
+    const int target = opts_.dynamic ? opts_.max_batch : opts_.fixed_batch;
+    auto first = co_await in_.get();
+    if (first) {
+      out.push_back(std::move(*first));
+      if (opts_.dynamic) {
+        // Drain what is already queued.
+        while (static_cast<int>(out.size()) < target) {
+          auto item = in_.try_get();
+          if (!item) break;
+          out.push_back(std::move(*item));
+        }
+        // Optionally linger to fill the batch.
+        if (opts_.max_queue_delay > 0) {
+          const sim::Time deadline = sim_.now() + opts_.max_queue_delay;
+          while (static_cast<int>(out.size()) < target) {
+            auto item = co_await in_.get_until(deadline);
+            if (!item) break;
+            out.push_back(std::move(*item));
+          }
+        }
+      } else {
+        while (static_cast<int>(out.size()) < target) {
+          auto item = co_await in_.get();
+          if (!item) break;  // closed: ship the partial batch
+          out.push_back(std::move(*item));
+        }
+      }
+    }
+    ready.set();
+  }
+
+ private:
+  sim::Simulator& sim_;
+  Options opts_;
+  sim::Channel<T> in_;
+};
+
+}  // namespace serve::serving

@@ -1,0 +1,120 @@
+// Load generation clients.
+//
+// The paper's load balancer caps the number of concurrent requests per node
+// (Section 2.1), which a *closed-loop* client pool models exactly: each of N
+// clients keeps one request outstanding, so server concurrency equals N.
+// An open-loop Poisson generator is also provided for latency-under-rate
+// studies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "hw/image_spec.h"
+#include "serving/server.h"
+#include "sim/rng.h"
+
+namespace serve::serving {
+
+/// Produces the image attached to each generated request.
+using ImageSource = std::function<hw::ImageSpec(sim::Rng&)>;
+
+/// Fixed-size image source (the paper's S/M/L experiments).
+[[nodiscard]] inline ImageSource fixed_image(hw::ImageSpec spec) {
+  return [spec](sim::Rng&) { return spec; };
+}
+
+/// Closed-loop client pool: `concurrency` clients, each submitting the next
+/// request as soon as the previous one completes.
+class ClosedLoopClients {
+ public:
+  struct Options {
+    int concurrency = 1;
+    ImageSource image_source;
+    std::uint64_t seed = 1;
+    sim::Time think_time = 0;  ///< optional per-client gap between requests
+  };
+
+  ClosedLoopClients(InferenceServer& server, Options opts)
+      : server_(server), opts_(std::move(opts)), rng_(opts_.seed) {
+    if (opts_.concurrency < 1) throw std::invalid_argument("ClosedLoopClients: concurrency >= 1");
+    if (!opts_.image_source) throw std::invalid_argument("ClosedLoopClients: need image source");
+  }
+
+  /// Spawns the client processes; they run until stop().
+  void start() {
+    auto& sim = server_.platform().sim();
+    for (int i = 0; i < opts_.concurrency; ++i) sim.spawn(client_loop());
+  }
+
+  /// Clients exit after their current request completes.
+  void stop() noexcept { stopping_ = true; }
+
+  [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+
+ private:
+  sim::Process client_loop() {
+    auto& sim = server_.platform().sim();
+    while (!stopping_) {
+      auto req = std::make_shared<Request>(sim, next_id_++, opts_.image_source(rng_));
+      ++issued_;
+      server_.submit(req);
+      co_await req->done.wait();
+      if (opts_.think_time > 0) co_await sim.wait(opts_.think_time);
+    }
+  }
+
+  InferenceServer& server_;
+  Options opts_;
+  sim::Rng rng_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t issued_ = 0;
+  bool stopping_ = false;
+};
+
+/// Open-loop arrival generator: requests arrive on a configurable arrival
+/// process regardless of completion (models external traffic; pair with
+/// workload::poisson_arrivals / mmpp2_arrivals).
+class OpenLoopClients {
+ public:
+  /// Produces the next inter-arrival gap (same signature as
+  /// workload::ArrivalProcess).
+  using Interarrival = std::function<sim::Time(sim::Rng&)>;
+
+  struct Options {
+    Interarrival interarrival;  ///< required
+    ImageSource image_source;   ///< required
+    std::uint64_t seed = 1;
+  };
+
+  OpenLoopClients(InferenceServer& server, Options opts)
+      : server_(server), opts_(std::move(opts)), rng_(opts_.seed) {
+    if (!opts_.interarrival) throw std::invalid_argument("OpenLoopClients: need arrival process");
+    if (!opts_.image_source) throw std::invalid_argument("OpenLoopClients: need image source");
+  }
+
+  void start() { server_.platform().sim().spawn(generator()); }
+  void stop() noexcept { stopping_ = true; }
+  [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+
+ private:
+  sim::Process generator() {
+    auto& sim = server_.platform().sim();
+    while (!stopping_) {
+      co_await sim.wait(opts_.interarrival(rng_));
+      if (stopping_) break;
+      auto req = std::make_shared<Request>(sim, next_id_++, opts_.image_source(rng_));
+      ++issued_;
+      server_.submit(req);
+    }
+  }
+
+  InferenceServer& server_;
+  Options opts_;
+  sim::Rng rng_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t issued_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace serve::serving

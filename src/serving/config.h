@@ -1,0 +1,62 @@
+// Server deployment configuration (the knobs the paper's Section 2.3 tunes).
+#pragma once
+
+#include <stdexcept>
+
+#include "models/model_zoo.h"
+#include "sim/time.h"
+
+namespace serve::serving {
+
+/// Where JPEG decode/resize/normalize executes.
+enum class PreprocDevice : std::uint8_t { kCpu, kGpu };
+
+[[nodiscard]] constexpr std::string_view preproc_device_name(PreprocDevice d) noexcept {
+  return d == PreprocDevice::kCpu ? "cpu" : "gpu";
+}
+
+/// Pipeline truncation for the Fig. 7 bottleneck decomposition.
+enum class PipelineMode : std::uint8_t {
+  kEndToEnd,       ///< full preprocess + inference service
+  kPreprocessOnly, ///< stop after preprocessing (and staging)
+  kInferenceOnly,  ///< client ships the preprocessed fp32 tensor
+};
+
+/// One deployed model endpoint.
+struct ServerConfig {
+  models::ModelDesc model{};
+  models::Backend backend = models::Backend::kTensorRT;
+  PreprocDevice preproc = PreprocDevice::kGpu;
+  PipelineMode mode = PipelineMode::kEndToEnd;
+
+  /// Dynamic batching (Triton-style): an idle instance takes everything
+  /// queued up to max_batch. With `max_queue_delay > 0` the scheduler also
+  /// waits up to that long to fill the batch (the paper's "maximum queuing
+  /// latency" knob; 0 = dispatch as soon as an instance is free).
+  bool dynamic_batching = true;
+  sim::Time max_queue_delay = 0;
+
+  /// Without dynamic batching the server waits for exactly `fixed_batch`
+  /// requests (the Fig. 3 pre-dynamic-batching configuration).
+  int fixed_batch = 64;
+
+  int max_batch = 0;  ///< 0 = use model.max_batch
+
+  /// Execution instances per GPU (Triton instance groups; CUDA streams).
+  /// The engine still serializes kernel execution, but extra instances
+  /// overlap host-side staging/dispatch with the previous batch's compute.
+  int instance_count = 1;
+
+  /// Load shedding: requests older than this when a scheduler dispatches
+  /// them are dropped instead of processed (0 = never shed). Bounds tail
+  /// latency under overload at the cost of goodput.
+  sim::Time shed_deadline = 0;
+
+  [[nodiscard]] int effective_max_batch() const {
+    const int mb = max_batch > 0 ? max_batch : model.max_batch;
+    if (mb <= 0) throw std::invalid_argument("ServerConfig: max batch must be positive");
+    return mb;
+  }
+};
+
+}  // namespace serve::serving

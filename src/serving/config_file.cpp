@@ -1,0 +1,126 @@
+#include "serving/config_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace serve::serving {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool parse_bool(const std::string& key, const std::string& v) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("server config: bad boolean for '" + key + "': " + v);
+}
+
+int parse_int(const std::string& key, const std::string& v) {
+  std::size_t used = 0;
+  int out = 0;
+  try {
+    out = std::stoi(v, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("server config: bad integer for '" + key + "': " + v);
+  }
+  if (used != v.size()) {
+    throw std::invalid_argument("server config: trailing junk for '" + key + "': " + v);
+  }
+  return out;
+}
+
+}  // namespace
+
+ServerConfig parse_server_config(const std::string& text) {
+  ServerConfig cfg;
+  bool have_model = false;
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("server config line " + std::to_string(line_no) +
+                                  ": expected key = value");
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      throw std::invalid_argument("server config line " + std::to_string(line_no) +
+                                  ": empty key or value");
+    }
+
+    if (key == "model") {
+      cfg.model = models::find_model(value);  // throws std::out_of_range if unknown
+      have_model = true;
+    } else if (key == "backend") {
+      if (value == "tensorrt") {
+        cfg.backend = models::Backend::kTensorRT;
+      } else if (value == "onnxruntime") {
+        cfg.backend = models::Backend::kOnnxRuntime;
+      } else if (value == "pytorch") {
+        cfg.backend = models::Backend::kPyTorch;
+      } else {
+        throw std::invalid_argument("server config: unknown backend '" + value + "'");
+      }
+    } else if (key == "preprocessing") {
+      if (value == "cpu") {
+        cfg.preproc = PreprocDevice::kCpu;
+      } else if (value == "gpu") {
+        cfg.preproc = PreprocDevice::kGpu;
+      } else {
+        throw std::invalid_argument("server config: unknown preprocessing device '" + value + "'");
+      }
+    } else if (key == "dynamic_batching") {
+      cfg.dynamic_batching = parse_bool(key, value);
+    } else if (key == "max_batch") {
+      cfg.max_batch = parse_int(key, value);
+    } else if (key == "instance_count") {
+      cfg.instance_count = parse_int(key, value);
+    } else if (key == "fixed_batch") {
+      cfg.fixed_batch = parse_int(key, value);
+    } else if (key == "max_queue_delay_us") {
+      cfg.max_queue_delay = sim::microseconds(parse_int(key, value));
+    } else if (key == "shed_deadline_ms") {
+      cfg.shed_deadline = sim::milliseconds(parse_int(key, value));
+    } else {
+      throw std::invalid_argument("server config: unknown key '" + key + "'");
+    }
+  }
+  if (!have_model) throw std::invalid_argument("server config: 'model' is required");
+  (void)cfg.effective_max_batch();  // validate batch bounds now, not at deploy
+  return cfg;
+}
+
+ServerConfig load_server_config(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) throw std::invalid_argument("server config: cannot open " + path.string());
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_server_config(text.str());
+}
+
+std::string format_server_config(const ServerConfig& config) {
+  std::ostringstream out;
+  out << "model = " << config.model.name << "\n";
+  out << "backend = " << models::backend_name(config.backend) << "\n";
+  out << "preprocessing = " << preproc_device_name(config.preproc) << "\n";
+  out << "dynamic_batching = " << (config.dynamic_batching ? "true" : "false") << "\n";
+  out << "max_batch = " << config.effective_max_batch() << "\n";
+  out << "instance_count = " << config.instance_count << "\n";
+  out << "fixed_batch = " << config.fixed_batch << "\n";
+  out << "max_queue_delay_us = " << sim::to_microseconds(config.max_queue_delay) << "\n";
+  out << "shed_deadline_ms = " << sim::to_milliseconds(config.shed_deadline) << "\n";
+  return out.str();
+}
+
+}  // namespace serve::serving

@@ -1,0 +1,43 @@
+// Inference request lifecycle object.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hw/gpu_memory.h"
+#include "hw/image_spec.h"
+#include "metrics/breakdown.h"
+#include "sim/sync.h"
+#include "sim/time.h"
+
+namespace serve::serving {
+
+/// One in-flight inference request. Created by a client, threaded through
+/// the serving pipeline, completed exactly once. Stage durations accumulate
+/// into `stages` as the request moves through the system.
+struct Request {
+  Request(sim::Simulator& sim, std::uint64_t id_, hw::ImageSpec image_)
+      : id(id_), image(image_), arrival(sim.now()), done(sim) {}
+
+  std::uint64_t id;
+  hw::ImageSpec image;
+  sim::Time arrival;
+  sim::Time completed = -1;
+  metrics::StageTimes stages{};
+  hw::GpuMemoryStager::Handle staged = 0;  ///< staging handle, 0 = none
+  std::size_t gpu_index = 0;               ///< accelerator this request runs on
+  sim::Time enqueue_time = 0;              ///< last scheduler-queue entry time
+  bool dropped = false;                    ///< shed by admission control
+  sim::Event done;                         ///< set exactly once at completion
+
+  /// Adds `dt` (virtual ns) to a lifecycle stage.
+  void charge(metrics::Stage s, sim::Time dt) noexcept {
+    stages[s] += sim::to_seconds(dt);
+  }
+
+  [[nodiscard]] sim::Time latency() const noexcept { return completed - arrival; }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace serve::serving

@@ -1,0 +1,331 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/sync.h"
+
+namespace serve::serving {
+
+using metrics::Stage;
+using sim::seconds;
+using sim::Time;
+
+InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
+    : platform_(platform), config_(config), stats_(platform.sim()) {
+  const int mb = config_.effective_max_batch();
+  const Batcher<RequestPtr>::Options preproc_opts{
+      .dynamic = true, .max_batch = mb, .max_queue_delay = 0, .fixed_batch = mb};
+  const Batcher<RequestPtr>::Options inf_opts{.dynamic = config_.dynamic_batching,
+                                              .max_batch = mb,
+                                              .max_queue_delay = config_.max_queue_delay,
+                                              .fixed_batch = config_.fixed_batch};
+  for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+    gpus_.push_back(std::make_unique<GpuState>(platform_.sim(), preproc_opts, inf_opts));
+  }
+  auto& sim = platform_.sim();
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    const bool wants_gpu_preproc =
+        config_.preproc == PreprocDevice::kGpu && config_.mode != PipelineMode::kInferenceOnly;
+    if (wants_gpu_preproc) sim.spawn(gpu_preproc_loop(g));
+    if (config_.mode != PipelineMode::kPreprocessOnly) {
+      if (config_.instance_count < 1) {
+        throw std::invalid_argument("ServerConfig: instance_count must be >= 1");
+      }
+      for (int i = 0; i < config_.instance_count; ++i) sim.spawn(inference_loop(g));
+    }
+  }
+}
+
+void InferenceServer::submit(RequestPtr req) {
+  if (!accepting_) throw std::logic_error("InferenceServer::submit: server is shut down");
+  ++submitted_;
+  req->gpu_index = next_gpu_++ % gpus_.size();
+  platform_.sim().spawn(handle_request(std::move(req)));
+}
+
+void InferenceServer::shutdown() {
+  accepting_ = false;
+  auto& sim = platform_.sim();
+  // Let already-submitted requests reach a scheduler queue before anything
+  // closes (no new submissions can arrive once accepting_ is false).
+  sim.run();
+  // Staged drain: close the preprocessing stage first and let its partial
+  // batches flow into the inference queue, then close inference so a final
+  // partial batch (possible with fixed-size batching) executes. Each stage
+  // runs to quiescence before the next closes.
+  for (auto& g : gpus_) g->preproc_batcher.input().close();
+  sim.run();
+  for (auto& g : gpus_) g->inf_batcher.input().close();
+  sim.run();
+}
+
+void InferenceServer::enqueue_inference(std::size_t g, RequestPtr req) {
+  req->enqueue_time = platform_.sim().now();
+  gpus_[g]->inf_batcher.input().try_put(std::move(req));
+}
+
+sim::Process InferenceServer::handle_request(RequestPtr req) {
+  auto& sim = platform_.sim();
+  auto& cpu = platform_.cpu();
+  auto& gpu = platform_.gpu(req->gpu_index);
+  const std::size_t g = req->gpu_index;
+
+  // Ingest: HTTP parse / deserialize on a host core.
+  {
+    const Time t0 = sim.now();
+    auto core = co_await cpu.cores().acquire();
+    req->charge(Stage::kQueue, sim.now() - t0);
+    co_await sim.wait(seconds(cpu.ingest_seconds()));
+    req->charge(Stage::kIngest, seconds(cpu.ingest_seconds()));
+  }
+
+  if (config_.mode == PipelineMode::kInferenceOnly) {
+    // The client ships the preprocessed fp32 tensor (~5x the compressed
+    // JPEG for the medium image — the Fig. 7 TinyViT data-transfer outlier).
+    const std::int64_t bytes = config_.model.input_tensor_bytes();
+    const Time t0 = sim.now();
+    {
+      auto host = co_await platform_.host_link().acquire();
+      co_await sim.wait(seconds(platform_.host_link_seconds(bytes)));
+    }
+    {
+      auto copy = co_await gpu.copy_h2d().acquire();
+      co_await sim.wait(seconds(gpu.link_seconds(bytes)));
+    }
+    req->charge(Stage::kTransfer, sim.now() - t0);
+    req->staged = gpu.stager().stage(bytes);
+    enqueue_inference(g, std::move(req));
+    co_return;
+  }
+
+  if (config_.preproc == PreprocDevice::kCpu) {
+    // CPU preprocessing path: decode on a tuned worker pool; the resulting
+    // tensor is buffered in host memory until batch dispatch (the paper's
+    // "CPU preprocessing benefits from a larger main memory" observation).
+    const Time t0 = sim.now();
+    auto worker = co_await cpu.preproc_workers().acquire();
+    req->charge(Stage::kQueue, sim.now() - t0);
+    const double p = cpu.preprocess_seconds(req->image, config_.model.input_side);
+    co_await sim.wait(seconds(p));
+    worker.release();
+    req->charge(Stage::kPreprocess, seconds(p));
+    if (config_.mode == PipelineMode::kPreprocessOnly) {
+      sim.spawn(finish_request(std::move(req)));
+    } else {
+      enqueue_inference(g, std::move(req));
+    }
+    co_return;
+  }
+
+  // GPU preprocessing path: only the compressed JPEG crosses PCIe, then the
+  // image joins a DALI-style batched pipeline on the device.
+  {
+    const std::int64_t bytes = req->image.compressed_bytes;
+    const Time t0 = sim.now();
+    {
+      auto host = co_await platform_.host_link().acquire();
+      co_await sim.wait(seconds(platform_.host_link_seconds(bytes)));
+    }
+    {
+      auto copy = co_await gpu.copy_h2d().acquire();
+      co_await sim.wait(seconds(gpu.link_seconds(bytes)));
+    }
+    req->charge(Stage::kTransfer, sim.now() - t0);
+  }
+  req->enqueue_time = sim.now();
+  gpus_[g]->preproc_batcher.input().try_put(std::move(req));
+}
+
+sim::Process InferenceServer::gpu_preproc_loop(std::size_t g) {
+  auto& sim = platform_.sim();
+  auto& gpu = platform_.gpu(g);
+  auto& st = *gpus_[g];
+  while (true) {
+    // Demand-driven batching: only collect once a pipeline instance is free.
+    auto pipeline = co_await gpu.preproc().acquire();
+    std::vector<RequestPtr> batch;
+    sim::Event ready{sim};
+    sim.spawn(st.preproc_batcher.collect_into(batch, ready));
+    co_await ready.wait();
+    if (batch.empty()) break;  // input closed
+    sim.spawn(run_gpu_preproc_batch(g, std::move(batch), std::move(pipeline)));
+  }
+}
+
+sim::Process InferenceServer::run_gpu_preproc_batch(std::size_t g, std::vector<RequestPtr> batch,
+                                                    sim::ResourceToken pipeline) {
+  auto& sim = platform_.sim();
+  auto& gpu = platform_.gpu(g);
+  const Time start = sim.now();
+  double total = gpu.preproc_batch_fixed_seconds();
+  for (const auto& r : batch) {
+    r->charge(Stage::kQueue, start - r->enqueue_time);
+    total += gpu.preproc_image_seconds(r->image);
+  }
+  co_await sim.wait(seconds(total));
+  pipeline.release();
+  for (auto& r : batch) {
+    // Every request rides the whole batch through the pipeline, so each one
+    // experiences the full batch duration (conservation: stage times sum to
+    // end-to-end latency).
+    r->charge(Stage::kPreprocess, seconds(total));
+    // Decoded intermediate + fp32 tensor stay on-device until consumed.
+    r->staged =
+        gpu.stager().stage(r->image.decoded_bytes() + config_.model.input_tensor_bytes());
+    if (config_.mode == PipelineMode::kPreprocessOnly) {
+      gpu.stager().release(r->staged);
+      r->staged = 0;
+      sim.spawn(finish_request(std::move(r)));
+    } else {
+      enqueue_inference(g, std::move(r));
+    }
+  }
+}
+
+sim::Process InferenceServer::inference_loop(std::size_t g) {
+  auto& sim = platform_.sim();
+  auto& cpu = platform_.cpu();
+  auto& gpu = platform_.gpu(g);
+  auto& st = *gpus_[g];
+  const auto& scal = platform_.calib().serving;
+  const double backend = models::backend_factor(platform_.calib().gpu, config_.backend);
+  const bool contended =
+      config_.preproc == PreprocDevice::kGpu && config_.mode == PipelineMode::kEndToEnd;
+  const bool cpu_staged_path =
+      config_.preproc == PreprocDevice::kCpu && config_.mode == PipelineMode::kEndToEnd;
+
+  while (true) {
+    std::vector<RequestPtr> batch;
+    {
+      sim::Event ready{sim};
+      sim.spawn(st.inf_batcher.collect_into(batch, ready));
+      co_await ready.wait();
+    }
+    if (batch.empty()) break;  // input closed
+    // Admission control: shed requests that already blew the deadline
+    // before spending GPU time on them.
+    if (config_.shed_deadline > 0) {
+      std::vector<RequestPtr> kept;
+      kept.reserve(batch.size());
+      for (auto& r : batch) {
+        if (sim.now() - r->arrival > config_.shed_deadline) {
+          drop_request(g, std::move(r));
+        } else {
+          kept.push_back(std::move(r));
+        }
+      }
+      batch = std::move(kept);
+      if (batch.empty()) continue;
+    }
+    const auto b = static_cast<int>(batch.size());
+    const Time dispatch = sim.now();
+    for (const auto& r : batch) r->charge(Stage::kQueue, dispatch - r->enqueue_time);
+    stats_.record_batch_size(b);
+
+    if (cpu_staged_path) {
+      // Ensemble hop: per-batch gap + per-image serialized staging. The
+      // batch's PCIe copy itself is double-buffered behind the previous
+      // batch's compute, so only the synchronization cost blocks the loop.
+      // The GPU sits clocked-up but stalled for the duration (Fig. 8).
+      auto stall = co_await gpu.stall().acquire();
+      co_await sim.wait(seconds(scal.cpu_path_batch_gap_s));
+      const double staging = static_cast<double>(b) * cpu.staging_seconds_per_image();
+      co_await sim.wait(seconds(staging));
+      stall.release();
+      for (const auto& r : batch) {
+        r->charge(Stage::kQueue, seconds(scal.cpu_path_batch_gap_s));
+        r->charge(Stage::kTransfer, seconds(staging));
+      }
+    } else {
+      // On-device handoff; claim staged buffers and pay reloads for any that
+      // were evicted under memory pressure (paper Sec. 4.3 hypothesis).
+      {
+        auto stall = co_await gpu.stall().acquire();
+        co_await sim.wait(seconds(scal.gpu_path_batch_gap_s));
+      }
+      std::int64_t reload_bytes = 0;
+      std::vector<Request*> evicted;
+      for (const auto& r : batch) {
+        if (r->staged == 0) continue;
+        const std::int64_t rb = gpu.stager().claim(r->staged);
+        r->staged = 0;
+        if (rb > 0) {
+          reload_bytes += rb;
+          evicted.push_back(r.get());
+        }
+      }
+      for (const auto& r : batch) r->charge(Stage::kQueue, seconds(scal.gpu_path_batch_gap_s));
+      if (reload_bytes > 0) {
+        const Time t0 = sim.now();
+        {
+          auto host = co_await platform_.host_link().acquire();
+          co_await sim.wait(seconds(platform_.host_link_seconds(reload_bytes)));
+        }
+        {
+          auto copy = co_await gpu.copy_h2d().acquire();
+          co_await sim.wait(seconds(gpu.link_seconds(reload_bytes)));
+        }
+        const Time dt = sim.now() - t0;
+        for (Request* r : evicted) r->charge(Stage::kTransfer, dt);
+      }
+    }
+
+    // Execute the batch on the tensor engine.
+    {
+      const Time t0 = sim.now();
+      auto engine = co_await gpu.compute().acquire();
+      const Time waited = sim.now() - t0;
+      const double ct = gpu.inference_batch_seconds(config_.model.flops(), b, backend, contended);
+      co_await sim.wait(seconds(ct));
+      engine.release();
+      for (const auto& r : batch) {
+        r->charge(Stage::kQueue, waited);
+        r->charge(Stage::kInference, seconds(ct));
+      }
+    }
+
+    // Return results to the host.
+    {
+      const std::int64_t bytes = b * config_.model.output_bytes;
+      const Time t0 = sim.now();
+      auto copy = co_await gpu.copy_d2h().acquire();
+      co_await sim.wait(seconds(gpu.link_seconds(bytes)));
+      copy.release();
+      const Time dt = sim.now() - t0;
+      for (const auto& r : batch) r->charge(Stage::kTransfer, dt);
+    }
+
+    for (auto& r : batch) sim.spawn(finish_request(std::move(r)));
+  }
+}
+
+void InferenceServer::drop_request(std::size_t g, RequestPtr req) {
+  if (req->staged != 0) {
+    platform_.gpu(g).stager().release(req->staged);
+    req->staged = 0;
+  }
+  req->dropped = true;
+  req->completed = platform_.sim().now();
+  ++finished_;
+  stats_.record(*req);
+  req->done.set();
+}
+
+sim::Process InferenceServer::finish_request(RequestPtr req) {
+  auto& sim = platform_.sim();
+  auto& cpu = platform_.cpu();
+  const Time t0 = sim.now();
+  auto core = co_await cpu.cores().acquire();
+  req->charge(Stage::kQueue, sim.now() - t0);
+  const double post = std::max(cpu.postprocess_seconds(), config_.model.postprocess_cpu_s);
+  co_await sim.wait(seconds(post));
+  core.release();
+  req->charge(Stage::kPostprocess, seconds(post));
+  req->completed = sim.now();
+  ++finished_;
+  stats_.record(*req);
+  req->done.set();
+}
+
+}  // namespace serve::serving

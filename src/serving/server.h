@@ -1,0 +1,78 @@
+// Throughput-optimized inference server (TrIS-like) on the simulated node.
+//
+// Architecture mirrors the system the paper profiles (Figs. 1-2):
+//
+//   client -> ingest (CPU) -> preprocess (CPU pool | batched GPU pipelines)
+//          -> PCIe transfer -> dynamic batcher -> GPU inference instance
+//          -> result transfer -> postprocess (CPU) -> client
+//
+// Every stage charges virtual time to the request's StageTimes so the
+// paper's breakdown figures can be regenerated exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/devices.h"
+#include "serving/batcher.h"
+#include "serving/config.h"
+#include "serving/request.h"
+#include "serving/stats.h"
+#include "sim/process.h"
+
+namespace serve::serving {
+
+class InferenceServer {
+ public:
+  /// Creates the endpoint and spawns its scheduler processes.
+  InferenceServer(hw::Platform& platform, ServerConfig config);
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues a request. Completion is signalled through `req->done`.
+  void submit(RequestPtr req);
+
+  /// Stops accepting requests and lets in-flight work drain.
+  void shutdown();
+
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
+  [[nodiscard]] hw::Platform& platform() noexcept { return platform_; }
+
+  /// Requests accepted but not yet completed.
+  [[nodiscard]] std::uint64_t in_flight() const noexcept { return submitted_ - finished_; }
+
+ private:
+  struct GpuState {
+    GpuState(sim::Simulator& sim, const Batcher<RequestPtr>::Options& preproc_opts,
+             const Batcher<RequestPtr>::Options& inf_opts)
+        : preproc_batcher(sim, preproc_opts), inf_batcher(sim, inf_opts) {}
+    Batcher<RequestPtr> preproc_batcher;  ///< DALI-style batched GPU preprocessing
+    Batcher<RequestPtr> inf_batcher;      ///< dynamic batcher in front of the engine
+  };
+
+  // Scheduler processes (one set per GPU).
+  sim::Process handle_request(RequestPtr req);
+  sim::Process gpu_preproc_loop(std::size_t g);
+  sim::Process run_gpu_preproc_batch(std::size_t g, std::vector<RequestPtr> batch,
+                                     sim::ResourceToken pipeline);
+  sim::Process inference_loop(std::size_t g);
+  sim::Process finish_request(RequestPtr req);
+  void drop_request(std::size_t gpu, RequestPtr req);
+
+  // Pipeline fragments shared by the paths above (implemented in server.cpp).
+  void enqueue_inference(std::size_t g, RequestPtr req);
+
+  hw::Platform& platform_;
+  ServerConfig config_;
+  ServerStats stats_;
+  std::vector<std::unique_ptr<GpuState>> gpus_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t finished_ = 0;
+  std::size_t next_gpu_ = 0;
+  bool accepting_ = true;
+};
+
+}  // namespace serve::serving

@@ -1,0 +1,77 @@
+// Measurement-window statistics for a serving experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/breakdown.h"
+#include "metrics/histogram.h"
+#include "metrics/stat_accumulator.h"
+#include "serving/request.h"
+#include "sim/time.h"
+
+namespace serve::serving {
+
+/// Collects completed-request statistics inside a measurement window.
+/// Warmup requests (completed before `begin()` is called) are not recorded.
+class ServerStats {
+ public:
+  explicit ServerStats(sim::Simulator& sim) : sim_(sim), window_start_(sim.now()) {}
+
+  /// Starts (or restarts) the measurement window, discarding prior samples.
+  void begin() {
+    window_start_ = sim_.now();
+    completed_ = 0;
+    dropped_ = 0;
+    latency_.reset();
+    breakdown_.reset();
+    batch_sizes_.reset();
+    measuring_ = true;
+  }
+
+  void record(const Request& req) {
+    if (!measuring_) return;
+    if (req.dropped) {
+      ++dropped_;
+      return;
+    }
+    ++completed_;
+    latency_.add(sim::to_seconds(req.latency()));
+    breakdown_.add(req.stages);
+  }
+
+  void record_batch_size(int b) {
+    if (measuring_) batch_sizes_.add(static_cast<double>(b));
+  }
+
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Fraction of finished requests that were shed.
+  [[nodiscard]] double drop_rate() const noexcept {
+    const auto total = completed_ + dropped_;
+    return total ? static_cast<double>(dropped_) / static_cast<double>(total) : 0.0;
+  }
+  [[nodiscard]] double window_seconds() const noexcept {
+    return sim::to_seconds(sim_.now() - window_start_);
+  }
+  [[nodiscard]] double throughput() const noexcept {
+    const double w = window_seconds();
+    return w > 0.0 ? static_cast<double>(completed_) / w : 0.0;
+  }
+  [[nodiscard]] const metrics::Histogram& latency() const noexcept { return latency_; }
+  [[nodiscard]] const metrics::Breakdown& breakdown() const noexcept { return breakdown_; }
+  [[nodiscard]] const metrics::StatAccumulator& batch_sizes() const noexcept {
+    return batch_sizes_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Time window_start_;
+  bool measuring_ = true;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  metrics::Histogram latency_;
+  metrics::Breakdown breakdown_;
+  metrics::StatAccumulator batch_sizes_;
+};
+
+}  // namespace serve::serving

@@ -1,0 +1,212 @@
+// Bounded FIFO channel connecting simulation processes (requests between
+// pipeline stages, broker topics, batch hand-off).
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace serve::sim {
+
+/// Thrown when putting into a closed channel.
+class ChannelClosed : public std::runtime_error {
+ public:
+  ChannelClosed() : std::runtime_error("channel closed") {}
+};
+
+/// Single-threaded (virtual-time) bounded channel.
+///
+/// - `co_await ch.put(v)` suspends while the buffer is full.
+/// - `co_await ch.get()` suspends while empty; returns std::nullopt once the
+///   channel is closed and drained.
+/// - `co_await ch.get_until(deadline)` additionally returns std::nullopt at
+///   `deadline` if nothing arrived — the primitive the dynamic batcher uses
+///   for max-queue-delay.
+///
+/// FIFO on both sides; all wake-ups are posted through the simulator queue.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& sim,
+                   std::size_t capacity = std::numeric_limits<std::size_t>::max(),
+                   std::string name = {})
+      : sim_(sim), name_(std::move(name)), capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("Channel: capacity must be positive");
+  }
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return buffer_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t waiting_getters() const noexcept { return getters_.size(); }
+  [[nodiscard]] std::size_t waiting_putters() const noexcept { return putters_.size(); }
+
+  struct GetAwaiter {
+    Channel& ch;
+    Time deadline;                 ///< kInfiniteTime => wait forever
+    std::optional<T> result{};
+    bool done = false;             ///< result delivered or timeout/close decided
+    std::coroutine_handle<> handle{};
+    // Timeout lambdas may fire after this awaiter object is gone (the result
+    // arrived first and the coroutine moved on); they hold a weak_ptr to this
+    // guard and no-op once it expires.
+    std::shared_ptr<GetAwaiter*> alive{};
+
+    bool await_ready() {
+      if (auto v = ch.try_get()) {
+        result = std::move(v);
+        done = true;
+        return true;
+      }
+      if (ch.closed_) {
+        done = true;  // closed and drained
+        return true;
+      }
+      return deadline <= ch.sim_.now();  // immediate timeout
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch.getters_.push_back(this);
+      if (deadline != kInfiniteTime) {
+        alive = std::make_shared<GetAwaiter*>(this);
+        ch.sim_.schedule_at(deadline, [weak = std::weak_ptr<GetAwaiter*>(alive)] {
+          auto guard = weak.lock();
+          if (!guard) return;      // awaiter already destroyed
+          GetAwaiter* self = *guard;
+          if (self->done) return;  // result or close already delivered
+          self->ch.remove_getter(self);
+          self->done = true;
+          self->handle.resume();
+        });
+      }
+    }
+    std::optional<T> await_resume() noexcept { return std::move(result); }
+  };
+
+  /// Waits for an element (forever, or until close).
+  [[nodiscard]] GetAwaiter get() { return GetAwaiter{*this, kInfiniteTime}; }
+
+  /// Waits until `deadline`; std::nullopt on timeout or close.
+  [[nodiscard]] GetAwaiter get_until(Time deadline) { return GetAwaiter{*this, deadline}; }
+
+  struct PutAwaiter {
+    Channel& ch;
+    T value;
+    bool failed = false;  ///< channel closed while waiting
+    std::coroutine_handle<> handle{};
+
+    bool await_ready() {
+      if (ch.closed_) throw ChannelClosed{};
+      return ch.try_put_internal(std::move(value));
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch.putters_.push_back(this);
+    }
+    void await_resume() {
+      if (failed) throw ChannelClosed{};
+    }
+  };
+
+  /// Suspends while full; throws ChannelClosed if the channel closes.
+  [[nodiscard]] PutAwaiter put(T value) { return PutAwaiter{*this, std::move(value)}; }
+
+  /// Non-blocking put; false if full (throws if closed).
+  bool try_put(T value) {
+    if (closed_) throw ChannelClosed{};
+    return try_put_internal(std::move(value));
+  }
+
+  /// Non-blocking get.
+  std::optional<T> try_get() {
+    if (buffer_.empty()) {
+      // Rendezvous with a waiting putter (possible when capacity was shrunk
+      // conceptually; with capacity >= 1 putters only wait when full, so
+      // buffer_ nonempty — this branch guards the general case).
+      if (putters_.empty()) return std::nullopt;
+      PutAwaiter* p = putters_.front();
+      putters_.pop_front();
+      std::optional<T> v{std::move(p->value)};
+      sim_.post([h = p->handle] { h.resume(); });
+      return v;
+    }
+    std::optional<T> v{std::move(buffer_.front())};
+    buffer_.pop_front();
+    // Refill from a waiting putter, preserving FIFO order.
+    if (!putters_.empty()) {
+      PutAwaiter* p = putters_.front();
+      putters_.pop_front();
+      buffer_.push_back(std::move(p->value));
+      sim_.post([h = p->handle] { h.resume(); });
+    }
+    return v;
+  }
+
+  /// Closes the channel: waiting getters resume with nullopt, waiting putters
+  /// resume into ChannelClosed. Elements already buffered remain gettable.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    for (GetAwaiter* g : getters_) {
+      g->done = true;
+      sim_.post([h = g->handle] { h.resume(); });
+    }
+    getters_.clear();
+    for (PutAwaiter* p : putters_) {
+      p->failed = true;
+      sim_.post([h = p->handle] { h.resume(); });
+    }
+    putters_.clear();
+  }
+
+ private:
+  friend struct GetAwaiter;
+  friend struct PutAwaiter;
+
+  bool try_put_internal(T&& value) {
+    // Direct hand-off to the oldest waiting getter.
+    while (!getters_.empty()) {
+      GetAwaiter* g = getters_.front();
+      getters_.pop_front();
+      g->result = std::move(value);
+      g->done = true;
+      sim_.post([h = g->handle] { h.resume(); });
+      return true;
+    }
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(value));
+      return true;
+    }
+    return false;
+  }
+
+  void remove_getter(GetAwaiter* g) {
+    for (auto it = getters_.begin(); it != getters_.end(); ++it) {
+      if (*it == g) {
+        getters_.erase(it);
+        return;
+      }
+    }
+  }
+
+  Simulator& sim_;
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> buffer_;
+  std::deque<GetAwaiter*> getters_;
+  std::deque<PutAwaiter*> putters_;
+  bool closed_ = false;
+};
+
+}  // namespace serve::sim

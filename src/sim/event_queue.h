@@ -1,0 +1,54 @@
+// Pending-event set for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace serve::sim {
+
+/// Min-heap of timestamped callbacks. Ties break by insertion order so the
+/// simulation is fully deterministic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  void push(Time t, Action action) {
+    heap_.push(Item{t, next_seq_++, std::move(action)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] Time next_time() const noexcept {
+    return heap_.empty() ? kInfiniteTime : heap_.top().t;
+  }
+
+  /// Removes and returns the earliest action; UB if empty (guarded by caller).
+  std::pair<Time, Action> pop() {
+    // std::priority_queue::top is const; the move is safe because we pop
+    // immediately after — the const_cast touches an element being removed.
+    auto& top = const_cast<Item&>(heap_.top());
+    std::pair<Time, Action> out{top.t, std::move(top.action)};
+    heap_.pop();
+    return out;
+  }
+
+ private:
+  struct Item {
+    Time t;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Item& other) const noexcept {
+      return t != other.t ? t > other.t : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace serve::sim

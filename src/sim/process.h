@@ -1,0 +1,96 @@
+// Coroutine process type for the discrete-event simulator.
+//
+// A simulation process is a C++20 coroutine returning `Process`. It runs in
+// virtual time by awaiting simulator primitives:
+//
+//   Process client(Simulator& sim, Channel<Request>& out) {
+//     co_await sim.wait(milliseconds(1));
+//     co_await out.put(Request{...});
+//   }
+//
+// Processes are started with Simulator::spawn(), which takes ownership of the
+// coroutine frame; frames self-destroy on completion and any frames still
+// suspended when the Simulator is destroyed are reclaimed then.
+#pragma once
+
+#include <coroutine>
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+namespace serve::sim {
+
+class Simulator;
+
+namespace detail {
+void retire_process(Simulator& sim, std::coroutine_handle<> h) noexcept;
+}  // namespace detail
+
+class [[nodiscard]] Process {
+ public:
+  struct promise_type {
+    Simulator* sim = nullptr;  ///< set by Simulator::spawn before first resume
+
+    Process get_return_object() {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
+        // Unregister from the simulator and destroy the frame. After this
+        // returns, control goes back to the resumer without touching `h`.
+        detail::retire_process(*h.promise().sim, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+
+    [[noreturn]] void unhandled_exception() noexcept {
+      // A throwing simulation process is a programming error: there is no
+      // caller on the virtual stack to propagate to.
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "fatal: exception escaped simulation process: %s\n", e.what());
+      } catch (...) {
+        std::fprintf(stderr, "fatal: unknown exception escaped simulation process\n");
+      }
+      std::terminate();
+    }
+  };
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Process() { destroy(); }
+
+  /// Releases ownership of the coroutine handle (used by Simulator::spawn).
+  [[nodiscard]] std::coroutine_handle<promise_type> detach() noexcept {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  explicit Process(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace serve::sim

@@ -1,0 +1,184 @@
+// Counted resource with FIFO acquisition — models CPU worker pools, GPU
+// engines, PCIe links, broker I/O threads, memory capacity.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace serve::sim {
+
+class Resource;
+
+/// RAII grant of resource units; releases on destruction unless released
+/// explicitly or detached.
+class ResourceToken {
+ public:
+  ResourceToken() noexcept = default;
+  ResourceToken(Resource* res, std::size_t amount) noexcept : res_(res), amount_(amount) {}
+  ResourceToken(const ResourceToken&) = delete;
+  ResourceToken& operator=(const ResourceToken&) = delete;
+  ResourceToken(ResourceToken&& other) noexcept
+      : res_(std::exchange(other.res_, nullptr)), amount_(std::exchange(other.amount_, 0)) {}
+  ResourceToken& operator=(ResourceToken&& other) noexcept {
+    if (this != &other) {
+      release();
+      res_ = std::exchange(other.res_, nullptr);
+      amount_ = std::exchange(other.amount_, 0);
+    }
+    return *this;
+  }
+  ~ResourceToken() { release(); }
+
+  void release() noexcept;
+  [[nodiscard]] bool holds() const noexcept { return res_ != nullptr; }
+  [[nodiscard]] std::size_t amount() const noexcept { return amount_; }
+
+ private:
+  Resource* res_ = nullptr;
+  std::size_t amount_ = 0;
+};
+
+/// FIFO counted semaphore with time-weighted usage and queue statistics.
+///
+/// Fairness: an acquire never jumps the queue — if anyone is waiting, new
+/// arrivals wait behind them even when units are free. This mirrors how a
+/// work queue in front of a device behaves and keeps latency analysis honest.
+class Resource {
+ public:
+  Resource(Simulator& sim, std::size_t capacity, std::string name = {})
+      : sim_(sim), name_(std::move(name)), capacity_(capacity), last_change_(sim.now()) {
+    if (capacity == 0) throw std::invalid_argument("Resource: capacity must be positive");
+  }
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t available() const noexcept { return capacity_ - in_use_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept { return waiters_.size(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  struct AcquireAwaiter {
+    Resource& res;
+    std::size_t amount;
+    std::coroutine_handle<> handle;
+
+    bool await_ready() {
+      if (res.waiters_.empty() && res.in_use_ + amount <= res.capacity_) {
+        res.grab(amount);
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      res.waiters_.push_back(this);
+    }
+    ResourceToken await_resume() noexcept { return ResourceToken{&res, amount}; }
+  };
+
+  /// Awaitable acquiring `amount` units (FIFO). Resumes with a ResourceToken.
+  [[nodiscard]] AcquireAwaiter acquire(std::size_t amount = 1) {
+    if (amount > capacity_) {
+      throw std::invalid_argument("Resource::acquire: amount exceeds capacity of '" + name_ + "'");
+    }
+    return AcquireAwaiter{*this, amount, {}};
+  }
+
+  /// Non-blocking acquire; returns an empty token on failure.
+  [[nodiscard]] ResourceToken try_acquire(std::size_t amount = 1) {
+    if (waiters_.empty() && in_use_ + amount <= capacity_) {
+      grab(amount);
+      return ResourceToken{this, amount};
+    }
+    return {};
+  }
+
+  void release(std::size_t amount = 1) {
+    if (amount > in_use_) throw std::logic_error("Resource::release: over-release of '" + name_ + "'");
+    touch();
+    in_use_ -= amount;
+    if (observer_) observer_(in_use_);
+    grant_waiters();
+  }
+
+  /// Integral of in-use units over time, in unit-nanoseconds. Divide by
+  /// (capacity * elapsed) for utilization; used by the energy model.
+  [[nodiscard]] double usage_integral_ns() {
+    touch();
+    return usage_integral_;
+  }
+
+  /// Mean utilization in [0,1] since construction (or last reset_stats).
+  [[nodiscard]] double utilization() {
+    touch();
+    const auto elapsed = static_cast<double>(sim_.now() - stats_start_);
+    if (elapsed <= 0.0) return 0.0;
+    return usage_integral_ / (elapsed * static_cast<double>(capacity_));
+  }
+
+  void reset_stats() {
+    touch();
+    usage_integral_ = 0.0;
+    stats_start_ = sim_.now();
+  }
+
+  /// Observer invoked on every occupancy change with the new in-use count
+  /// (used by the tracing layer to emit utilization counters).
+  void set_change_observer(std::function<void(std::size_t)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  friend struct AcquireAwaiter;
+
+  void touch() noexcept {
+    const Time now = sim_.now();
+    usage_integral_ += static_cast<double>(in_use_) * static_cast<double>(now - last_change_);
+    last_change_ = now;
+  }
+
+  void grab(std::size_t amount) {
+    touch();
+    in_use_ += amount;
+    if (observer_) observer_(in_use_);
+  }
+
+  void grant_waiters() {
+    while (!waiters_.empty()) {
+      AcquireAwaiter* w = waiters_.front();
+      if (in_use_ + w->amount > capacity_) break;
+      waiters_.pop_front();
+      grab(w->amount);
+      sim_.post([h = w->handle] { h.resume(); });
+    }
+  }
+
+  Simulator& sim_;
+  std::string name_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<AcquireAwaiter*> waiters_;
+  std::function<void(std::size_t)> observer_;
+  double usage_integral_ = 0.0;
+  Time last_change_;
+  Time stats_start_ = 0;
+};
+
+inline void ResourceToken::release() noexcept {
+  if (res_ != nullptr) {
+    res_->release(amount_);
+    res_ = nullptr;
+    amount_ = 0;
+  }
+}
+
+}  // namespace serve::sim

@@ -1,0 +1,134 @@
+// Deterministic random-number generation for workloads.
+//
+// We ship our own generator (xoshiro256++) and inverse-transform samplers so
+// that simulation runs are bit-reproducible across standard libraries —
+// std::<distribution> output is implementation-defined.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace serve::sim {
+
+/// xoshiro256++ PRNG seeded through SplitMix64. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion avoids correlated all-zero-ish states.
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return UINT64_MAX; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Exponential with given rate (mean = 1/rate). Inverse transform.
+  double exponential(double rate) noexcept {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Standard normal via Box-Muller (caches the second deviate).
+  double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1;
+    do { u1 = uniform(); } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Log-normal parameterized by the underlying normal's (mu, sigma).
+  double lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+
+  /// Poisson-distributed count (Knuth's method; fine for lambda < ~50).
+  std::uint64_t poisson(double lambda) noexcept {
+    const double limit = std::exp(-lambda);
+    double p = 1.0;
+    std::uint64_t k = 0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+
+  /// Samples an index from unnormalized weights (linear scan CDF).
+  std::size_t discrete(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("Rng::discrete: negative weight");
+      total += w;
+    }
+    if (total <= 0.0) throw std::invalid_argument("Rng::discrete: zero total weight");
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Forks an independent deterministic child stream.
+  [[nodiscard]] Rng fork() noexcept { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace serve::sim

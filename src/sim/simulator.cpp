@@ -1,0 +1,67 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace serve::sim {
+
+namespace detail {
+void retire_process(Simulator& sim, std::coroutine_handle<> h) noexcept {
+  sim.live_.erase(h.address());
+  h.destroy();
+}
+}  // namespace detail
+
+Simulator::~Simulator() {
+  // Reclaim processes still suspended (e.g. servers waiting on channels that
+  // outlive the experiment). Destroying a suspended coroutine is safe; the
+  // frames' awaiter objects may reference channels/resources, but those are
+  // plain members destroyed with the frame.
+  for (void* addr : live_) {
+    std::coroutine_handle<>::from_address(addr).destroy();
+  }
+}
+
+void Simulator::schedule_at(Time t, Action action) {
+  if (t < now_) throw std::logic_error("Simulator::schedule_at: time is in the past");
+  queue_.push(t, std::move(action));
+}
+
+void Simulator::spawn(Process p) {
+  auto h = p.detach();
+  h.promise().sim = this;
+  live_.insert(h.address());
+  // First resume goes through the queue so spawning mid-event never nests.
+  queue_.push(now_, [h] { h.resume(); });
+}
+
+void Simulator::step() {
+  auto [t, action] = queue_.pop();
+  now_ = t;
+  ++steps_;
+  action();
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_steps) {
+  const std::uint64_t start = steps_;
+  while (!queue_.empty()) {
+    if (steps_ - start >= max_steps) {
+      throw std::runtime_error("Simulator::run: step limit exceeded (runaway simulation?)");
+    }
+    step();
+  }
+  return steps_ - start;
+}
+
+std::uint64_t Simulator::run_until(Time t, std::uint64_t max_steps) {
+  const std::uint64_t start = steps_;
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    if (steps_ - start >= max_steps) {
+      throw std::runtime_error("Simulator::run_until: step limit exceeded");
+    }
+    step();
+  }
+  if (now_ < t) now_ = t;
+  return steps_ - start;
+}
+
+}  // namespace serve::sim

@@ -1,0 +1,84 @@
+// The discrete-event simulation kernel.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "sim/event_queue.h"
+#include "sim/process.h"
+#include "sim/time.h"
+
+namespace serve::sim {
+
+/// Single-threaded deterministic discrete-event simulator.
+///
+/// Owns the virtual clock, the pending-event set, and every live coroutine
+/// process. All wake-ups go through the event queue (never nested resumes),
+/// so execution order is a pure function of (spawn order, event times) and
+/// stack depth stays bounded.
+class Simulator {
+ public:
+  using Action = EventQueue::Action;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t live_processes() const noexcept { return live_.size(); }
+
+  /// Enqueues `action` to run at the current virtual time (after already
+  /// pending same-time events).
+  void post(Action action) { queue_.push(now_, std::move(action)); }
+
+  /// Enqueues `action` at absolute time `t` (must not be in the past).
+  void schedule_at(Time t, Action action);
+
+  /// Enqueues `action` after `delay`.
+  void schedule_after(Time delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Starts a coroutine process. The first step runs from the event loop at
+  /// the current virtual time.
+  void spawn(Process p);
+
+  /// Awaitable that suspends the calling process for `delay` virtual time.
+  struct DelayAwaiter {
+    Simulator& sim;
+    Time delay;
+    bool await_ready() const noexcept { return delay <= 0; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      sim.schedule_after(delay, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] DelayAwaiter wait(Time delay) noexcept { return {*this, delay}; }
+
+  /// Runs until the event queue drains. Returns the number of events
+  /// executed. Throws std::runtime_error if `max_steps` is exceeded
+  /// (runaway-simulation guard).
+  std::uint64_t run(std::uint64_t max_steps = kDefaultStepLimit);
+
+  /// Runs all events with timestamp <= t, then advances the clock to t.
+  std::uint64_t run_until(Time t, std::uint64_t max_steps = kDefaultStepLimit);
+
+  static constexpr std::uint64_t kDefaultStepLimit = 2'000'000'000;
+
+ private:
+  friend void detail::retire_process(Simulator&, std::coroutine_handle<>) noexcept;
+
+  void step();
+
+  Time now_ = 0;
+  std::uint64_t steps_ = 0;
+  EventQueue queue_;
+  std::unordered_set<void*> live_;  ///< addresses of live process frames
+};
+
+}  // namespace serve::sim

@@ -1,0 +1,84 @@
+// Coordination primitives for simulation processes: broadcast Event and
+// WaitGroup (structured completion of process fleets).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace serve::sim {
+
+/// Manual-reset broadcast event. `co_await ev.wait()` suspends until set();
+/// set() wakes every waiter (through the event queue).
+class Event {
+ public:
+  explicit Event(Simulator& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  [[nodiscard]] bool is_set() const noexcept { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_.post([h] { h.resume(); });
+    waiters_.clear();
+  }
+
+  void reset() noexcept { set_ = false; }
+
+  struct Awaiter {
+    Event& ev;
+    bool await_ready() const noexcept { return ev.set_; }
+    void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Awaiter wait() noexcept { return Awaiter{*this}; }
+
+ private:
+  Simulator& sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counts outstanding work; waiters resume when the count returns to zero.
+///
+///   WaitGroup wg{sim};
+///   wg.add(n); spawn n processes that each call wg.done();
+///   co_await wg.wait();
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : sim_(sim) {}
+  WaitGroup(const WaitGroup&) = delete;
+  WaitGroup& operator=(const WaitGroup&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept { count_ += n; }
+
+  void done() {
+    if (count_ == 0) throw std::logic_error("WaitGroup::done: counter underflow");
+    if (--count_ == 0) {
+      for (auto h : waiters_) sim_.post([h] { h.resume(); });
+      waiters_.clear();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  struct Awaiter {
+    WaitGroup& wg;
+    bool await_ready() const noexcept { return wg.count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) { wg.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Awaiter wait() noexcept { return Awaiter{*this}; }
+
+ private:
+  Simulator& sim_;
+  std::uint64_t count_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace serve::sim

@@ -1,0 +1,122 @@
+// Awaitable sub-coroutine type for composing simulation logic.
+//
+// Process is fire-and-forget (owned by the simulator); Task<T> is the
+// complementary primitive: a lazily-started coroutine awaited by exactly one
+// parent, returning a value. Use it to factor pipeline fragments:
+//
+//   sim::Task<> publish(Message m) { ... co_await io_.acquire(); ... }
+//   sim::Process producer(...) { co_await broker.publish(m); }
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace serve::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+template <typename T>
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr error{};
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    // Symmetric transfer back to the awaiting parent.
+    template <typename P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) noexcept {
+      auto& base = static_cast<TaskPromiseBase&>(h.promise());
+      return base.continuation ? base.continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// Lazily-started awaitable coroutine returning T. Must be co_awaited
+/// exactly once (asserted); exceptions propagate to the awaiter.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase<T> {
+    std::optional<T> value{};
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;  // start the child now
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+    assert(p.value.has_value());
+    return std::move(*p.value);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase<void> {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().error) std::rethrow_exception(handle_.promise().error);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace serve::sim

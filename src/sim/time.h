@@ -1,0 +1,37 @@
+// Virtual-time representation for the discrete-event simulator.
+//
+// Time is integral nanoseconds: additions are exact, event ordering is
+// total, and runs are bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace serve::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+inline constexpr Time kInfiniteTime = INT64_MAX;
+
+[[nodiscard]] constexpr Time nanoseconds(std::int64_t v) noexcept { return v; }
+[[nodiscard]] constexpr Time microseconds(double v) noexcept {
+  return static_cast<Time>(v * 1e3);
+}
+[[nodiscard]] constexpr Time milliseconds(double v) noexcept {
+  return static_cast<Time>(v * 1e6);
+}
+[[nodiscard]] constexpr Time seconds(double v) noexcept {
+  return static_cast<Time>(v * 1e9);
+}
+
+[[nodiscard]] constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+[[nodiscard]] constexpr double to_milliseconds(Time t) noexcept {
+  return static_cast<double>(t) * 1e-6;
+}
+[[nodiscard]] constexpr double to_microseconds(Time t) noexcept {
+  return static_cast<double>(t) * 1e-3;
+}
+
+}  // namespace serve::sim

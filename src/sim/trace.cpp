@@ -1,0 +1,74 @@
+#include "sim/trace.h"
+
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace serve::sim {
+
+void TraceRecorder::span(std::string track, std::string name, Time begin, Time end) {
+  if (end < begin) throw std::invalid_argument("TraceRecorder::span: end before begin");
+  spans_.push_back(Span{std::move(track), std::move(name), begin, end});
+}
+
+void TraceRecorder::counter(std::string track, double value, Time t) {
+  counters_.push_back(CounterSample{std::move(track), value, t});
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  // Stable thread ids per track, plus metadata naming each one.
+  std::map<std::string, int> tids;
+  auto tid_of = [&](const std::string& track) {
+    auto [it, inserted] = tids.emplace(track, static_cast<int>(tids.size()) + 1);
+    return it->second;
+  };
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  for (const auto& s : spans_) {
+    sep();
+    os << R"({"ph":"X","pid":1,"tid":)" << tid_of(s.track) << ",\"name\":";
+    write_escaped(os, s.name);
+    os << ",\"ts\":" << to_microseconds(s.begin)
+       << ",\"dur\":" << to_microseconds(s.end - s.begin) << "}";
+  }
+  for (const auto& c : counters_) {
+    sep();
+    os << R"({"ph":"C","pid":1,"tid":)" << tid_of(c.track) << ",\"name\":";
+    write_escaped(os, c.track);
+    os << ",\"ts\":" << to_microseconds(c.t) << ",\"args\":{\"value\":" << c.value << "}}";
+  }
+  for (const auto& [track, tid] : tids) {
+    sep();
+    os << R"({"ph":"M","pid":1,"tid":)" << tid
+       << R"(,"name":"thread_name","args":{"name":)";
+    write_escaped(os, track);
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace serve::sim

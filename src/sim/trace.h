@@ -1,0 +1,59 @@
+// Virtual-time trace recording with Chrome trace-event export.
+//
+// Records two kinds of events:
+//  - spans: named intervals on a named track ("gpu0.compute: batch x64");
+//  - counters: numeric time series ("cpu.cores in_use") rendered as stacked
+//    charts by chrome://tracing / Perfetto.
+//
+// Load the emitted JSON in chrome://tracing (or ui.perfetto.dev) to see the
+// serving pipeline's device occupancy over virtual time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace serve::sim {
+
+class TraceRecorder {
+ public:
+  /// Records a completed span [begin, end] on `track`.
+  void span(std::string track, std::string name, Time begin, Time end);
+
+  /// Records a counter sample (step function between samples).
+  void counter(std::string track, double value, Time t);
+
+  [[nodiscard]] std::size_t span_count() const noexcept { return spans_.size(); }
+  [[nodiscard]] std::size_t counter_count() const noexcept { return counters_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty() && counters_.empty(); }
+
+  void clear() noexcept {
+    spans_.clear();
+    counters_.clear();
+  }
+
+  /// Chrome trace-event JSON ("traceEvents" array form). Tracks become
+  /// thread names; spans are "X" events, counters "C" events.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Span {
+    std::string track;
+    std::string name;
+    Time begin;
+    Time end;
+  };
+  struct CounterSample {
+    std::string track;
+    double value;
+    Time t;
+  };
+
+  std::vector<Span> spans_;
+  std::vector<CounterSample> counters_;
+};
+
+}  // namespace serve::sim

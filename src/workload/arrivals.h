@@ -1,0 +1,66 @@
+// Arrival processes for open-loop load generation.
+//
+// Beyond the closed-loop concurrency model of the paper's main experiments,
+// real services face open arrivals — often bursty. These generators produce
+// inter-arrival times for the open-loop client:
+//  - Poisson: memoryless arrivals at a fixed rate;
+//  - Deterministic: perfectly paced arrivals (best case for batching);
+//  - Mmpp2: two-state Markov-modulated Poisson process (calm/burst), the
+//    standard bursty-traffic model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace serve::workload {
+
+/// Produces the next inter-arrival gap.
+using ArrivalProcess = std::function<sim::Time(sim::Rng&)>;
+
+[[nodiscard]] inline ArrivalProcess poisson_arrivals(double rate_per_s) {
+  if (rate_per_s <= 0.0) throw std::invalid_argument("poisson_arrivals: rate must be > 0");
+  return [rate_per_s](sim::Rng& rng) { return sim::seconds(rng.exponential(rate_per_s)); };
+}
+
+[[nodiscard]] inline ArrivalProcess deterministic_arrivals(double rate_per_s) {
+  if (rate_per_s <= 0.0) throw std::invalid_argument("deterministic_arrivals: rate must be > 0");
+  return [rate_per_s](sim::Rng&) { return sim::seconds(1.0 / rate_per_s); };
+}
+
+/// Two-state MMPP with the given mean rate. The process alternates between
+/// a calm state (rate = mean/burstiness) and a burst state (rate = mean *
+/// burstiness), with exponentially distributed state dwell times. The time
+/// average of the two rates equals `mean_rate_per_s`.
+[[nodiscard]] inline ArrivalProcess mmpp2_arrivals(double mean_rate_per_s,
+                                                   double burstiness = 4.0,
+                                                   double mean_dwell_s = 0.5) {
+  if (mean_rate_per_s <= 0.0) throw std::invalid_argument("mmpp2_arrivals: rate must be > 0");
+  if (burstiness < 1.0) throw std::invalid_argument("mmpp2_arrivals: burstiness must be >= 1");
+  if (mean_dwell_s <= 0.0) throw std::invalid_argument("mmpp2_arrivals: dwell must be > 0");
+  struct State {
+    bool bursting = false;
+    double dwell_left_s = 0.0;
+  };
+  auto state = std::make_shared<State>();
+  // Solve calm/burst rates so that equal dwell shares average to the mean:
+  // (r/b + r*b)/2 = mean  =>  r = 2*mean / (b + 1/b).
+  const double r = 2.0 * mean_rate_per_s / (burstiness + 1.0 / burstiness);
+  const double calm_rate = r / burstiness;
+  const double burst_rate = r * burstiness;
+  return [state, calm_rate, burst_rate, mean_dwell_s](sim::Rng& rng) {
+    if (state->dwell_left_s <= 0.0) {
+      state->bursting = !state->bursting;
+      state->dwell_left_s = rng.exponential(1.0 / mean_dwell_s);
+    }
+    const double rate = state->bursting ? burst_rate : calm_rate;
+    const double gap = rng.exponential(rate);
+    state->dwell_left_s -= gap;
+    return sim::seconds(gap);
+  };
+}
+
+}  // namespace serve::workload

@@ -1,0 +1,44 @@
+#include "workload/corpus.h"
+
+#include <chrono>
+
+#include "codec/jpeg.h"
+#include "codec/synthetic.h"
+#include "codec/transform.h"
+
+namespace serve::workload {
+
+std::vector<CorpusEntry> make_corpus(hw::ImageSpec target, int count, std::uint64_t seed) {
+  if (count <= 0) throw std::invalid_argument("make_corpus: count must be positive");
+  std::vector<CorpusEntry> corpus;
+  corpus.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const codec::Image img = codec::make_synthetic(
+        target.width, target.height, codec::Pattern::kScene, seed + static_cast<std::uint64_t>(i));
+    CorpusEntry entry;
+    entry.jpeg = codec::encode_jpeg(img, {.quality = 85});
+    entry.spec = hw::ImageSpec{target.width, target.height,
+                               static_cast<std::int64_t>(entry.jpeg.size())};
+    corpus.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+PreprocessTiming time_real_preprocess(const CorpusEntry& entry, int target_side) {
+  using clock = std::chrono::steady_clock;
+  PreprocessTiming t;
+  const auto t0 = clock::now();
+  const codec::Image decoded = codec::decode_jpeg(entry.jpeg);
+  const auto t1 = clock::now();
+  const codec::Image resized = codec::resize(decoded, target_side, target_side);
+  const auto t2 = clock::now();
+  const auto tensor = codec::normalize_chw(resized);
+  const auto t3 = clock::now();
+  (void)tensor;
+  t.decode_s = std::chrono::duration<double>(t1 - t0).count();
+  t.resize_s = std::chrono::duration<double>(t2 - t1).count();
+  t.normalize_s = std::chrono::duration<double>(t3 - t2).count();
+  return t;
+}
+
+}  // namespace serve::workload

@@ -1,0 +1,39 @@
+// Real JPEG corpus generation.
+//
+// The reproduction has no ImageNet access (DESIGN.md substitution table):
+// instead we synthesize photograph-like images and encode them with the
+// real from-scratch JPEG codec, yielding byte streams whose sizes and decode
+// costs match the paper's three size classes. Used by the runnable examples
+// and the codec micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/image.h"
+#include "hw/image_spec.h"
+
+namespace serve::workload {
+
+struct CorpusEntry {
+  hw::ImageSpec spec;                ///< geometry + actual encoded size
+  std::vector<std::uint8_t> jpeg;    ///< real JFIF byte stream
+};
+
+/// Builds `count` real JPEGs at roughly the geometry of `target` (encoded
+/// size will differ from the paper's byte counts — content differs — but the
+/// decode work is the real thing). Deterministic in `seed`.
+[[nodiscard]] std::vector<CorpusEntry> make_corpus(hw::ImageSpec target, int count,
+                                                   std::uint64_t seed = 1);
+
+/// Decodes + resizes + normalizes one entry with the real pipeline and
+/// returns the wall-clock cost in seconds (used to ground CpuCalib rates).
+struct PreprocessTiming {
+  double decode_s = 0.0;
+  double resize_s = 0.0;
+  double normalize_s = 0.0;
+  [[nodiscard]] double total() const noexcept { return decode_s + resize_s + normalize_s; }
+};
+[[nodiscard]] PreprocessTiming time_real_preprocess(const CorpusEntry& entry, int target_side);
+
+}  // namespace serve::workload

@@ -1,0 +1,21 @@
+#include "workload/image_mixture.h"
+
+#include <cmath>
+
+namespace serve::workload {
+
+hw::ImageSpec ImageMixture::mean_weighted_spec() const {
+  if (entries_.empty()) throw std::logic_error("ImageMixture: empty mixture");
+  double total = 0.0, w_sum = 0.0, h_sum = 0.0, b_sum = 0.0;
+  for (const auto& [spec, w] : entries_) {
+    total += w;
+    w_sum += w * spec.width;
+    h_sum += w * spec.height;
+    b_sum += w * static_cast<double>(spec.compressed_bytes);
+  }
+  return hw::ImageSpec{static_cast<int>(std::lround(w_sum / total)),
+                       static_cast<int>(std::lround(h_sum / total)),
+                       static_cast<std::int64_t>(b_sum / total)};
+}
+
+}  // namespace serve::workload

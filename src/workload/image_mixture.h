@@ -1,0 +1,61 @@
+// Workload image-size distributions.
+//
+// The paper benchmarks three representative ImageNet sizes (footnote 3) and
+// argues servers must accept "images from many clients and different
+// resolutions/sizes". ImageMixture samples ImageSpecs from a weighted set,
+// letting experiments run fixed sizes or realistic mixes.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "hw/image_spec.h"
+#include "sim/rng.h"
+
+namespace serve::workload {
+
+class ImageMixture {
+ public:
+  ImageMixture() = default;
+
+  ImageMixture& add(hw::ImageSpec spec, double weight) {
+    if (weight <= 0.0) throw std::invalid_argument("ImageMixture: weight must be positive");
+    entries_.emplace_back(spec, weight);
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] hw::ImageSpec sample(sim::Rng& rng) const {
+    if (entries_.empty()) throw std::logic_error("ImageMixture: empty mixture");
+    std::vector<double> weights;
+    weights.reserve(entries_.size());
+    for (const auto& [spec, w] : entries_) weights.push_back(w);
+    return entries_[rng.discrete(weights)].first;
+  }
+
+  [[nodiscard]] hw::ImageSpec mean_weighted_spec() const;
+
+  /// One fixed size (the paper's per-size experiments).
+  [[nodiscard]] static ImageMixture fixed(hw::ImageSpec spec) {
+    ImageMixture m;
+    m.add(spec, 1.0);
+    return m;
+  }
+
+  /// ImageNet-like mix: mostly medium images, a tail of small thumbnails and
+  /// occasional full-resolution photos.
+  [[nodiscard]] static ImageMixture imagenet_like() {
+    ImageMixture m;
+    m.add(hw::kSmallImage, 0.15);
+    m.add(hw::kMediumImage, 0.85 - 0.02);
+    m.add(hw::kLargeImage, 0.02);
+    return m;
+  }
+
+ private:
+  std::vector<std::pair<hw::ImageSpec, double>> entries_;
+};
+
+}  // namespace serve::workload

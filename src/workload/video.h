@@ -1,0 +1,47 @@
+// Video clip workload description (paper Section 1's motivating service:
+// "a video classification service receives the video in a compressed format
+// like MPEG, decodes the video, samples a number of frames, then resizes
+// and normalizes the resulting images into the format required by the DNN").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace serve::workload {
+
+struct VideoSpec {
+  int width = 1280;
+  int height = 720;
+  double fps = 30.0;
+  double duration_s = 10.0;
+  double bits_per_pixel = 0.10;  ///< H.264-class compression density
+  /// Frames handed to the classifier (uniformly sampled over the clip).
+  int sampled_frames = 10;
+
+  [[nodiscard]] std::int64_t frame_pixels() const noexcept {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  [[nodiscard]] std::int64_t total_frames() const noexcept {
+    return static_cast<std::int64_t>(fps * duration_s);
+  }
+  [[nodiscard]] std::int64_t compressed_bytes() const noexcept {
+    return static_cast<std::int64_t>(static_cast<double>(frame_pixels()) *
+                                     static_cast<double>(total_frames()) * bits_per_pixel / 8.0);
+  }
+
+  void validate() const {
+    if (width <= 0 || height <= 0) throw std::invalid_argument("VideoSpec: bad dimensions");
+    if (fps <= 0 || duration_s <= 0) throw std::invalid_argument("VideoSpec: bad timing");
+    if (sampled_frames < 1) throw std::invalid_argument("VideoSpec: need >=1 sampled frame");
+    if (sampled_frames > total_frames()) {
+      throw std::invalid_argument("VideoSpec: cannot sample more frames than the clip has");
+    }
+  }
+};
+
+/// 10-second clips at common resolutions.
+inline constexpr VideoSpec kSdClip{640, 360, 30.0, 10.0, 0.10, 10};
+inline constexpr VideoSpec kHdClip{1280, 720, 30.0, 10.0, 0.10, 10};
+inline constexpr VideoSpec k4kClip{3840, 2160, 30.0, 10.0, 0.08, 10};
+
+}  // namespace serve::workload

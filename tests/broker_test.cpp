@@ -1,0 +1,295 @@
+// Tests for the broker subsystem: simulated Kafka/Redis profiles, the real
+// in-process broker (threads), and the disk-backed log broker (files, CRC,
+// recovery).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/file_log_broker.h"
+#include "broker/in_process_broker.h"
+#include "core/face_pipeline.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace serve::broker {
+namespace {
+
+// --- SimBroker ---------------------------------------------------------------
+
+TEST(SimBroker, DeliversInOrderWithLatency) {
+  sim::Simulator sim;
+  BrokerProfile profile{.name = "test", .publish_service_s = 1e-3, .consume_latency_s = 0.5e-3,
+                        .io_threads = 1};
+  SimBroker<int> broker{sim, profile};
+  std::vector<int> got;
+  std::vector<sim::Time> when;
+  auto producer = [&](sim::Simulator&) -> sim::Process {
+    for (int i = 0; i < 3; ++i) co_await broker.publish(i);
+  };
+  auto consumer = [&](sim::Simulator& s) -> sim::Process {
+    while (true) {
+      auto v = co_await broker.consume();
+      if (!v) break;
+      got.push_back(*v);
+      when.push_back(s.now());
+    }
+  };
+  sim.spawn(producer(sim));
+  sim.spawn(consumer(sim));
+  sim.schedule_at(sim::seconds(1.0), [&] { broker.close(); });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+  // First message visible after publish service (1ms) + consume (0.5ms).
+  EXPECT_EQ(when[0], sim::microseconds(1500));
+  EXPECT_EQ(broker.published(), 3u);
+  EXPECT_EQ(broker.consumed(), 3u);
+}
+
+sim::Process publish_once(sim::Simulator& sim, SimBroker<int>& broker, sim::Time& done_at) {
+  co_await broker.publish(0);
+  done_at = std::max(done_at, sim.now());
+}
+
+TEST(SimBroker, IoThreadsBoundPublishRate) {
+  // 10 parallel publishers, 1 ms service each: 1 io thread finishes the last
+  // publish at 10 ms, 4 io threads at ceil(10/4) = 3 ms.
+  sim::Simulator sim;
+  SimBroker<int> one{sim, {.name = "one", .publish_service_s = 1e-3, .io_threads = 1}};
+  SimBroker<int> four{sim, {.name = "four", .publish_service_s = 1e-3, .io_threads = 4}};
+  sim::Time done_one = 0, done_four = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.spawn(publish_once(sim, one, done_one));
+    sim.spawn(publish_once(sim, four, done_four));
+  }
+  sim.run();
+  EXPECT_EQ(done_one, sim::milliseconds(10));
+  EXPECT_EQ(done_four, sim::milliseconds(3));
+}
+
+TEST(SimBroker, ProfilesReflectCalibration) {
+  const auto calib = hw::default_calibration().broker;
+  const auto kafka = kafka_profile(calib);
+  const auto redis = redis_profile(calib);
+  EXPECT_TRUE(kafka.disk_backed);
+  EXPECT_FALSE(redis.disk_backed);
+  EXPECT_GT(kafka.publish_service_s, redis.publish_service_s * 10);
+}
+
+// --- Face pipeline (Fig. 11 system) -----------------------------------------
+
+TEST(FacePipeline, RedisBeatsKafkaAtHighFaceCounts) {
+  core::FacePipelineSpec spec;
+  spec.faces_per_frame = 25;
+  spec.concurrency = 16;
+  spec.measure = sim::seconds(10.0);
+  spec.broker = core::BrokerKind::kKafka;
+  const auto kafka = core::run_face_pipeline(spec);
+  spec.broker = core::BrokerKind::kRedis;
+  const auto redis = core::run_face_pipeline(spec);
+  // Paper: 125% throughput improvement (2.25x).
+  EXPECT_GT(redis.frames_per_s, kafka.frames_per_s * 1.8);
+  EXPECT_LT(redis.frames_per_s, kafka.frames_per_s * 2.8);
+}
+
+TEST(FacePipeline, FusedWinsAtLowFaceCountsRedisAtHigh) {
+  core::FacePipelineSpec spec;
+  spec.concurrency = 16;
+  spec.measure = sim::seconds(8.0);
+  spec.faces_per_frame = 2;
+  spec.broker = core::BrokerKind::kFused;
+  const auto fused_low = core::run_face_pipeline(spec);
+  spec.broker = core::BrokerKind::kRedis;
+  const auto redis_low = core::run_face_pipeline(spec);
+  EXPECT_GT(fused_low.frames_per_s, redis_low.frames_per_s);
+
+  spec.faces_per_frame = 20;
+  const auto redis_high = core::run_face_pipeline(spec);
+  spec.broker = core::BrokerKind::kFused;
+  const auto fused_high = core::run_face_pipeline(spec);
+  EXPECT_GT(redis_high.frames_per_s, fused_high.frames_per_s);
+}
+
+TEST(FacePipeline, BrokerLatencyShares) {
+  core::FacePipelineSpec spec;
+  spec.faces_per_frame = 25;
+  spec.concurrency = 1;  // zero load
+  spec.measure = sim::seconds(20.0);
+  spec.broker = core::BrokerKind::kKafka;
+  const auto kafka = core::run_face_pipeline(spec);
+  spec.broker = core::BrokerKind::kRedis;
+  const auto redis = core::run_face_pipeline(spec);
+  // Paper: Kafka ~71% of latency, Redis ~6%.
+  EXPECT_GT(kafka.broker_share(), 0.55);
+  EXPECT_LT(kafka.broker_share(), 0.85);
+  EXPECT_GT(redis.broker_share(), 0.01);
+  EXPECT_LT(redis.broker_share(), 0.12);
+  // Paper: 67% zero-load latency improvement.
+  EXPECT_LT(redis.mean_latency_s, kafka.mean_latency_s * 0.45);
+}
+
+TEST(FacePipeline, StochasticFacesRun) {
+  core::FacePipelineSpec spec;
+  spec.faces_per_frame = 5;
+  spec.stochastic_faces = true;
+  spec.concurrency = 4;
+  spec.measure = sim::seconds(5.0);
+  const auto r = core::run_face_pipeline(spec);
+  EXPECT_GT(r.frames, 50u);
+  EXPECT_GT(r.faces_per_s, r.frames_per_s);  // >1 face per frame on average
+}
+
+// --- Real in-process broker ---------------------------------------------------
+
+TEST(InProcessBroker, ThreadedProducerConsumer) {
+  InProcessBroker<int> broker{64};
+  std::vector<int> got;
+  std::thread consumer{[&] {
+    while (auto v = broker.consume()) got.push_back(*v);
+  }};
+  std::thread producer{[&] {
+    for (int i = 0; i < 1000; ++i) broker.publish(i);
+    broker.close();
+  }};
+  producer.join();
+  consumer.join();
+  ASSERT_EQ(got.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InProcessBroker, TryOpsAndCapacity) {
+  InProcessBroker<int> broker{2};
+  EXPECT_TRUE(broker.try_publish(1));
+  EXPECT_TRUE(broker.try_publish(2));
+  EXPECT_FALSE(broker.try_publish(3));  // full
+  EXPECT_EQ(broker.depth(), 2u);
+  EXPECT_EQ(broker.try_consume().value(), 1);
+  EXPECT_TRUE(broker.try_publish(3));
+}
+
+TEST(InProcessBroker, PublishAfterCloseThrows) {
+  InProcessBroker<int> broker;
+  broker.close();
+  EXPECT_THROW(broker.publish(1), std::runtime_error);
+  EXPECT_EQ(broker.consume(), std::nullopt);
+}
+
+// --- Real file-backed log broker ----------------------------------------------
+
+class FileLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("servescope_log_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileLogTest, PublishReadRoundTrip) {
+  FileLogBroker log{{.dir = dir_}};
+  EXPECT_EQ(log.publish("hello"), 0u);
+  EXPECT_EQ(log.publish("world"), 1u);
+  EXPECT_EQ(log.read(0).value(), "hello");
+  EXPECT_EQ(log.read(1).value(), "world");
+  EXPECT_EQ(log.read(2), std::nullopt);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST_F(FileLogTest, SurvivesRestart) {
+  {
+    FileLogBroker log{{.dir = dir_}};
+    for (int i = 0; i < 50; ++i) log.publish("msg-" + std::to_string(i));
+  }
+  FileLogBroker reopened{{.dir = dir_}};
+  EXPECT_EQ(reopened.size(), 50u);
+  EXPECT_EQ(reopened.read(17).value(), "msg-17");
+  // Appends continue after the recovered offset.
+  EXPECT_EQ(reopened.publish("after-restart"), 50u);
+  EXPECT_EQ(reopened.read(50).value(), "after-restart");
+}
+
+TEST_F(FileLogTest, RollsSegments) {
+  FileLogBroker log{{.dir = dir_, .segment_bytes = 256}};
+  for (int i = 0; i < 40; ++i) log.publish(std::string(32, 'x'));
+  EXPECT_GT(log.segment_count(), 3u);
+  EXPECT_EQ(log.read(39).value(), std::string(32, 'x'));
+}
+
+TEST_F(FileLogTest, DetectsCorruption) {
+  {
+    FileLogBroker log{{.dir = dir_}};
+    log.publish("to-be-corrupted-record-with-some-length");
+  }
+  // Flip a payload byte on disk.
+  std::filesystem::path seg;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) seg = e.path();
+  {
+    std::fstream f{seg, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(12);
+    f.put('X');
+  }
+  EXPECT_THROW(FileLogBroker({.dir = dir_}), std::runtime_error);
+}
+
+TEST_F(FileLogTest, EmptyPayloadAndOptions) {
+  EXPECT_THROW(FileLogBroker({.dir = dir_, .fsync_interval = 0}), std::invalid_argument);
+  FileLogBroker log{{.dir = dir_, .fsync_interval = 8}};
+  log.publish("");
+  EXPECT_EQ(log.read(0).value(), "");
+}
+
+TEST_F(FileLogTest, TornTailTruncatedWhenTolerant) {
+  {
+    FileLogBroker log{{.dir = dir_}};
+    log.publish("complete-record-one");
+    log.publish("complete-record-two");
+  }
+  // Simulate a crash mid-append: write a partial header at the tail.
+  std::filesystem::path seg;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) seg = e.path();
+  {
+    std::ofstream f{seg, std::ios::binary | std::ios::app};
+    f.write("\x40\x00", 2);  // half a length field
+  }
+  // Strict recovery refuses; tolerant recovery drops the torn tail.
+  EXPECT_THROW(FileLogBroker({.dir = dir_}), std::runtime_error);
+  FileLogBroker recovered{{.dir = dir_, .tolerate_torn_tail = true}};
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered.read(1).value(), "complete-record-two");
+  // Appends continue cleanly after truncation.
+  recovered.publish("after-crash");
+  EXPECT_EQ(recovered.read(2).value(), "after-crash");
+}
+
+TEST_F(FileLogTest, MidLogCorruptionStillThrowsWhenTolerant) {
+  {
+    FileLogBroker log{{.dir = dir_}};
+    log.publish("first-record-with-some-payload");
+    log.publish("second-record-with-some-payload");
+  }
+  std::filesystem::path seg;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) seg = e.path();
+  {
+    std::fstream f{seg, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(12);  // inside the FIRST record's payload
+    f.put('X');
+  }
+  // Not a torn tail: data follows the bad record, so even tolerant recovery
+  // must refuse rather than silently lose acknowledged writes.
+  EXPECT_THROW(FileLogBroker({.dir = dir_, .tolerate_torn_tail = true}), std::runtime_error);
+}
+
+TEST(FileLogCrc, MatchesKnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+  EXPECT_EQ(FileLogBroker::crc32("123456789", 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace serve::broker

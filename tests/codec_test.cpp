@@ -1,0 +1,362 @@
+// Tests for the from-scratch JPEG codec and image transforms: round-trip
+// quality properties across sizes/qualities/subsampling, header parsing,
+// and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <tuple>
+
+#include "codec/image.h"
+#include "codec/jpeg.h"
+#include "codec/jpeg_tables.h"
+#include "codec/synthetic.h"
+#include "codec/transform.h"
+#include "sim/rng.h"
+
+namespace serve::codec {
+namespace {
+
+TEST(Image, AccessorsAndBounds) {
+  Image img{4, 3, 3};
+  img.at(3, 2, 2) = 77;
+  EXPECT_EQ(img.at(3, 2, 2), 77);
+  EXPECT_THROW((void)img.at(4, 0, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 3, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 0, 3), std::out_of_range);
+  EXPECT_EQ(img.at_clamped(-5, 10, 2), img.at(0, 2, 2));
+}
+
+TEST(Image, RejectsBadShapes) {
+  EXPECT_THROW((Image{0, 4, 3}), std::invalid_argument);
+  EXPECT_THROW((Image{4, 4, 2}), std::invalid_argument);
+}
+
+TEST(Image, PnmRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "servescope_pnm_test";
+  std::filesystem::create_directories(dir);
+  const Image img = make_synthetic(37, 23, Pattern::kScene, 5);
+  write_pnm(img, dir / "t.ppm");
+  const Image back = read_pnm(dir / "t.ppm");
+  EXPECT_EQ(img, back);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Image, PsnrIdenticalIsInfinite) {
+  const Image img = make_synthetic(16, 16, Pattern::kGradient, 1);
+  EXPECT_TRUE(std::isinf(psnr(img, img)));
+  EXPECT_DOUBLE_EQ(mean_abs_diff(img, img), 0.0);
+}
+
+TEST(JpegTables, QualityScalingMonotoneAndClamped) {
+  EXPECT_EQ(jpeg::scale_quant(16, 100), 1u);
+  EXPECT_GE(jpeg::scale_quant(16, 1), 255u);
+  EXPECT_LE(jpeg::scale_quant(255, 1), 255u);
+  for (int q = 10; q < 100; q += 10) {
+    EXPECT_GE(jpeg::scale_quant(32, q), jpeg::scale_quant(32, q + 5));
+  }
+}
+
+TEST(Jpeg, HighQualityRoundTripIsClose) {
+  const Image img = make_synthetic(64, 48, Pattern::kScene, 42);
+  const auto bytes = encode_jpeg(img, {.quality = 95, .subsampling = Subsampling::k444});
+  const Image back = decode_jpeg(bytes);
+  ASSERT_EQ(back.width(), img.width());
+  ASSERT_EQ(back.height(), img.height());
+  EXPECT_GT(psnr(img, back), 38.0);
+}
+
+TEST(Jpeg, LowerQualityIsSmallerAndWorse) {
+  const Image img = make_synthetic(128, 96, Pattern::kTexture, 3);
+  const auto hi = encode_jpeg(img, {.quality = 92});
+  const auto lo = encode_jpeg(img, {.quality = 25});
+  EXPECT_LT(lo.size(), hi.size());
+  EXPECT_LT(psnr(img, decode_jpeg(lo)), psnr(img, decode_jpeg(hi)));
+}
+
+TEST(Jpeg, GrayscaleRoundTrip) {
+  Image gray{40, 40, 1};
+  for (int y = 0; y < 40; ++y) {
+    for (int x = 0; x < 40; ++x) gray.at(x, y, 0) = static_cast<std::uint8_t>((x * 5 + y) & 0xFF);
+  }
+  const auto bytes = encode_jpeg(gray, {.quality = 90});
+  const Image back = decode_jpeg(bytes);
+  EXPECT_EQ(back.channels(), 1);
+  EXPECT_GT(psnr(gray, back), 30.0);
+}
+
+TEST(Jpeg, RestartMarkersRoundTrip) {
+  const Image img = make_synthetic(96, 64, Pattern::kScene, 9);
+  const auto bytes = encode_jpeg(img, {.quality = 85, .restart_interval_mcus = 3});
+  const Image back = decode_jpeg(bytes);
+  const auto no_rst = encode_jpeg(img, {.quality = 85});
+  const Image back2 = decode_jpeg(no_rst);
+  // Restart markers must not change decoded content.
+  EXPECT_EQ(back.data(), back2.data());
+}
+
+TEST(Jpeg, PeekInfoMatchesEncodeOptions) {
+  const Image img = make_synthetic(50, 30, Pattern::kGradient, 1);
+  const auto b420 = encode_jpeg(img, {.subsampling = Subsampling::k420});
+  const auto info420 = peek_jpeg_info(b420);
+  EXPECT_EQ(info420.width, 50);
+  EXPECT_EQ(info420.height, 30);
+  EXPECT_EQ(info420.components, 3);
+  EXPECT_EQ(info420.subsampling, Subsampling::k420);
+  const auto b444 = encode_jpeg(img, {.subsampling = Subsampling::k444});
+  EXPECT_EQ(peek_jpeg_info(b444).subsampling, Subsampling::k444);
+}
+
+TEST(Jpeg, OddDimensionsRoundTrip) {
+  // Dimensions not divisible by the MCU size exercise edge padding.
+  for (auto [w, h] : {std::pair{17, 9}, {31, 33}, {8, 8}, {1, 1}, {15, 16}}) {
+    const Image img = make_synthetic(w, h, Pattern::kScene, 11);
+    const Image back = decode_jpeg(encode_jpeg(img, {.quality = 90}));
+    ASSERT_EQ(back.width(), w);
+    ASSERT_EQ(back.height(), h);
+    EXPECT_GT(psnr(img, back), 24.0) << w << "x" << h;
+  }
+}
+
+TEST(Jpeg, RejectsGarbage) {
+  const std::vector<std::uint8_t> garbage{0x00, 0x01, 0x02, 0x03};
+  EXPECT_THROW(decode_jpeg(garbage), jpeg::CodecError);
+}
+
+TEST(Jpeg, RejectsTruncatedStream) {
+  const Image img = make_synthetic(64, 64, Pattern::kScene, 2);
+  auto bytes = encode_jpeg(img);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(decode_jpeg(bytes), jpeg::CodecError);
+}
+
+TEST(Jpeg, RejectsTruncatedHeader) {
+  const Image img = make_synthetic(32, 32, Pattern::kGradient, 2);
+  auto bytes = encode_jpeg(img);
+  bytes.resize(20);  // inside APP0
+  EXPECT_THROW((void)peek_jpeg_info(bytes), jpeg::CodecError);
+}
+
+TEST(Jpeg, RejectsCorruptEntropyData) {
+  const Image img = make_synthetic(64, 64, Pattern::kTexture, 8);
+  auto bytes = encode_jpeg(img);
+  // Inject an illegal marker into the entropy segment.
+  const std::size_t mid = bytes.size() - bytes.size() / 4;
+  bytes[mid] = 0xFF;
+  bytes[mid + 1] = 0xC0;
+  EXPECT_THROW(decode_jpeg(bytes), jpeg::CodecError);
+}
+
+TEST(Jpeg, RejectsProgressive) {
+  const Image img = make_synthetic(16, 16, Pattern::kGradient, 1);
+  auto bytes = encode_jpeg(img);
+  // Rewrite SOF0 marker to SOF2 (progressive).
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    if (bytes[i] == 0xFF && bytes[i + 1] == 0xC0) {
+      bytes[i + 1] = 0xC2;
+      break;
+    }
+  }
+  EXPECT_THROW(decode_jpeg(bytes), jpeg::CodecError);
+}
+
+TEST(Jpeg, CompressionRatioIsRealistic) {
+  // The paper's medium image: 500x375 at 121 kB => ~4.6x compression vs raw.
+  const Image img = make_synthetic(500, 375, Pattern::kScene, 21);
+  const auto bytes = encode_jpeg(img, {.quality = 85});
+  const double ratio = static_cast<double>(img.data().size()) / static_cast<double>(bytes.size());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 60.0);
+}
+
+// Property sweep: round-trip PSNR is acceptable across the full option grid.
+using RoundTripParam = std::tuple<int, int, int, Subsampling, Pattern>;
+
+class JpegRoundTripTest : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(JpegRoundTripTest, PsnrAboveFloor) {
+  const auto [w, h, quality, sub, pattern] = GetParam();
+  const Image img = make_synthetic(w, h, pattern, 77);
+  const auto bytes = encode_jpeg(img, {.quality = quality, .subsampling = sub});
+  const Image back = decode_jpeg(bytes);
+  ASSERT_EQ(back.width(), w);
+  ASSERT_EQ(back.height(), h);
+  // Floor depends on quality; 4:2:0 chroma loss and checkers are the worst
+  // cases (tiny images amplify the chroma subsampling error).
+  double floor = 27.0;
+  if (quality < 85) floor = 14.0;
+  else if (pattern == Pattern::kCheckers) floor = 15.0;
+  else if (sub == Subsampling::k420) floor = 24.0;
+  EXPECT_GT(psnr(img, back), floor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, JpegRoundTripTest,
+    ::testing::Combine(::testing::Values(24, 60, 100), ::testing::Values(24, 70),
+                       ::testing::Values(50, 85, 95),
+                       ::testing::Values(Subsampling::k444, Subsampling::k420),
+                       ::testing::Values(Pattern::kGradient, Pattern::kScene,
+                                         Pattern::kCheckers)));
+
+
+TEST(Jpeg, Subsampling422RoundTrip) {
+  const Image img = make_synthetic(90, 62, Pattern::kScene, 31);
+  const auto bytes = encode_jpeg(img, {.quality = 90, .subsampling = Subsampling::k422});
+  EXPECT_EQ(peek_jpeg_info(bytes).subsampling, Subsampling::k422);
+  const Image back = decode_jpeg(bytes);
+  ASSERT_EQ(back.width(), img.width());
+  EXPECT_GT(psnr(img, back), 28.0);
+  // 4:2:2 halves only horizontal chroma: quality sits between 4:4:4 and 4:2:0.
+  const auto b444 = encode_jpeg(img, {.quality = 90, .subsampling = Subsampling::k444});
+  const auto b420 = encode_jpeg(img, {.quality = 90, .subsampling = Subsampling::k420});
+  EXPECT_LT(bytes.size(), b444.size());
+  EXPECT_GT(bytes.size(), b420.size());
+}
+
+TEST(Jpeg, OptimizedHuffmanShrinksFileSamePixels) {
+  const Image img = make_synthetic(160, 120, Pattern::kScene, 55);
+  JpegEncodeOptions std_opts{.quality = 85};
+  JpegEncodeOptions opt_opts{.quality = 85, .optimize_huffman = true};
+  const auto std_bytes = encode_jpeg(img, std_opts);
+  const auto opt_bytes = encode_jpeg(img, opt_opts);
+  EXPECT_LT(opt_bytes.size(), std_bytes.size());
+  // The quantized coefficients are identical, so decoded pixels match bit
+  // for bit — only the entropy coding differs.
+  EXPECT_EQ(decode_jpeg(opt_bytes).data(), decode_jpeg(std_bytes).data());
+}
+
+TEST(Jpeg, OptimizedHuffmanGrayscaleAndRestarts) {
+  Image gray{48, 48, 1};
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 48; ++x) gray.at(x, y, 0) = static_cast<std::uint8_t>((x * x + y) & 0xFF);
+  }
+  const auto bytes =
+      encode_jpeg(gray, {.quality = 80, .restart_interval_mcus = 2, .optimize_huffman = true});
+  const Image back = decode_jpeg(bytes);
+  EXPECT_GT(psnr(gray, back), 25.0);
+}
+
+// Property: optimized Huffman never loses to the Annex K defaults by more
+// than the extra DHT header bytes, across patterns and qualities.
+class OptimizedHuffmanTest
+    : public ::testing::TestWithParam<std::tuple<int, Pattern, Subsampling>> {};
+
+TEST_P(OptimizedHuffmanTest, NeverLargerThanDefaultPlusHeaders) {
+  const auto [quality, pattern, sub] = GetParam();
+  const Image img = make_synthetic(96, 64, pattern, 123);
+  const auto def = encode_jpeg(img, {.quality = quality, .subsampling = sub});
+  const auto opt =
+      encode_jpeg(img, {.quality = quality, .subsampling = sub, .optimize_huffman = true});
+  EXPECT_LE(opt.size(), def.size() + 64) << "optimal tables should never cost meaningful size";
+  EXPECT_EQ(decode_jpeg(opt).data(), decode_jpeg(def).data());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimizedHuffmanTest,
+    ::testing::Combine(::testing::Values(40, 85, 95),
+                       ::testing::Values(Pattern::kGradient, Pattern::kScene, Pattern::kTexture,
+                                         Pattern::kCheckers),
+                       ::testing::Values(Subsampling::k444, Subsampling::k420)));
+
+// Robustness fuzz: random single-byte corruptions of a valid stream must
+// either decode (possibly to different pixels) or throw CodecError — never
+// crash or hang. Exercises the decoder's bounds discipline.
+class DecoderFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoderFuzzTest, CorruptedStreamsNeverCrash) {
+  const Image img = make_synthetic(48, 40, Pattern::kScene, 99);
+  const auto clean = encode_jpeg(img, {.quality = 80});
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = clean;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(2, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[pos] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    try {
+      const Image out = decode_jpeg(bytes);
+      EXPECT_GT(out.width(), 0);  // decoded something structurally valid
+    } catch (const jpeg::CodecError&) {
+      // rejected cleanly - acceptable
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzzTest, ::testing::Range(1, 7));
+
+TEST(Resize, NearestPreservesCorners) {
+  const Image img = make_synthetic(64, 64, Pattern::kGradient, 1);
+  const Image half = resize(img, 32, 32, ResizeFilter::kNearest);
+  EXPECT_EQ(half.width(), 32);
+  EXPECT_EQ(half.height(), 32);
+}
+
+TEST(Resize, IdentityIsExactForBilinear) {
+  const Image img = make_synthetic(33, 17, Pattern::kScene, 4);
+  const Image same = resize(img, 33, 17, ResizeFilter::kBilinear);
+  EXPECT_EQ(img, same);
+}
+
+TEST(Resize, DownUpRetainsStructure) {
+  const Image img = make_synthetic(128, 128, Pattern::kGradient, 1);
+  const Image down = resize(img, 32, 32);
+  const Image up = resize(down, 128, 128);
+  EXPECT_GT(psnr(img, up), 25.0);  // gradients survive resampling
+}
+
+TEST(Resize, RejectsBadArgs) {
+  const Image img = make_synthetic(8, 8, Pattern::kGradient, 1);
+  EXPECT_THROW(resize(img, 0, 8), std::invalid_argument);
+  EXPECT_THROW(resize(Image{}, 8, 8), std::invalid_argument);
+}
+
+TEST(Normalize, ValuesMatchFormula) {
+  Image img{2, 1, 3};
+  img.at(0, 0, 0) = 255;
+  img.at(1, 0, 2) = 128;
+  const auto t = normalize_chw(img);
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_NEAR(t[0], (1.0f - kImageNetMean[0]) / kImageNetStd[0], 1e-5);
+  EXPECT_NEAR(t[1], (0.0f - kImageNetMean[0]) / kImageNetStd[0], 1e-5);
+  EXPECT_NEAR(t[5], (128.0f / 255.0f - kImageNetMean[2]) / kImageNetStd[2], 1e-5);
+}
+
+TEST(Normalize, RejectsGrayscaleAndBadStd) {
+  Image gray{2, 2, 1};
+  EXPECT_THROW(normalize_chw(gray), std::invalid_argument);
+  Image rgb{2, 2, 3};
+  EXPECT_THROW(normalize_chw(rgb, kImageNetMean, {1.0f, 0.0f, 1.0f}), std::invalid_argument);
+}
+
+TEST(CenterCrop, SquareFromRectangle) {
+  const Image img = make_synthetic(60, 40, Pattern::kGradient, 1);
+  const Image crop = center_crop(img, 40);
+  EXPECT_EQ(crop.width(), 40);
+  EXPECT_EQ(crop.height(), 40);
+  EXPECT_EQ(crop.at(0, 0, 0), img.at(10, 0, 0));
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  const Image a = make_synthetic(32, 32, Pattern::kTexture, 5);
+  const Image b = make_synthetic(32, 32, Pattern::kTexture, 5);
+  const Image c = make_synthetic(32, 32, Pattern::kTexture, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(FullPreprocessingPipeline, MatchesPaperStages) {
+  // The paper's preprocessing: JPEG decode -> resize -> normalize. Run the
+  // real pipeline end to end on a medium-class image.
+  const Image original = make_synthetic(500, 375, Pattern::kScene, 13);
+  const auto wire = encode_jpeg(original, {.quality = 85});
+  const Image decoded = decode_jpeg(wire);
+  const Image resized = resize(decoded, 224, 224);
+  const auto tensor = normalize_chw(resized);
+  EXPECT_EQ(tensor.size(), 224u * 224u * 3u);
+  for (float v : tensor) {
+    EXPECT_GT(v, -4.0f);
+    EXPECT_LT(v, 4.0f);
+  }
+}
+
+}  // namespace
+}  // namespace serve::codec

@@ -1,0 +1,196 @@
+// Tests for the from-scratch DEFLATE/zlib and PNG implementations.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "codec/deflate.h"
+#include "codec/jpeg.h"
+#include "codec/png.h"
+#include "codec/synthetic.h"
+#include "sim/rng.h"
+
+namespace serve::codec {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// --- DEFLATE / zlib ------------------------------------------------------------
+
+TEST(Deflate, RoundTripText) {
+  const auto input = bytes_of(
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog again and again and again");
+  const auto compressed = deflate(input);
+  EXPECT_LT(compressed.size(), input.size());  // repetitive text must shrink
+  EXPECT_EQ(inflate(compressed, input.size()), input);
+}
+
+TEST(Deflate, RoundTripEmpty) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_EQ(inflate(deflate(empty)), empty);
+}
+
+TEST(Deflate, IncompressibleFallsBackToStored) {
+  sim::Rng rng{3};
+  std::vector<std::uint8_t> noise(100000);
+  for (auto& b : noise) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  const auto compressed = deflate(noise);
+  // Stored blocks: 5 bytes of header per 64k chunk.
+  EXPECT_LE(compressed.size(), noise.size() + 5 * (noise.size() / 65535 + 1));
+  EXPECT_EQ(inflate(compressed, noise.size()), noise);
+}
+
+TEST(Deflate, LongRunCompressesMassively) {
+  std::vector<std::uint8_t> run(200000, 0xAB);
+  const auto compressed = deflate(run);
+  EXPECT_LT(compressed.size(), run.size() / 100);
+  EXPECT_EQ(inflate(compressed, run.size()), run);
+}
+
+TEST(Deflate, RejectsGarbage) {
+  const std::vector<std::uint8_t> garbage{0x07, 0xFF, 0xAA, 0x55};
+  EXPECT_THROW((void)inflate(garbage), jpeg::CodecError);
+}
+
+TEST(Deflate, RejectsTruncation) {
+  auto compressed = deflate(bytes_of("hello world hello world hello world"));
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW((void)inflate(compressed), jpeg::CodecError);
+}
+
+// Round-trip property over data shapes and sizes.
+class DeflatePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeflatePropertyTest, RoundTripExact) {
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(rng.uniform_int(1, 150000)));
+  switch (GetParam() % 3) {
+    case 0:  // structured: repeated phrases
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<std::uint8_t>("abcabcdabcde"[i % 12]);
+      }
+      break;
+    case 1:  // smooth ramp (PNG-filter-like)
+      std::iota(data.begin(), data.end(), 0);
+      break;
+    default:  // mixed noise/runs
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = (i / 100) % 2 == 0 ? 0x11 : static_cast<std::uint8_t>(rng() & 0xFF);
+      }
+  }
+  EXPECT_EQ(inflate(deflate(data), data.size()), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DeflatePropertyTest, ::testing::Range(1, 10));
+
+TEST(Adler32, KnownVector) {
+  // adler32("Wikipedia") = 0x11E60398
+  const auto s = bytes_of("Wikipedia");
+  EXPECT_EQ(adler32(s), 0x11E60398u);
+  EXPECT_EQ(adler32({}), 1u);
+}
+
+TEST(Zlib, RoundTripAndChecks) {
+  const auto input = bytes_of("zlib wraps deflate with a header and an Adler-32 trailer");
+  auto z = zlib_compress(input);
+  EXPECT_EQ(zlib_decompress(z, input.size()), input);
+  // Corrupt the trailer: Adler must catch it.
+  z.back() ^= 0xFF;
+  EXPECT_THROW((void)zlib_decompress(z), jpeg::CodecError);
+  // Corrupt the header check.
+  auto z2 = zlib_compress(input);
+  z2[1] ^= 0x01;
+  EXPECT_THROW((void)zlib_decompress(z2), jpeg::CodecError);
+}
+
+// --- PNG -------------------------------------------------------------------------
+
+TEST(Png, LosslessRoundTripRgb) {
+  const Image img = make_synthetic(120, 80, Pattern::kScene, 7);
+  const auto bytes = encode_png(img);
+  const Image back = decode_png(bytes);
+  EXPECT_EQ(img, back);  // bit-exact: PNG is lossless
+}
+
+TEST(Png, LosslessRoundTripGray) {
+  Image gray{33, 21, 1};
+  for (int y = 0; y < 21; ++y) {
+    for (int x = 0; x < 33; ++x) gray.at(x, y, 0) = static_cast<std::uint8_t>((3 * x + 7 * y) & 0xFF);
+  }
+  EXPECT_EQ(decode_png(encode_png(gray)), gray);
+}
+
+TEST(Png, PeekInfo) {
+  const Image img = make_synthetic(50, 40, Pattern::kGradient, 1);
+  const auto info = peek_png_info(encode_png(img));
+  EXPECT_EQ(info.width, 50);
+  EXPECT_EQ(info.height, 40);
+  EXPECT_EQ(info.channels, 3);
+}
+
+TEST(Png, AdaptiveFiltersShrinkGradients) {
+  const Image img = make_synthetic(256, 256, Pattern::kGradient, 1);
+  const auto adaptive = encode_png(img, {.adaptive_filters = true});
+  const auto none = encode_png(img, {.adaptive_filters = false});
+  EXPECT_EQ(decode_png(adaptive), decode_png(none));  // same pixels either way
+  EXPECT_LT(adaptive.size(), none.size());            // gradients love Sub/Up
+}
+
+TEST(Png, RejectsBadSignatureAndCorruptCrc) {
+  const Image img = make_synthetic(16, 16, Pattern::kScene, 2);
+  auto bytes = encode_png(img);
+  auto bad_sig = bytes;
+  bad_sig[0] = 0;
+  EXPECT_THROW((void)decode_png(bad_sig), jpeg::CodecError);
+  // Flip a byte inside IHDR payload: chunk CRC must catch it.
+  auto bad_crc = bytes;
+  bad_crc[16] ^= 0xFF;
+  EXPECT_THROW((void)decode_png(bad_crc), jpeg::CodecError);
+}
+
+TEST(Png, RejectsTruncation) {
+  const Image img = make_synthetic(40, 40, Pattern::kTexture, 4);
+  auto bytes = encode_png(img);
+  bytes.resize(bytes.size() - 16);
+  EXPECT_THROW((void)decode_png(bytes), jpeg::CodecError);
+}
+
+TEST(Png, OddSizesRoundTrip) {
+  for (auto [w, h] : {std::pair{1, 1}, {7, 3}, {255, 1}, {1, 255}, {33, 97}}) {
+    const Image img = make_synthetic(w, h, Pattern::kScene, 19);
+    EXPECT_EQ(decode_png(encode_png(img)), img) << w << "x" << h;
+  }
+}
+
+// Property sweep: lossless across patterns and filter modes.
+class PngRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<Pattern, bool>> {};
+
+TEST_P(PngRoundTripTest, BitExact) {
+  const auto [pattern, adaptive] = GetParam();
+  const Image img = make_synthetic(90, 60, pattern, 31);
+  const auto bytes = encode_png(img, {.adaptive_filters = adaptive});
+  EXPECT_EQ(decode_png(bytes), img);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PngRoundTripTest,
+                         ::testing::Combine(::testing::Values(Pattern::kGradient,
+                                                              Pattern::kTexture, Pattern::kScene,
+                                                              Pattern::kCheckers),
+                                            ::testing::Bool()));
+
+TEST(Png, WireSizeTradeoffVsJpeg) {
+  // The format trade-off the serving ablation studies: PNG is lossless but
+  // much larger on the wire than JPEG for photographic content.
+  const Image img = make_synthetic(500, 375, Pattern::kScene, 5);
+  const auto png = encode_png(img);
+  const auto jpg = encode_jpeg(img, {.quality = 85});
+  EXPECT_GT(png.size(), 2 * jpg.size());
+  EXPECT_LT(png.size(), img.data().size());  // still beats raw
+}
+
+}  // namespace
+}  // namespace serve::codec

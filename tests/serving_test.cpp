@@ -1,0 +1,494 @@
+// Integration tests of the serving stack: server + clients on the simulated
+// platform, checking conservation, breakdown accounting, and scheduler
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/experiment.h"
+#include "hw/image_spec.h"
+#include "models/model_zoo.h"
+#include "serving/batcher.h"
+#include "serving/client.h"
+#include "serving/server.h"
+
+namespace serve {
+namespace {
+
+using core::ExperimentSpec;
+using metrics::Stage;
+using serving::PipelineMode;
+using serving::PreprocDevice;
+
+ExperimentSpec base_spec() {
+  ExperimentSpec spec;
+  spec.server.model = models::vit_base();
+  spec.server.preproc = PreprocDevice::kGpu;
+  spec.concurrency = 64;
+  spec.warmup = sim::seconds(1.0);
+  spec.measure = sim::seconds(4.0);
+  return spec;
+}
+
+TEST(InferenceServer, CompletesRequestsUnderLoad) {
+  const auto r = core::run_experiment(base_spec());
+  EXPECT_GT(r.completed, 1000u);
+  EXPECT_GT(r.throughput_rps, 100.0);
+  EXPECT_GT(r.mean_latency_s, 0.0);
+  EXPECT_GE(r.p99_latency_s, r.p50_latency_s);
+}
+
+TEST(InferenceServer, StageTimesSumToLatency) {
+  // Per-request stage charges are wall-time segments: their sum must equal
+  // the end-to-end latency (conservation of time).
+  auto spec = base_spec();
+  spec.concurrency = 32;
+  const auto r = core::run_experiment(spec);
+  ASSERT_GT(r.completed, 0u);
+  EXPECT_NEAR(r.breakdown.mean_total(), r.mean_latency_s, r.mean_latency_s * 1e-6);
+}
+
+TEST(InferenceServer, ZeroLoadBatchSizeIsOne) {
+  auto spec = base_spec();
+  const auto r = core::run_zero_load(spec);
+  ASSERT_GT(r.completed, 10u);
+  EXPECT_DOUBLE_EQ(r.mean_batch, 1.0);
+}
+
+TEST(InferenceServer, DynamicBatchingGrowsBatchesUnderLoad) {
+  auto spec = base_spec();
+  spec.concurrency = 512;
+  const auto r = core::run_experiment(spec);
+  EXPECT_GT(r.mean_batch, 8.0);
+}
+
+TEST(InferenceServer, CpuPreprocessingSlowerThanGpuForMediumImages) {
+  auto spec = base_spec();
+  spec.concurrency = 256;
+  spec.server.preproc = PreprocDevice::kGpu;
+  const auto gpu = core::run_experiment(spec);
+  spec.server.preproc = PreprocDevice::kCpu;
+  const auto cpu = core::run_experiment(spec);
+  EXPECT_GT(gpu.throughput_rps, cpu.throughput_rps);
+}
+
+TEST(InferenceServer, CpuWinsZeroLoadLatencyForSmallImages) {
+  auto spec = base_spec();
+  spec.image = hw::kSmallImage;
+  spec.server.preproc = PreprocDevice::kCpu;
+  const auto cpu = core::run_zero_load(spec);
+  spec.server.preproc = PreprocDevice::kGpu;
+  const auto gpu = core::run_zero_load(spec);
+  EXPECT_LT(cpu.mean_latency_s, gpu.mean_latency_s);
+}
+
+TEST(InferenceServer, LargerImagesRaisePreprocShare) {
+  auto spec = base_spec();
+  spec.server.preproc = PreprocDevice::kCpu;
+  spec.image = hw::kMediumImage;
+  const auto medium = core::run_zero_load(spec);
+  spec.image = hw::kLargeImage;
+  const auto large = core::run_zero_load(spec);
+  EXPECT_GT(large.stage_share(Stage::kPreprocess), medium.stage_share(Stage::kPreprocess));
+  EXPECT_GT(large.stage_share(Stage::kPreprocess), 0.9);
+}
+
+TEST(InferenceServer, PreprocessOnlyAndInferenceOnlyModes) {
+  auto spec = base_spec();
+  spec.server.mode = PipelineMode::kPreprocessOnly;
+  const auto pre = core::run_experiment(spec);
+  EXPECT_GT(pre.completed, 0u);
+  EXPECT_DOUBLE_EQ(pre.breakdown.mean(Stage::kInference), 0.0);
+
+  spec.server.mode = PipelineMode::kInferenceOnly;
+  const auto inf = core::run_experiment(spec);
+  EXPECT_GT(inf.completed, 0u);
+  EXPECT_DOUBLE_EQ(inf.breakdown.mean(Stage::kPreprocess), 0.0);
+}
+
+TEST(InferenceServer, MultiGpuScalesMediumImageThroughput) {
+  auto spec = base_spec();
+  spec.concurrency = 512;
+  const auto one = core::run_experiment(spec);
+  spec.gpu_count = 2;
+  const auto two = core::run_experiment(spec);
+  EXPECT_GT(two.throughput_rps, one.throughput_rps * 1.6);
+}
+
+TEST(InferenceServer, HigherConcurrencyRaisesQueueShare) {
+  auto spec = base_spec();
+  spec.concurrency = 8;
+  const auto low = core::run_experiment(spec);
+  spec.concurrency = 1024;
+  spec.measure = sim::seconds(6.0);
+  const auto high = core::run_experiment(spec);
+  EXPECT_GT(high.stage_share(Stage::kQueue), low.stage_share(Stage::kQueue));
+  EXPECT_GT(high.stage_share(Stage::kQueue), 0.5);
+}
+
+TEST(InferenceServer, EnergyPositiveAndCpuPreprocCostsMoreCpuEnergy) {
+  auto spec = base_spec();
+  spec.concurrency = 256;
+  spec.server.preproc = PreprocDevice::kGpu;
+  const auto gpu = core::run_experiment(spec);
+  spec.server.preproc = PreprocDevice::kCpu;
+  const auto cpu = core::run_experiment(spec);
+  EXPECT_GT(gpu.energy.total_joules(), 0.0);
+  EXPECT_GT(cpu.cpu_joules_per_image(), gpu.cpu_joules_per_image());
+}
+
+TEST(InferenceServer, SubmitAfterShutdownThrows) {
+  sim::Simulator sim;
+  hw::Platform platform{sim, {}};
+  serving::ServerConfig cfg;
+  cfg.model = models::vit_base();
+  serving::InferenceServer server{platform, cfg};
+  server.shutdown();
+  auto req = std::make_shared<serving::Request>(sim, 1, hw::kMediumImage);
+  EXPECT_THROW(server.submit(req), std::logic_error);
+}
+
+TEST(InferenceServer, ShutdownDrainsInFlightRequests) {
+  sim::Simulator sim;
+  hw::Platform platform{sim, {}};
+  serving::ServerConfig cfg;
+  cfg.model = models::vit_base();
+  serving::InferenceServer server{platform, cfg};
+  auto req = std::make_shared<serving::Request>(sim, 1, hw::kMediumImage);
+  server.submit(req);
+  server.shutdown();
+  EXPECT_EQ(server.in_flight(), 0u);
+  EXPECT_TRUE(req->done.is_set());
+}
+
+TEST(InferenceServer, ShutdownFlushesPartialFixedBatch) {
+  // With fixed-size batching a trailing partial batch must still complete.
+  sim::Simulator sim;
+  hw::Platform platform{sim, {}};
+  serving::ServerConfig cfg;
+  cfg.model = models::vit_base();
+  cfg.dynamic_batching = false;
+  cfg.fixed_batch = 64;
+  serving::InferenceServer server{platform, cfg};
+  std::vector<serving::RequestPtr> reqs;
+  for (int i = 0; i < 10; ++i) {
+    reqs.push_back(std::make_shared<serving::Request>(sim, static_cast<std::uint64_t>(i + 1),
+                                                      hw::kMediumImage));
+    server.submit(reqs.back());
+  }
+  sim.run();
+  EXPECT_EQ(server.in_flight(), 10u);  // stuck: batch of 64 never fills
+  server.shutdown();
+  EXPECT_EQ(server.in_flight(), 0u);
+  for (const auto& r : reqs) EXPECT_TRUE(r->done.is_set());
+}
+
+TEST(InferenceServer, LoadSheddingBoundsTailUnderOverload) {
+  auto spec = base_spec();
+  spec.concurrency = 2048;
+  spec.measure = sim::seconds(5.0);
+  spec.server.shed_deadline = sim::milliseconds(150);
+  const auto shed = core::run_experiment(spec);
+  // Closed-loop 2048 clients on a ~1.8k img/s server: without shedding the
+  // p99 sits near concurrency/throughput ~ 1.1 s; with it, near the deadline.
+  EXPECT_LT(shed.p99_latency_s, 0.3);
+  spec.server.shed_deadline = 0;
+  const auto raw = core::run_experiment(spec);
+  EXPECT_GT(raw.p99_latency_s, 0.8);
+}
+
+TEST(InferenceServer, NoDropsUnderLightLoad) {
+  sim::Simulator sim;
+  hw::Platform platform{sim, {}};
+  serving::ServerConfig cfg;
+  cfg.model = models::vit_base();
+  cfg.shed_deadline = sim::seconds(1.0);
+  serving::InferenceServer server{platform, cfg};
+  serving::ClosedLoopClients clients{
+      server, {.concurrency = 4, .image_source = serving::fixed_image(hw::kMediumImage)}};
+  clients.start();
+  sim.run_until(sim::seconds(3.0));
+  EXPECT_EQ(server.stats().dropped(), 0u);
+  EXPECT_GT(server.stats().completed(), 100u);
+  clients.stop();
+  sim.run();
+  server.shutdown();
+}
+
+TEST(InferenceServer, DroppedRequestsSignalCompletionWithFlag) {
+  sim::Simulator sim;
+  hw::Platform platform{sim, {}};
+  serving::ServerConfig cfg;
+  cfg.model = models::vit_base();
+  cfg.shed_deadline = sim::nanoseconds(1);  // everything blows the deadline
+  serving::InferenceServer server{platform, cfg};
+  auto req = std::make_shared<serving::Request>(sim, 1, hw::kMediumImage);
+  server.submit(req);
+  sim.run();
+  EXPECT_TRUE(req->done.is_set());
+  EXPECT_TRUE(req->dropped);
+  EXPECT_EQ(server.stats().dropped(), 1u);
+  EXPECT_EQ(server.in_flight(), 0u);
+  server.shutdown();
+}
+
+TEST(InferenceServer, TwoModelsShareOneGpu) {
+  // Two endpoints deployed on the same platform contend for the same
+  // compute engine — the deployment style of the Fig. 10 multi-DNN system.
+  sim::Simulator sim;
+  hw::Platform platform{sim, {}};
+  serving::ServerConfig big;
+  big.model = models::vit_base();
+  serving::ServerConfig small;
+  small.model = models::tiny_vit();
+  serving::InferenceServer server_big{platform, big};
+  serving::InferenceServer server_small{platform, small};
+  serving::ClosedLoopClients clients_big{
+      server_big, {.concurrency = 64, .image_source = serving::fixed_image(hw::kMediumImage)}};
+  serving::ClosedLoopClients clients_small{
+      server_small, {.concurrency = 64, .image_source = serving::fixed_image(hw::kMediumImage)}};
+  clients_big.start();
+  clients_small.start();
+  sim.run_until(sim::seconds(2.0));
+  server_big.stats().begin();
+  server_small.stats().begin();
+  sim.run_until(sim::seconds(8.0));
+  const double tput_big = server_big.stats().throughput();
+  const double tput_small = server_small.stats().throughput();
+  // Both tenants make progress on the shared engine...
+  EXPECT_GT(tput_big, 100.0);
+  EXPECT_GT(tput_small, 100.0);
+  // ...but sharing costs the big model vs its ~1.8k img/s solo rate.
+  EXPECT_LT(tput_big, 1600.0);
+  clients_big.stop();
+  clients_small.stop();
+  sim.run();
+  server_big.shutdown();
+  server_small.shutdown();
+}
+
+TEST(Batcher, FixedModeWaitsForFullBatch) {
+  sim::Simulator sim;
+  serving::Batcher<int> batcher{sim, {.dynamic = false, .max_batch = 8, .fixed_batch = 4}};
+  std::vector<int> batch;
+  sim::Event ready{sim};
+  sim.spawn(batcher.collect_into(batch, ready));
+  for (int i = 0; i < 3; ++i) batcher.input().try_put(i);
+  sim.run();
+  EXPECT_FALSE(ready.is_set());  // only 3 of 4 items
+  batcher.input().try_put(3);
+  sim.run();
+  EXPECT_TRUE(ready.is_set());
+  EXPECT_EQ(batch.size(), 4u);
+}
+
+TEST(Batcher, DynamicModeDrainsQueueUpToMax) {
+  sim::Simulator sim;
+  serving::Batcher<int> batcher{sim, {.dynamic = true, .max_batch = 4}};
+  for (int i = 0; i < 7; ++i) batcher.input().try_put(i);
+  std::vector<int> batch;
+  sim::Event ready{sim};
+  sim.spawn(batcher.collect_into(batch, ready));
+  sim.run();
+  EXPECT_EQ(batch.size(), 4u);  // capped at max_batch
+  EXPECT_EQ(batcher.queued(), 3u);
+}
+
+TEST(Batcher, QueueDelayLingersToFillBatch) {
+  sim::Simulator sim;
+  serving::Batcher<int> batcher{
+      sim, {.dynamic = true, .max_batch = 4, .max_queue_delay = sim::milliseconds(5)}};
+  std::vector<int> batch;
+  sim::Event ready{sim};
+  sim.spawn(batcher.collect_into(batch, ready));
+  batcher.input().try_put(0);
+  sim.schedule_at(sim::milliseconds(2), [&] { batcher.input().try_put(1); });
+  sim.schedule_at(sim::milliseconds(10), [&] { batcher.input().try_put(2); });  // too late
+  sim.run();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(Batcher, ClosedInputYieldsEmptyBatch) {
+  sim::Simulator sim;
+  serving::Batcher<int> batcher{sim, {}};
+  batcher.input().close();
+  std::vector<int> batch{1, 2, 3};
+  sim::Event ready{sim};
+  sim.spawn(batcher.collect_into(batch, ready));
+  sim.run();
+  EXPECT_TRUE(ready.is_set());
+  EXPECT_TRUE(batch.empty());
+}
+
+}  // namespace
+}  // namespace serve
+
+// --- Deployment config files ---------------------------------------------------
+
+#include "serving/config_file.h"
+
+namespace serve {
+namespace {
+
+TEST(ConfigFile, ParsesFullConfig) {
+  const auto cfg = serving::parse_server_config(R"(
+# demo endpoint
+model = vit-base
+backend = onnxruntime
+preprocessing = cpu
+dynamic_batching = false
+max_batch = 32
+fixed_batch = 16
+max_queue_delay_us = 1500
+shed_deadline_ms = 250
+)");
+  EXPECT_EQ(cfg.model.name, "vit-base");
+  EXPECT_EQ(cfg.backend, models::Backend::kOnnxRuntime);
+  EXPECT_EQ(cfg.preproc, serving::PreprocDevice::kCpu);
+  EXPECT_FALSE(cfg.dynamic_batching);
+  EXPECT_EQ(cfg.max_batch, 32);
+  EXPECT_EQ(cfg.fixed_batch, 16);
+  EXPECT_EQ(cfg.max_queue_delay, sim::microseconds(1500));
+  EXPECT_EQ(cfg.shed_deadline, sim::milliseconds(250));
+}
+
+TEST(ConfigFile, DefaultsAndRequiredModel) {
+  const auto cfg = serving::parse_server_config("model = resnet-50\n");
+  EXPECT_TRUE(cfg.dynamic_batching);
+  EXPECT_EQ(cfg.backend, models::Backend::kTensorRT);
+  EXPECT_THROW((void)serving::parse_server_config("backend = tensorrt\n"), std::invalid_argument);
+}
+
+TEST(ConfigFile, RejectsBadInput) {
+  EXPECT_THROW((void)serving::parse_server_config("model = no-such-model\n"), std::out_of_range);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nbackend = tvm\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nmystery_knob = 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nmax_batch = twelve\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nthis line has no equals\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigFile, FormatParsesBackIdentically) {
+  serving::ServerConfig cfg;
+  cfg.model = models::tiny_vit();
+  cfg.backend = models::Backend::kPyTorch;
+  cfg.preproc = serving::PreprocDevice::kCpu;
+  cfg.max_batch = 48;
+  cfg.shed_deadline = sim::milliseconds(100);
+  const auto round = serving::parse_server_config(serving::format_server_config(cfg));
+  EXPECT_EQ(round.model.name, cfg.model.name);
+  EXPECT_EQ(round.backend, cfg.backend);
+  EXPECT_EQ(round.preproc, cfg.preproc);
+  EXPECT_EQ(round.max_batch, cfg.max_batch);
+  EXPECT_EQ(round.shed_deadline, cfg.shed_deadline);
+}
+
+TEST(ConfigFile, LoadFromDisk) {
+  const auto path = std::filesystem::temp_directory_path() / "servescope_cfg_test.cfg";
+  {
+    std::ofstream out{path};
+    out << "model = vit-base\npreprocessing = gpu\n";
+  }
+  const auto cfg = serving::load_server_config(path);
+  EXPECT_EQ(cfg.model.name, "vit-base");
+  std::filesystem::remove(path);
+  EXPECT_THROW((void)serving::load_server_config(path), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace serve
+
+// --- Instance groups -------------------------------------------------------------
+
+namespace serve {
+namespace {
+
+TEST(InferenceServer, ExtraInstancesOverlapStagingWithCompute) {
+  // On the CPU-preprocessing path the ensemble-hop staging serializes with
+  // compute inside one instance; a second instance hides it behind the
+  // previous batch's kernel (CUDA-streams overlap).
+  core::ExperimentSpec spec;
+  spec.server.model = models::vit_base();
+  spec.server.preproc = serving::PreprocDevice::kCpu;
+  spec.concurrency = 256;
+  spec.warmup = sim::seconds(1.0);
+  spec.measure = sim::seconds(5.0);
+  spec.server.instance_count = 1;
+  const auto one = core::run_experiment(spec);
+  spec.server.instance_count = 2;
+  const auto two = core::run_experiment(spec);
+  EXPECT_GT(two.throughput_rps, one.throughput_rps * 1.05);
+}
+
+TEST(InferenceServer, InvalidInstanceCountThrows) {
+  sim::Simulator sim;
+  hw::Platform platform{sim, {}};
+  serving::ServerConfig cfg;
+  cfg.model = models::vit_base();
+  cfg.instance_count = 0;
+  EXPECT_THROW((serving::InferenceServer{platform, cfg}), std::invalid_argument);
+}
+
+TEST(ConfigFile, InstanceCountRoundTrip) {
+  const auto cfg =
+      serving::parse_server_config("model = vit-base\ninstance_count = 3\n");
+  EXPECT_EQ(cfg.instance_count, 3);
+  const auto round = serving::parse_server_config(serving::format_server_config(cfg));
+  EXPECT_EQ(round.instance_count, 3);
+}
+
+}  // namespace
+}  // namespace serve
+
+// --- Cross-configuration property sweep -------------------------------------------
+
+namespace serve {
+namespace {
+
+// (preproc device, pipeline mode, concurrency, image class)
+using ServingGridParam = std::tuple<serving::PreprocDevice, serving::PipelineMode, int, int>;
+
+class ServingPropertyTest : public ::testing::TestWithParam<ServingGridParam> {};
+
+TEST_P(ServingPropertyTest, ConservationAndDeterminismHoldEverywhere) {
+  const auto [dev, mode, concurrency, image_idx] = GetParam();
+  const hw::ImageSpec images[] = {hw::kSmallImage, hw::kMediumImage, hw::kLargeImage};
+  core::ExperimentSpec spec;
+  spec.server.model = models::resnet50();
+  spec.server.preproc = dev;
+  spec.server.mode = mode;
+  spec.concurrency = concurrency;
+  spec.image = images[image_idx];
+  spec.warmup = sim::seconds(0.5);
+  spec.measure = sim::seconds(2.0);
+
+  const auto a = core::run_experiment(spec);
+  ASSERT_GT(a.completed, 0u);
+  // Conservation: per-request stage times sum to end-to-end latency.
+  EXPECT_NEAR(a.breakdown.mean_total(), a.mean_latency_s, a.mean_latency_s * 1e-6);
+  // Sanity: percentiles ordered, throughput positive, energy positive.
+  EXPECT_LE(a.p50_latency_s, a.p99_latency_s * (1 + 1e-12));
+  EXPECT_GT(a.throughput_rps, 0.0);
+  EXPECT_GT(a.energy.total_joules(), 0.0);
+  // Determinism: bit-identical on re-run.
+  const auto b = core::run_experiment(spec);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ServingPropertyTest,
+    ::testing::Combine(::testing::Values(serving::PreprocDevice::kCpu,
+                                         serving::PreprocDevice::kGpu),
+                       ::testing::Values(serving::PipelineMode::kEndToEnd,
+                                         serving::PipelineMode::kPreprocessOnly,
+                                         serving::PipelineMode::kInferenceOnly),
+                       ::testing::Values(1, 64, 512), ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace serve

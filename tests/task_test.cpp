@@ -1,0 +1,146 @@
+// Tests for sim::Task<T> — the awaitable sub-coroutine used to compose
+// pipeline fragments (broker publish/consume, transfers).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace serve::sim {
+namespace {
+
+Task<int> add_later(Simulator& sim, int a, int b) {
+  co_await sim.wait(milliseconds(1));
+  co_return a + b;
+}
+
+TEST(Task, ReturnsValueAfterVirtualDelay) {
+  Simulator sim;
+  int result = 0;
+  Time done_at = -1;
+  auto runner = [&](Simulator& s) -> Process {
+    result = co_await add_later(s, 2, 3);
+    done_at = s.now();
+  };
+  sim.spawn(runner(sim));
+  sim.run();
+  EXPECT_EQ(result, 5);
+  EXPECT_EQ(done_at, milliseconds(1));
+}
+
+Task<> step(Simulator& sim, std::vector<int>& log, int id) {
+  log.push_back(id);
+  co_await sim.wait(milliseconds(1));
+  log.push_back(-id);
+}
+
+TEST(Task, SequentialCompositionPreservesOrder) {
+  Simulator sim;
+  std::vector<int> log;
+  auto runner = [&](Simulator& s) -> Process {
+    co_await step(s, log, 1);
+    co_await step(s, log, 2);
+    co_await step(s, log, 3);
+  };
+  sim.spawn(runner(sim));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<int>{1, -1, 2, -2, 3, -3}));
+  EXPECT_EQ(sim.now(), milliseconds(3));
+}
+
+Task<std::string> failing_task(Simulator& sim) {
+  co_await sim.wait(milliseconds(1));
+  throw std::runtime_error("task boom");
+  co_return "unreachable";
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Simulator sim;
+  bool caught = false;
+  auto runner = [&](Simulator& s) -> Process {
+    try {
+      auto v = co_await failing_task(s);
+      (void)v;
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "task boom";
+    }
+  };
+  sim.spawn(runner(sim));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+Task<int> nested_inner(Simulator& sim) {
+  co_await sim.wait(milliseconds(1));
+  co_return 10;
+}
+
+Task<int> nested_outer(Simulator& sim) {
+  const int inner = co_await nested_inner(sim);
+  co_await sim.wait(milliseconds(1));
+  co_return inner * 2;
+}
+
+TEST(Task, NestedTasksCompose) {
+  Simulator sim;
+  int result = 0;
+  auto runner = [&](Simulator& s) -> Process { result = co_await nested_outer(s); };
+  sim.spawn(runner(sim));
+  sim.run();
+  EXPECT_EQ(result, 20);
+  EXPECT_EQ(sim.now(), milliseconds(2));
+}
+
+Task<> acquire_and_hold(Simulator& sim, Resource& res, Time hold) {
+  auto tok = co_await res.acquire();
+  co_await sim.wait(hold);
+}
+
+TEST(Task, CanAwaitResourcesInside) {
+  Simulator sim;
+  Resource res{sim, 1};
+  Time second_done = -1;
+  auto runner = [&](Simulator& s, bool record) -> Process {
+    co_await acquire_and_hold(s, res, milliseconds(5));
+    if (record) second_done = s.now();
+  };
+  sim.spawn(runner(sim, false));
+  sim.spawn(runner(sim, true));
+  sim.run();
+  EXPECT_EQ(second_done, milliseconds(10));  // serialized on the resource
+}
+
+TEST(Task, MoveOnlyResultTypes) {
+  Simulator sim;
+  auto make = [](Simulator& s) -> Task<std::unique_ptr<int>> {
+    co_await s.wait(milliseconds(1));
+    co_return std::make_unique<int>(42);
+  };
+  int got = 0;
+  auto runner = [&](Simulator& s) -> Process {
+    auto p = co_await make(s);
+    got = *p;
+  };
+  sim.spawn(runner(sim));
+  sim.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Task, UnawaitedTaskIsDestroyedCleanly) {
+  // A Task that is created but never awaited must not leak its frame.
+  Simulator sim;
+  {
+    auto t = add_later(sim, 1, 1);
+    (void)t;
+  }  // destructor runs here, frame destroyed without ever starting
+  sim.run();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace serve::sim

@@ -1,0 +1,91 @@
+// Tests for the workload module: image mixtures and the real JPEG corpus.
+#include <gtest/gtest.h>
+
+#include "codec/jpeg.h"
+#include "sim/rng.h"
+#include "workload/corpus.h"
+#include "workload/image_mixture.h"
+
+namespace serve::workload {
+namespace {
+
+TEST(ImageMixture, FixedAlwaysSamplesSameSpec) {
+  const auto m = ImageMixture::fixed(hw::kMediumImage);
+  sim::Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(m.sample(rng), hw::kMediumImage);
+}
+
+TEST(ImageMixture, WeightsRespected) {
+  ImageMixture m;
+  m.add(hw::kSmallImage, 1.0).add(hw::kLargeImage, 3.0);
+  sim::Rng rng{5};
+  int large = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) large += m.sample(rng) == hw::kLargeImage ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(large) / n, 0.75, 0.02);
+}
+
+TEST(ImageMixture, ImagenetLikeMostlyMedium) {
+  const auto m = ImageMixture::imagenet_like();
+  sim::Rng rng{9};
+  int medium = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) medium += m.sample(rng) == hw::kMediumImage ? 1 : 0;
+  EXPECT_GT(medium, n / 2);
+}
+
+TEST(ImageMixture, Errors) {
+  ImageMixture m;
+  EXPECT_THROW(m.add(hw::kSmallImage, 0.0), std::invalid_argument);
+  sim::Rng rng{1};
+  EXPECT_THROW((void)m.sample(rng), std::logic_error);
+  EXPECT_THROW((void)m.mean_weighted_spec(), std::logic_error);
+}
+
+TEST(ImageMixture, MeanWeightedSpec) {
+  ImageMixture m;
+  m.add(hw::ImageSpec{100, 100, 1000}, 1.0).add(hw::ImageSpec{300, 100, 3000}, 1.0);
+  const auto mean = m.mean_weighted_spec();
+  EXPECT_EQ(mean.width, 200);
+  EXPECT_EQ(mean.height, 100);
+  EXPECT_EQ(mean.compressed_bytes, 2000);
+}
+
+TEST(Corpus, ProducesDecodableJpegs) {
+  const auto corpus = make_corpus(hw::kSmallImage, 3, 11);
+  ASSERT_EQ(corpus.size(), 3u);
+  for (const auto& entry : corpus) {
+    EXPECT_EQ(entry.spec.width, hw::kSmallImage.width);
+    EXPECT_EQ(entry.spec.compressed_bytes, static_cast<std::int64_t>(entry.jpeg.size()));
+    const auto img = codec::decode_jpeg(entry.jpeg);
+    EXPECT_EQ(img.width(), hw::kSmallImage.width);
+    EXPECT_EQ(img.height(), hw::kSmallImage.height);
+  }
+}
+
+TEST(Corpus, DeterministicInSeed) {
+  const auto a = make_corpus(hw::kSmallImage, 2, 42);
+  const auto b = make_corpus(hw::kSmallImage, 2, 42);
+  const auto c = make_corpus(hw::kSmallImage, 2, 43);
+  EXPECT_EQ(a[0].jpeg, b[0].jpeg);
+  EXPECT_NE(a[0].jpeg, c[0].jpeg);
+  EXPECT_NE(a[0].jpeg, a[1].jpeg);  // different images within a corpus
+}
+
+TEST(Corpus, RejectsBadCount) {
+  EXPECT_THROW(make_corpus(hw::kSmallImage, 0), std::invalid_argument);
+}
+
+TEST(Corpus, RealPreprocessTimingIsPositiveAndDecodeHeavy) {
+  const auto corpus = make_corpus(hw::kMediumImage, 1, 3);
+  const auto t = time_real_preprocess(corpus[0], 224);
+  EXPECT_GT(t.decode_s, 0.0);
+  EXPECT_GT(t.resize_s, 0.0);
+  EXPECT_GT(t.normalize_s, 0.0);
+  // Decode dominates the preprocessing pipeline (paper Fig. 6 mechanism).
+  EXPECT_GT(t.decode_s, t.normalize_s);
+  EXPECT_NEAR(t.total(), t.decode_s + t.resize_s + t.normalize_s, 1e-12);
+}
+
+}  // namespace
+}  // namespace serve::workload

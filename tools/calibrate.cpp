@@ -1,0 +1,116 @@
+// Scratch calibration probe: prints the key paper targets vs simulated
+// values so calibration constants can be tuned quickly.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/face_pipeline.h"
+#include "models/model_zoo.h"
+
+using namespace serve;
+using core::ExperimentSpec;
+using metrics::Stage;
+using serving::PipelineMode;
+using serving::PreprocDevice;
+
+int main() {
+  // --- Fig 6: zero-load breakdown ---
+  for (auto [name, img] : {std::pair{"S", hw::kSmallImage}, {"M", hw::kMediumImage},
+                           {"L", hw::kLargeImage}}) {
+    for (auto dev : {PreprocDevice::kCpu, PreprocDevice::kGpu}) {
+      ExperimentSpec spec;
+      spec.server.model = models::vit_base();
+      spec.server.preproc = dev;
+      spec.image = img;
+      spec.warmup = sim::seconds(0.5);
+      auto r = core::run_zero_load(spec);
+      std::printf("fig6 %s %s: lat=%.2fms preproc=%.1f%% inf=%.1f%% xfer=%.1f%% queue=%.1f%%\n",
+                  name, dev == PreprocDevice::kCpu ? "cpu" : "gpu", r.mean_latency_s * 1e3,
+                  100 * r.stage_share(Stage::kPreprocess), 100 * r.stage_share(Stage::kInference),
+                  100 * r.stage_share(Stage::kTransfer), 100 * r.stage_share(Stage::kQueue));
+    }
+  }
+
+  // --- Fig 5-ish: loaded throughput, ViT medium ---
+  for (auto dev : {PreprocDevice::kCpu, PreprocDevice::kGpu}) {
+    for (int c : {64, 256, 1024, 4096}) {
+      ExperimentSpec spec;
+      spec.server.model = models::vit_base();
+      spec.server.preproc = dev;
+      spec.concurrency = c;
+      spec.measure = sim::seconds(8.0);
+      auto r = core::run_experiment(spec);
+      std::printf("fig5 %s c=%d: tput=%.0f lat=%.1fms q=%.0f%% batch=%.1f evict=%lu\n",
+                  dev == PreprocDevice::kCpu ? "cpu" : "gpu", c, r.throughput_rps,
+                  r.mean_latency_s * 1e3, 100 * r.stage_share(Stage::kQueue), r.mean_batch,
+                  (unsigned long)r.gpu_evictions);
+    }
+  }
+
+  // --- Fig 7: preproc-only / inference-only / e2e ---
+  for (const auto* m : {&models::vit_base(), &models::resnet50(), &models::tiny_vit()}) {
+    for (auto [name, img] : {std::pair{"S", hw::kSmallImage}, {"M", hw::kMediumImage},
+                             {"L", hw::kLargeImage}}) {
+      double tput[3];
+      int i = 0;
+      for (auto mode : {PipelineMode::kPreprocessOnly, PipelineMode::kInferenceOnly,
+                        PipelineMode::kEndToEnd}) {
+        ExperimentSpec spec;
+        spec.server.model = *m;
+        spec.server.preproc = PreprocDevice::kGpu;
+        spec.server.mode = mode;
+        spec.image = img;
+        spec.concurrency = 512;
+        spec.measure = sim::seconds(6.0);
+        tput[i++] = core::run_experiment(spec).throughput_rps;
+      }
+      std::printf("fig7 %s %s: pre=%.0f inf=%.0f e2e=%.0f (e2e/inf=%.1f%%)\n", m->name.data(),
+                  name, tput[0], tput[1], tput[2], 100 * tput[2] / tput[1]);
+    }
+  }
+
+  // --- Fig 9: multi-GPU ---
+  for (auto [name, img] : {std::pair{"M", hw::kMediumImage}, {"L", hw::kLargeImage}}) {
+    for (auto dev : {PreprocDevice::kCpu, PreprocDevice::kGpu}) {
+      std::printf("fig9 %s %s:", name, dev == PreprocDevice::kCpu ? "cpu" : "gpu");
+      for (int g = 1; g <= 4; ++g) {
+        ExperimentSpec spec;
+        spec.server.model = models::vit_base();
+        spec.server.preproc = dev;
+        spec.image = img;
+        spec.gpu_count = g;
+        spec.concurrency = 1024;
+        spec.measure = sim::seconds(6.0);
+        auto r = core::run_experiment(spec);
+        std::printf(" %d:%.0f", g, r.throughput_rps);
+      }
+      std::printf("\n");
+    }
+  }
+  // --- Fig 11: brokers ---
+  for (int f : {1, 3, 5, 9, 15, 25}) {
+    std::printf("fig11 f=%d:", f);
+    for (auto k : {core::BrokerKind::kKafka, core::BrokerKind::kRedis, core::BrokerKind::kFused}) {
+      core::FacePipelineSpec spec;
+      spec.broker = k;
+      spec.faces_per_frame = f;
+      spec.concurrency = 16;
+      auto r = core::run_face_pipeline(spec);
+      std::printf(" %s tput=%.1f", core::broker_kind_name(k).data(), r.frames_per_s);
+    }
+    std::printf("\n");
+  }
+  for (auto k : {core::BrokerKind::kKafka, core::BrokerKind::kRedis, core::BrokerKind::kFused}) {
+    core::FacePipelineSpec spec;
+    spec.broker = k;
+    spec.faces_per_frame = 25;
+    spec.concurrency = 1;  // zero load
+    spec.measure = sim::seconds(30.0);
+    auto r = core::run_face_pipeline(spec);
+    std::printf("fig11 zeroload %s: lat=%.1fms broker=%.1f%% inf=%.1f%% pre=%.1f%% q=%.1f%%\n",
+                core::broker_kind_name(k).data(), r.mean_latency_s * 1e3, 100 * r.broker_share(),
+                100 * r.breakdown.share(Stage::kInference),
+                100 * r.breakdown.share(Stage::kPreprocess),
+                100 * r.breakdown.share(Stage::kQueue));
+  }
+  return 0;
+}
