@@ -4,6 +4,8 @@
 //
 // Paper findings: CPU preprocessing wins for small images; preprocessing
 // share reaches 56%/49% (medium, CPU/GPU) and up to 97%/88% (large).
+#include <stdexcept>
+
 #include "bench_util.h"
 #include "core/experiment.h"
 #include "models/model_zoo.h"
@@ -13,7 +15,16 @@ using core::ExperimentSpec;
 using metrics::Stage;
 using serving::PreprocDevice;
 
-int main() {
+int main(int argc, char** argv) {
+  core::HarnessOptions harness;
+  try {
+    harness = core::parse_harness_options(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  sim::TraceRecorder trace;
+  std::uint64_t violations = 0;
   bench::print_banner("Figure 6", "Zero-load latency breakdown (ViT, S/M/L, CPU vs GPU preproc)");
 
   struct Row {
@@ -42,7 +53,10 @@ int main() {
     spec.server.preproc = row.dev;
     spec.image = row.image;
     spec.warmup = sim::seconds(0.5);
+    harness.apply(spec, trace);
     const auto r = core::run_zero_load(spec);
+    violations += core::report_audit(
+        r, std::string(row.size) + "/" + (row.dev == PreprocDevice::kCpu ? "cpu" : "gpu"));
     const double pre = r.stage_share(Stage::kPreprocess);
     const double inf = r.stage_share(Stage::kInference);
     const double xfer = r.stage_share(Stage::kTransfer);
@@ -88,5 +102,5 @@ int main() {
   checks.push_back({"large-image preprocessing dominates on GPU too (paper: 88%)",
                     share[1][2] > 0.70, std::to_string(100 * share[1][2]) + " %"});
   bench::print_checks(checks);
-  return 0;
+  return core::finish_harness(harness, trace, violations) ? 0 : 1;
 }

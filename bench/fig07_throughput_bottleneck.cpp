@@ -7,6 +7,8 @@
 // inference are comparably fast; TinyViT small/medium is the outlier where
 // end-to-end *beats* inference-only because inference-only must ship the ~5x
 // larger raw tensor over PCIe.
+#include <stdexcept>
+
 #include "bench_util.h"
 #include "core/experiment.h"
 #include "models/model_zoo.h"
@@ -16,7 +18,16 @@ using core::ExperimentSpec;
 using serving::PipelineMode;
 using serving::PreprocDevice;
 
-int main() {
+int main(int argc, char** argv) {
+  core::HarnessOptions harness;
+  try {
+    harness = core::parse_harness_options(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  sim::TraceRecorder trace;
+  std::uint64_t violations = 0;
   bench::print_banner("Figure 7",
                       "Preprocessing-only vs inference-only vs end-to-end throughput");
 
@@ -44,7 +55,17 @@ int main() {
         spec.image = image;
         spec.concurrency = 512;
         spec.measure = sim::seconds(6.0);
-        tput[i++] = core::run_experiment(spec).throughput_rps;
+        // Tracing every run would overlay 27 experiments on one virtual
+        // timeline; restrict span capture to the ViT-Base rows.
+        if (model == &models::vit_base()) {
+          harness.apply(spec, trace);
+        } else if (harness.auditing()) {
+          spec.server.audit = true;
+        }
+        const auto r = core::run_experiment(spec);
+        violations += core::report_audit(
+            r, std::string(model->name) + "/" + size_name + "/mode" + std::to_string(i));
+        tput[i++] = r.throughput_rps;
       }
       const double ratio = tput[2] / tput[1];
       table.add_row({std::string(model->name), std::string(size_name), tput[0], tput[1],
@@ -74,5 +95,5 @@ int main() {
                     resnet_medium_ratio > 0.85 && resnet_medium_ratio < 1.1,
                     std::to_string(100 * resnet_medium_ratio) + " %"});
   bench::print_checks(checks);
-  return 0;
+  return core::finish_harness(harness, trace, violations) ? 0 : 1;
 }

@@ -74,6 +74,11 @@ FileLogBroker::~FileLogBroker() {
 void FileLogBroker::open_new_segment() {
   if (active_fd_ >= 0) {
     ::fsync(active_fd_);
+    ++fsyncs_;
+    // Rotation just made everything appended so far durable; restart the
+    // fsync cadence so the new segment's first records are not synced
+    // off-interval.
+    appends_since_sync_ = 0;
     ::close(active_fd_);
   }
   const fs::path path = opts_.dir / segment_name(segments_.size());
@@ -97,6 +102,7 @@ std::uint64_t FileLogBroker::publish(const std::string& payload) {
   active_bytes_ += kHeaderBytes + payload.size();
   if (++appends_since_sync_ >= opts_.fsync_interval) {
     if (::fsync(active_fd_) != 0) throw_errno("FileLogBroker: fsync");
+    ++fsyncs_;
     appends_since_sync_ = 0;
   }
   index_.push_back(RecordRef{segments_.size() - 1, file_offset, len});
@@ -138,6 +144,11 @@ std::size_t FileLogBroker::segment_count() const {
   return segments_.size();
 }
 
+std::uint64_t FileLogBroker::fsync_count() const {
+  std::lock_guard lock{mu_};
+  return fsyncs_;
+}
+
 void FileLogBroker::truncate_segment(std::size_t seg_idx, std::uint64_t keep_bytes) {
   if (::truncate(segments_[seg_idx].c_str(), static_cast<off_t>(keep_bytes)) != 0) {
     throw_errno("FileLogBroker: truncate torn tail");
@@ -149,6 +160,12 @@ void FileLogBroker::index_segment(std::size_t seg_idx) {
   const bool tolerant = opts_.tolerate_torn_tail && is_tail_segment;
   const int fd = ::open(segments_[seg_idx].c_str(), O_RDONLY);
   if (fd < 0) throw_errno("FileLogBroker: open for recovery");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw_errno("FileLogBroker: stat during recovery");
+  }
+  const auto file_size = static_cast<std::uint64_t>(st.st_size);
   std::uint64_t pos = 0;
   std::array<char, kHeaderBytes> header;
   while (true) {
@@ -165,6 +182,23 @@ void FileLogBroker::index_segment(std::size_t seg_idx) {
     std::uint32_t len, crc;
     std::memcpy(&len, header.data(), 4);
     std::memcpy(&crc, header.data() + 4, 4);
+    // Validate the claimed length against the bytes actually on disk before
+    // trusting it: a corrupted header must not drive a multi-GiB allocation.
+    // A record running past EOF is only treated as a torn tail when its
+    // claimed length stays within the segment budget — the one plausibility
+    // bound recovery has. A wildly inflated length is a corrupted header,
+    // and truncating on it would discard every valid record that follows.
+    // (The cost: a crash mid-append of a single record larger than
+    // segment_bytes refuses to auto-recover and asks the operator instead.)
+    if (len > file_size - pos - kHeaderBytes) {
+      ::close(fd);
+      if (tolerant && len <= std::max<std::uint64_t>(opts_.segment_bytes, kHeaderBytes)) {
+        truncate_segment(seg_idx, pos);
+        break;
+      }
+      throw std::runtime_error(
+          "FileLogBroker: record length exceeds segment size during recovery");
+    }
     std::string payload(len, '\0');
     bool record_ok = true;
     if (len > 0) {
@@ -175,14 +209,9 @@ void FileLogBroker::index_segment(std::size_t seg_idx) {
     if (record_ok) record_ok = crc == crc32(payload.data(), payload.size());
     if (!record_ok) {
       ::close(fd);
-      // A bad record followed by more data is corruption, not a torn write.
-      struct stat st{};
-      const bool at_tail = ::stat(segments_[seg_idx].c_str(), &st) == 0 &&
-                           static_cast<std::uint64_t>(st.st_size) <= pos + kHeaderBytes + len;
-      if (tolerant && at_tail) {
-        truncate_segment(seg_idx, pos);
-        break;
-      }
+      // The record is fully on disk but its CRC does not match: that is
+      // corruption, never a torn write — even at the tail, even in tolerant
+      // mode. Truncating here would silently discard valid data.
       throw std::runtime_error("FileLogBroker: corrupt record during recovery");
     }
     index_.push_back(RecordRef{seg_idx, pos, len});

@@ -23,9 +23,11 @@ class FileLogBroker {
     std::uint64_t segment_bytes = 1 << 20; ///< roll to a new segment beyond this
     std::uint32_t fsync_interval = 1;      ///< fsync every N appends (1 = per message)
     /// Kafka-style crash recovery: a torn record at the *tail* of the last
-    /// segment (short header/body or bad CRC from an interrupted write) is
-    /// truncated away instead of failing recovery. Corruption anywhere else
-    /// still throws.
+    /// segment (short header, or a body that extends past EOF — the shapes
+    /// an interrupted append can leave) is truncated away instead of failing
+    /// recovery. A fully written record with a bad CRC is corruption and
+    /// always throws, as does any damage outside the tail or a claimed
+    /// length beyond segment_bytes (a corrupted header, not a torn write).
     bool tolerate_torn_tail = false;
   };
 
@@ -43,6 +45,10 @@ class FileLogBroker {
 
   [[nodiscard]] std::uint64_t size() const;  ///< records in the log
   [[nodiscard]] std::size_t segment_count() const;
+
+  /// fsync() calls issued so far (cadence syncs + segment-rotation syncs);
+  /// exposed so tests can pin the durability schedule.
+  [[nodiscard]] std::uint64_t fsync_count() const;
 
   /// Re-scans the directory, rebuilding the in-memory index — simulates a
   /// broker restart. Throws on a corrupt record (bad CRC / truncation).
@@ -70,6 +76,7 @@ class FileLogBroker {
   int active_fd_ = -1;
   std::uint64_t active_bytes_ = 0;
   std::uint32_t appends_since_sync_ = 0;
+  std::uint64_t fsyncs_ = 0;
 };
 
 }  // namespace serve::broker

@@ -174,6 +174,9 @@ void parse_sos(Parser& p, DecoderState& st) {
   for (int i = 0; i < ncomp; ++i) {
     const int cid = p.u8();
     const std::uint8_t tables = p.u8();
+    if ((tables >> 4) > 3 || (tables & 0x0F) > 3) {
+      throw CodecError("SOS: Huffman table selector out of range");
+    }
     bool found = false;
     for (auto& c : st.comps) {
       if (c.id == cid) {
@@ -305,6 +308,10 @@ Image decode_jpeg(std::span<const std::uint8_t> data) {
             // Entropy-decode one block in zig-zag order.
             std::memset(coeffs, 0, sizeof coeffs);
             const int ssss = dc.decode(br);
+            // Baseline DC magnitudes are at most 11 bits (T.81 table F.1); a
+            // corrupted table can hand back any byte, which would overflow
+            // the shifts in extend().
+            if (ssss > 15) throw CodecError("DC magnitude category out of range");
             int diff = 0;
             if (ssss > 0) diff = extend(static_cast<int>(br.get_bits(ssss)), ssss);
             c.dc_pred += diff;

@@ -1,5 +1,10 @@
 #include "core/experiment.h"
 
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string_view>
+
 #include "hw/tracing.h"
 
 namespace serve::core {
@@ -65,7 +70,20 @@ ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& plat
   sim.run();
   server.shutdown();
   sim.run();
+
+  if (auto* audit = server.auditor()) {
+    r.audit_violations = audit->violation_count();
+    r.audit_report = audit->report();
+  }
   return r;
+}
+
+/// Per-request spans come from the auditor; stream them into spec.trace
+/// alongside the device counters attach_tracer already records.
+void wire_audit_trace(const ExperimentSpec& spec, serving::InferenceServer& server) {
+  if (spec.trace != nullptr && server.auditor() != nullptr) {
+    server.auditor()->set_trace(spec.trace);
+  }
 }
 
 }  // namespace
@@ -75,6 +93,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   hw::Platform platform{sim, {.calib = spec.calib, .gpu_count = spec.gpu_count}};
   if (spec.trace != nullptr) hw::attach_tracer(platform, *spec.trace);
   serving::InferenceServer server{platform, spec.server};
+  wire_audit_trace(spec, server);
   serving::ClosedLoopClients clients{server,
                                      {.concurrency = spec.concurrency,
                                       .image_source = serving::fixed_image(spec.image),
@@ -88,6 +107,7 @@ ExperimentResult run_open_loop(const ExperimentSpec& spec,
   hw::Platform platform{sim, {.calib = spec.calib, .gpu_count = spec.gpu_count}};
   if (spec.trace != nullptr) hw::attach_tracer(platform, *spec.trace);
   serving::InferenceServer server{platform, spec.server};
+  wire_audit_trace(spec, server);
   serving::OpenLoopClients clients{server,
                                    {.interarrival = std::move(interarrival),
                                     .image_source = serving::fixed_image(spec.image),
@@ -100,6 +120,60 @@ ExperimentResult run_zero_load(ExperimentSpec spec) {
   // One request at a time: a modest window gives thousands of samples.
   if (spec.measure > sim::seconds(5.0)) spec.measure = sim::seconds(5.0);
   return run_experiment(spec);
+}
+
+void HarnessOptions::apply(ExperimentSpec& spec, sim::TraceRecorder& trace) const {
+  if (auditing()) spec.server.audit = true;
+  if (tracing()) spec.trace = &trace;
+}
+
+HarnessOptions parse_harness_options(int argc, const char* const* argv) {
+  HarnessOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--audit") {
+      opts.audit = true;
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) throw std::invalid_argument("--trace-out requires a file path");
+      opts.trace_out = argv[++i];
+    } else {
+      throw std::invalid_argument("unknown flag '" + std::string(arg) +
+                                  "' (supported: --audit, --trace-out <path>)");
+    }
+  }
+  return opts;
+}
+
+std::uint64_t report_audit(const ExperimentResult& r, const std::string& label) {
+  if (r.audit_violations == 0) return 0;
+  std::cerr << "AUDIT FAILED [" << label << "]: " << r.audit_violations << " violation(s)\n";
+  for (const auto& line : r.audit_report) std::cerr << "  " << line << "\n";
+  return r.audit_violations;
+}
+
+bool finish_harness(const HarnessOptions& opts, const sim::TraceRecorder& trace,
+                    std::uint64_t total_violations) {
+  bool trace_ok = true;
+  if (opts.tracing()) {
+    std::ofstream out{opts.trace_out};
+    if (out) {
+      trace.write_chrome_json(out);
+      std::cerr << "# trace: " << opts.trace_out << " (" << trace.span_count() << " spans, "
+                << trace.counter_count() << " counter samples)\n";
+    } else {
+      // The sweep already ran; losing the trace should not look like a crash.
+      std::cerr << "error: cannot open trace output " << opts.trace_out << '\n';
+      trace_ok = false;
+    }
+  }
+  if (opts.auditing()) {
+    std::cerr << "# audit: "
+              << (total_violations == 0
+                      ? "clean (conservation, hygiene, monotonicity all hold)"
+                      : std::to_string(total_violations) + " violation(s)")
+              << "\n";
+  }
+  return trace_ok && total_violations == 0;
 }
 
 }  // namespace serve::core

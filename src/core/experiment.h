@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "hw/devices.h"
 #include "hw/energy.h"
@@ -45,6 +47,12 @@ struct ExperimentResult {
   hw::EnergyReport energy{};       ///< over the measurement window
   std::uint64_t gpu_evictions = 0; ///< staging-memory evictions observed
 
+  /// Lifecycle-audit verdict (ServerConfig::audit): total violations across
+  /// the whole run (warmup + measure + drain) and the formatted report.
+  /// Always 0 / empty when auditing is off.
+  std::uint64_t audit_violations = 0;
+  std::vector<std::string> audit_report{};
+
   [[nodiscard]] double stage_share(metrics::Stage s) const noexcept {
     return breakdown.share(s);
   }
@@ -69,5 +77,35 @@ struct ExperimentResult {
 /// bursty traffic.
 [[nodiscard]] ExperimentResult run_open_loop(const ExperimentSpec& spec,
                                              serving::OpenLoopClients::Interarrival interarrival);
+
+/// Command-line options shared by the bench binaries: `--audit` turns on the
+/// request-lifecycle auditor, `--trace-out <path>` additionally records
+/// per-request stage spans + device counters and writes Chrome trace-event
+/// JSON at exit (tracing implies auditing — the spans come from the auditor).
+struct HarnessOptions {
+  bool audit = false;
+  std::string trace_out{};
+
+  [[nodiscard]] bool tracing() const noexcept { return !trace_out.empty(); }
+  [[nodiscard]] bool auditing() const noexcept { return audit || tracing(); }
+
+  /// Enables ServerConfig::audit and points spec.trace at `trace` as
+  /// requested. Call once per experiment row.
+  void apply(ExperimentSpec& spec, sim::TraceRecorder& trace) const;
+};
+
+/// Parses --audit / --trace-out from argv; throws std::invalid_argument on
+/// an unknown flag or a missing path.
+[[nodiscard]] HarnessOptions parse_harness_options(int argc, const char* const* argv);
+
+/// Prints `r`'s audit report to stderr (labelled) when it has violations.
+/// Returns the violation count so callers can accumulate an exit status.
+std::uint64_t report_audit(const ExperimentResult& r, const std::string& label);
+
+/// Writes the trace file (if requested) and prints the final audit verdict.
+/// Returns true when no violations were observed and the trace (if any)
+/// was written; an unwritable trace path is reported on stderr, not thrown.
+bool finish_harness(const HarnessOptions& opts, const sim::TraceRecorder& trace,
+                    std::uint64_t total_violations);
 
 }  // namespace serve::core

@@ -44,7 +44,11 @@ void Histogram::add(double value) noexcept {
 }
 
 void Histogram::merge(const Histogram& other) {
-  if (counts_.size() != other.counts_.size()) {
+  // Bucket i only means the same value range when every layout parameter
+  // matches; equal bucket *counts* are not enough (e.g. [1e-6, 1e3] and
+  // [1e-5, 1e4] share a ratio, hence a size, but not edges).
+  if (opts_.min_value != other.opts_.min_value || opts_.max_value != other.opts_.max_value ||
+      opts_.growth != other.opts_.growth || counts_.size() != other.counts_.size()) {
     throw std::invalid_argument("Histogram::merge: incompatible layouts");
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];

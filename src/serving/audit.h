@@ -1,0 +1,147 @@
+// Request-lifecycle auditor.
+//
+// The paper's contribution is an accounting exercise: every millisecond of a
+// request must be attributed to exactly one lifecycle stage (ingest, queue,
+// preprocess, transfer, inference, postprocess) so that the Fig. 6/7
+// breakdowns are trustworthy. This class enforces that promise at runtime:
+//
+//  1. request conservation — submitted == completed + dropped, every
+//     `Request::done` set exactly once, no request leaked at shutdown;
+//  2. stage-time conservation — sum(stage charges) == end-to-end latency
+//     within a ns-quantization tolerance, flagging the stage that drifted;
+//  3. resource hygiene — staging memory, batcher queues, and channel waiter
+//     lists must be empty after drain (fed by InferenceServer::shutdown);
+//  4. monotonicity — arrival <= enqueue_time <= completed.
+//
+// The auditor also doubles as the per-request span source for
+// sim::TraceRecorder: each stage charge of the first `max_traced_requests`
+// requests becomes a named span on a "req.<id>" track, so latency
+// breakdowns are visually debuggable in Perfetto (chrome://tracing).
+//
+// Enable with ServerConfig::audit (or --audit / --trace-out in the bench
+// harness). One auditor belongs to one server; when several servers share a
+// platform, each audits only its own requests, but staging-memory hygiene
+// is meaningful only if the sharing servers drain together.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "metrics/breakdown.h"
+#include "serving/request.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace serve::serving {
+
+class RequestAuditor final : public ChargeObserver {
+ public:
+  struct Options {
+    /// Absolute slack between sum(stage times) and end-to-end latency; a
+    /// 1e-9 relative term is added on top (covers ns quantization and
+    /// floating-point accumulation across ~10 charges).
+    double tolerance_s = 1e-9;
+    /// Violations stored verbatim; the total count keeps growing past this.
+    std::size_t max_recorded = 64;
+    /// Only the first N submitted requests get a span track in the trace
+    /// (bounds trace size; device counters are unaffected).
+    std::size_t max_traced_requests = 256;
+  };
+
+  struct Violation {
+    std::uint64_t request_id = 0;  ///< 0 = server-level check
+    std::string check;             ///< invariant family, e.g. "stage-conservation"
+    std::string detail;            ///< measured values backing the verdict
+  };
+
+  RequestAuditor() : RequestAuditor(Options{}) {}
+  explicit RequestAuditor(Options opts) : opts_(opts) {}
+
+  /// Streams per-request stage spans into `trace` ("req.<id>" tracks).
+  /// The recorder must outlive the audited simulation activity.
+  void set_trace(sim::TraceRecorder* trace) noexcept { trace_ = trace; }
+
+  // --- lifecycle hooks (called by InferenceServer) ---------------------------
+
+  /// Registers the request and installs this auditor as its charge observer.
+  void on_submit(Request& req);
+
+  /// ChargeObserver: records the charged interval for conservation analysis
+  /// and emits the corresponding trace span.
+  void on_charge(const Request& req, metrics::Stage s, sim::Time end,
+                 sim::Time dt) noexcept override;
+
+  /// Verifies per-request invariants (conservation, monotonicity, single
+  /// completion). Call after `req.completed` is set and `done` signalled.
+  void on_complete(const Request& req);
+
+  /// A request failed a scheduler-queue hand-off (it would have been lost
+  /// silently before the drop-accounting fix). Always a violation.
+  void on_lost_handoff(const Request& req, std::string_view where);
+
+  // --- terminal checks -------------------------------------------------------
+
+  /// Resource-hygiene check: `value` must be zero after drain.
+  void check_zero(std::string_view what, std::uint64_t value);
+
+  /// Request-count conservation + leak detection. Idempotent; further
+  /// terminal checks are pointless after this.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  // --- results ---------------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t in_flight() const noexcept { return inflight_.size(); }
+
+  [[nodiscard]] bool clean() const noexcept { return violation_count_ == 0; }
+  [[nodiscard]] std::uint64_t violation_count() const noexcept { return violation_count_; }
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept { return violations_; }
+
+  /// Formatted violation lines ("check (request N): detail"), capped at
+  /// Options::max_recorded with a trailing "... and N more" marker.
+  [[nodiscard]] std::vector<std::string> report() const;
+
+ private:
+  struct Charge {
+    metrics::Stage stage;
+    sim::Time begin;
+    sim::Time end;
+  };
+  struct InFlight {
+    sim::Time arrival = 0;
+    bool traced = false;
+    std::vector<Charge> charges;
+  };
+
+  void add_violation(std::uint64_t id, std::string check, std::string detail);
+  void check_request(const Request& req, const InFlight& fl);
+
+  /// Names the stage most likely responsible for a conservation mismatch:
+  /// leaked time (sum < latency) points at the charge following the largest
+  /// uncovered gap; double-charged time points at the largest overlap. The
+  /// label is diagnostic only — the mismatch itself is computed exactly.
+  [[nodiscard]] static std::string drift_label(const Request& req, const InFlight& fl,
+                                               double delta_s);
+
+  Options opts_;
+  sim::TraceRecorder* trace_ = nullptr;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::size_t traced_count_ = 0;
+  bool finalized_ = false;
+  std::unordered_map<std::uint64_t, InFlight> inflight_;
+  std::unordered_set<std::uint64_t> done_ids_;
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+};
+
+}  // namespace serve::serving

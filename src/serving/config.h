@@ -52,6 +52,11 @@ struct ServerConfig {
   /// latency under overload at the cost of goodput.
   sim::Time shed_deadline = 0;
 
+  /// Attach a RequestAuditor enforcing request/stage-time conservation,
+  /// resource hygiene at drain, and timestamp monotonicity. Off by default:
+  /// auditing tracks every in-flight request.
+  bool audit = false;
+
   [[nodiscard]] int effective_max_batch() const {
     const int mb = max_batch > 0 ? max_batch : model.max_batch;
     if (mb <= 0) throw std::invalid_argument("ServerConfig: max batch must be positive");

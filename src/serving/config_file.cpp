@@ -92,6 +92,8 @@ ServerConfig parse_server_config(const std::string& text) {
       cfg.max_queue_delay = sim::microseconds(parse_int(key, value));
     } else if (key == "shed_deadline_ms") {
       cfg.shed_deadline = sim::milliseconds(parse_int(key, value));
+    } else if (key == "audit") {
+      cfg.audit = parse_bool(key, value);
     } else {
       throw std::invalid_argument("server config: unknown key '" + key + "'");
     }
@@ -120,6 +122,7 @@ std::string format_server_config(const ServerConfig& config) {
   out << "fixed_batch = " << config.fixed_batch << "\n";
   out << "max_queue_delay_us = " << sim::to_microseconds(config.max_queue_delay) << "\n";
   out << "shed_deadline_ms = " << sim::to_milliseconds(config.shed_deadline) << "\n";
+  out << "audit = " << (config.audit ? "true" : "false") << "\n";
   return out.str();
 }
 

@@ -12,13 +12,28 @@
 
 namespace serve::serving {
 
+struct Request;
+
+/// Hook invoked on every stage charge (request auditing / per-request
+/// tracing). `end` is the virtual time the charge was recorded at and `dt`
+/// the charged duration, so the charged interval is [end - dt, end].
+class ChargeObserver {
+ public:
+  virtual void on_charge(const Request& req, metrics::Stage s, sim::Time end,
+                         sim::Time dt) noexcept = 0;
+
+ protected:
+  ~ChargeObserver() = default;
+};
+
 /// One in-flight inference request. Created by a client, threaded through
 /// the serving pipeline, completed exactly once. Stage durations accumulate
 /// into `stages` as the request moves through the system.
 struct Request {
-  Request(sim::Simulator& sim, std::uint64_t id_, hw::ImageSpec image_)
-      : id(id_), image(image_), arrival(sim.now()), done(sim) {}
+  Request(sim::Simulator& sim_, std::uint64_t id_, hw::ImageSpec image_)
+      : sim(&sim_), id(id_), image(image_), arrival(sim_.now()), done(sim_) {}
 
+  sim::Simulator* sim;  ///< owning simulator (timestamps for charge hooks)
   std::uint64_t id;
   hw::ImageSpec image;
   sim::Time arrival;
@@ -28,11 +43,13 @@ struct Request {
   std::size_t gpu_index = 0;               ///< accelerator this request runs on
   sim::Time enqueue_time = 0;              ///< last scheduler-queue entry time
   bool dropped = false;                    ///< shed by admission control
+  ChargeObserver* observer = nullptr;      ///< optional audit/trace hook
   sim::Event done;                         ///< set exactly once at completion
 
   /// Adds `dt` (virtual ns) to a lifecycle stage.
   void charge(metrics::Stage s, sim::Time dt) noexcept {
     stages[s] += sim::to_seconds(dt);
+    if (observer != nullptr) observer->on_charge(*this, s, sim->now(), dt);
   }
 
   [[nodiscard]] sim::Time latency() const noexcept { return completed - arrival; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "sim/sync.h"
 
@@ -13,6 +14,7 @@ using sim::Time;
 
 InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
     : platform_(platform), config_(config), stats_(platform.sim()) {
+  if (config_.audit) auditor_ = std::make_unique<RequestAuditor>();
   const int mb = config_.effective_max_batch();
   const Batcher<RequestPtr>::Options preproc_opts{
       .dynamic = true, .max_batch = mb, .max_queue_delay = 0, .fixed_batch = mb};
@@ -41,6 +43,7 @@ void InferenceServer::submit(RequestPtr req) {
   if (!accepting_) throw std::logic_error("InferenceServer::submit: server is shut down");
   ++submitted_;
   req->gpu_index = next_gpu_++ % gpus_.size();
+  if (auditor_) auditor_->on_submit(*req);
   platform_.sim().spawn(handle_request(std::move(req)));
 }
 
@@ -58,11 +61,48 @@ void InferenceServer::shutdown() {
   sim.run();
   for (auto& g : gpus_) g->inf_batcher.input().close();
   sim.run();
+
+  if (auditor_ && !auditor_->finalized()) {
+    // Resource hygiene: a fully drained server owns no staged device memory,
+    // holds nothing in its batcher queues, and leaks no blocked coroutines.
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+      const std::string p = "gpu" + std::to_string(g) + ".";
+      auditor_->check_zero(p + "stager.staged_count", platform_.gpu(g).stager().staged_count());
+      auditor_->check_zero(p + "preproc_batcher.queued", gpus_[g]->preproc_batcher.queued());
+      auditor_->check_zero(p + "inf_batcher.queued", gpus_[g]->inf_batcher.queued());
+      auditor_->check_zero(p + "preproc.waiting_getters",
+                           gpus_[g]->preproc_batcher.input().waiting_getters());
+      auditor_->check_zero(p + "preproc.waiting_putters",
+                           gpus_[g]->preproc_batcher.input().waiting_putters());
+      auditor_->check_zero(p + "inf.waiting_getters",
+                           gpus_[g]->inf_batcher.input().waiting_getters());
+      auditor_->check_zero(p + "inf.waiting_putters",
+                           gpus_[g]->inf_batcher.input().waiting_putters());
+    }
+    auditor_->finalize();
+  }
 }
 
 void InferenceServer::enqueue_inference(std::size_t g, RequestPtr req) {
   req->enqueue_time = platform_.sim().now();
-  gpus_[g]->inf_batcher.input().try_put(std::move(req));
+  hand_off(gpus_[g]->inf_batcher.input(), g, std::move(req), "inference");
+}
+
+void InferenceServer::hand_off(sim::Channel<RequestPtr>& ch, std::size_t g, RequestPtr req,
+                               std::string_view where) {
+  // try_put consumes its argument even when it fails; keep a second owner so
+  // a rejected request can still be drop-accounted instead of destroyed.
+  RequestPtr keep = req;
+  bool accepted = false;
+  try {
+    accepted = ch.try_put(std::move(req));
+  } catch (const sim::ChannelClosed&) {
+    accepted = false;  // raced with shutdown's staged drain
+  }
+  if (accepted) return;
+  ++lost_handoffs_;
+  if (auditor_) auditor_->on_lost_handoff(*keep, where);
+  drop_request(g, std::move(keep));
 }
 
 sim::Process InferenceServer::handle_request(RequestPtr req) {
@@ -134,7 +174,7 @@ sim::Process InferenceServer::handle_request(RequestPtr req) {
     req->charge(Stage::kTransfer, sim.now() - t0);
   }
   req->enqueue_time = sim.now();
-  gpus_[g]->preproc_batcher.input().try_put(std::move(req));
+  hand_off(gpus_[g]->preproc_batcher.input(), g, std::move(req), "gpu-preprocess");
 }
 
 sim::Process InferenceServer::gpu_preproc_loop(std::size_t g) {
@@ -228,22 +268,26 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
       // batch's PCIe copy itself is double-buffered behind the previous
       // batch's compute, so only the synchronization cost blocks the loop.
       // The GPU sits clocked-up but stalled for the duration (Fig. 8).
+      const Time s0 = sim.now();
       auto stall = co_await gpu.stall().acquire();
+      const Time stall_wait = sim.now() - s0;  // instance groups contend here
       co_await sim.wait(seconds(scal.cpu_path_batch_gap_s));
       const double staging = static_cast<double>(b) * cpu.staging_seconds_per_image();
       co_await sim.wait(seconds(staging));
       stall.release();
       for (const auto& r : batch) {
-        r->charge(Stage::kQueue, seconds(scal.cpu_path_batch_gap_s));
+        r->charge(Stage::kQueue, stall_wait + seconds(scal.cpu_path_batch_gap_s));
         r->charge(Stage::kTransfer, seconds(staging));
       }
     } else {
       // On-device handoff; claim staged buffers and pay reloads for any that
       // were evicted under memory pressure (paper Sec. 4.3 hypothesis).
+      const Time s0 = sim.now();
       {
         auto stall = co_await gpu.stall().acquire();
         co_await sim.wait(seconds(scal.gpu_path_batch_gap_s));
       }
+      const Time stall_wait = sim.now() - s0 - seconds(scal.gpu_path_batch_gap_s);
       std::int64_t reload_bytes = 0;
       std::vector<Request*> evicted;
       for (const auto& r : batch) {
@@ -255,7 +299,9 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
           evicted.push_back(r.get());
         }
       }
-      for (const auto& r : batch) r->charge(Stage::kQueue, seconds(scal.gpu_path_batch_gap_s));
+      for (const auto& r : batch) {
+        r->charge(Stage::kQueue, stall_wait + seconds(scal.gpu_path_batch_gap_s));
+      }
       if (reload_bytes > 0) {
         const Time t0 = sim.now();
         {
@@ -305,10 +351,18 @@ void InferenceServer::drop_request(std::size_t g, RequestPtr req) {
     platform_.gpu(g).stager().release(req->staged);
     req->staged = 0;
   }
+  // The time since the last queue entry was never charged (drops happen
+  // before dispatch accounting); charge it so dropped requests conserve
+  // stage time like completed ones.
+  const Time now = platform_.sim().now();
+  if (req->enqueue_time >= req->arrival && now > req->enqueue_time) {
+    req->charge(Stage::kQueue, now - req->enqueue_time);
+  }
   req->dropped = true;
-  req->completed = platform_.sim().now();
+  req->completed = now;
   ++finished_;
   stats_.record(*req);
+  if (auditor_) auditor_->on_complete(*req);
   req->done.set();
 }
 
@@ -325,6 +379,7 @@ sim::Process InferenceServer::finish_request(RequestPtr req) {
   req->completed = sim.now();
   ++finished_;
   stats_.record(*req);
+  if (auditor_) auditor_->on_complete(*req);
   req->done.set();
 }
 

@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "hw/devices.h"
+#include "serving/audit.h"
 #include "serving/batcher.h"
 #include "serving/config.h"
 #include "serving/request.h"
@@ -44,6 +46,15 @@ class InferenceServer {
   /// Requests accepted but not yet completed.
   [[nodiscard]] std::uint64_t in_flight() const noexcept { return submitted_ - finished_; }
 
+  /// Lifecycle auditor (nullptr unless ServerConfig::audit is set). To get
+  /// per-request trace spans, call auditor()->set_trace(...) before the
+  /// first submit.
+  [[nodiscard]] RequestAuditor* auditor() noexcept { return auditor_.get(); }
+
+  /// Requests that failed a scheduler-queue hand-off and were drop-accounted
+  /// instead of lost (always 0 in a healthy configuration).
+  [[nodiscard]] std::uint64_t lost_handoffs() const noexcept { return lost_handoffs_; }
+
  private:
   struct GpuState {
     GpuState(sim::Simulator& sim, const Batcher<RequestPtr>::Options& preproc_opts,
@@ -65,12 +76,19 @@ class InferenceServer {
   // Pipeline fragments shared by the paths above (implemented in server.cpp).
   void enqueue_inference(std::size_t g, RequestPtr req);
 
+  /// Puts `req` into `ch`; a full or closed channel drop-accounts the
+  /// request instead of silently destroying it.
+  void hand_off(sim::Channel<RequestPtr>& ch, std::size_t g, RequestPtr req,
+                std::string_view where);
+
   hw::Platform& platform_;
   ServerConfig config_;
   ServerStats stats_;
+  std::unique_ptr<RequestAuditor> auditor_;
   std::vector<std::unique_ptr<GpuState>> gpus_;
   std::uint64_t submitted_ = 0;
   std::uint64_t finished_ = 0;
+  std::uint64_t lost_handoffs_ = 0;
   std::size_t next_gpu_ = 0;
   bool accepting_ = true;
 };

@@ -286,6 +286,92 @@ TEST_F(FileLogTest, MidLogCorruptionStillThrowsWhenTolerant) {
   EXPECT_THROW(FileLogBroker({.dir = dir_, .tolerate_torn_tail = true}), std::runtime_error);
 }
 
+TEST_F(FileLogTest, CorruptedLengthFieldDoesNotAllocateOrTruncateValidRecords) {
+  // Regression: recovery used to trust the on-disk length field before
+  // validating it — a corrupted header could drive a ~4 GiB allocation, and
+  // an inflated length made the torn-tail heuristic classify mid-file
+  // corruption as a tail and silently truncate valid later records.
+  {
+    FileLogBroker log{{.dir = dir_}};
+    log.publish("first-record-payload");   // [0, 28)
+    log.publish("middle-record-payload");  // [28, 57)
+    log.publish("third-record-payload");   // [57, 85)
+  }
+  std::filesystem::path seg;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) seg = e.path();
+  const auto original_size = std::filesystem::file_size(seg);
+  {
+    // Inflate the MIDDLE record's length field to ~4 GiB.
+    std::fstream f{seg, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(28);
+    const char huge[4] = {'\xff', '\xff', '\xff', '\xff'};
+    f.write(huge, 4);
+  }
+  // Strict and tolerant recovery must both refuse: the claimed record
+  // extends past EOF mid-file, so truncating would discard the (valid)
+  // third record — exactly the data loss the old heuristic caused.
+  EXPECT_THROW(FileLogBroker({.dir = dir_}), std::runtime_error);
+  EXPECT_THROW(FileLogBroker({.dir = dir_, .tolerate_torn_tail = true}), std::runtime_error);
+  // The refusal must leave the file untouched (no truncation side effect).
+  EXPECT_EQ(std::filesystem::file_size(seg), original_size);
+}
+
+TEST_F(FileLogTest, TailRecordExtendingPastEofIsTruncatedWhenTolerant) {
+  // A record whose header claims more bytes than the file holds is the
+  // shape an interrupted append leaves — tolerant recovery truncates it.
+  {
+    FileLogBroker log{{.dir = dir_}};
+    log.publish("durable-record");
+  }
+  std::filesystem::path seg;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) seg = e.path();
+  {
+    // Append a full header promising 64 payload bytes, then only 5 bytes.
+    std::ofstream f{seg, std::ios::binary | std::ios::app};
+    const std::uint32_t len = 64, crc = 0;
+    f.write(reinterpret_cast<const char*>(&len), 4);
+    f.write(reinterpret_cast<const char*>(&crc), 4);
+    f.write("torns", 5);
+  }
+  EXPECT_THROW(FileLogBroker({.dir = dir_}), std::runtime_error);
+  FileLogBroker recovered{{.dir = dir_, .tolerate_torn_tail = true}};
+  EXPECT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered.read(0).value(), "durable-record");
+  recovered.publish("after-crash");
+  EXPECT_EQ(recovered.read(1).value(), "after-crash");
+}
+
+TEST_F(FileLogTest, FullyWrittenCorruptTailRecordStillThrowsWhenTolerant) {
+  // A record completely on disk with a bad CRC is corruption, not a torn
+  // write — tolerant recovery must not silently discard it.
+  {
+    FileLogBroker log{{.dir = dir_}};
+    log.publish("first-record-payload");
+    log.publish("last-record-gets-corrupted");
+  }
+  std::filesystem::path seg;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) seg = e.path();
+  {
+    std::fstream f{seg, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(-3, std::ios::end);  // inside the LAST record's payload
+    f.put('X');
+  }
+  EXPECT_THROW(FileLogBroker({.dir = dir_, .tolerate_torn_tail = true}), std::runtime_error);
+}
+
+TEST_F(FileLogTest, FsyncCadenceSurvivesSegmentRotation) {
+  // Regression: the append counter was not reset when rotation fsynced the
+  // old segment, so the new segment's first record could be synced
+  // off-cadence. With 32-byte records, 64-byte segments, and interval 3,
+  // every sync must come from rotation (2 appends per segment < 3) — the
+  // buggy counter produced extra cadence syncs in fresh segments.
+  FileLogBroker log{{.dir = dir_, .segment_bytes = 64, .fsync_interval = 3}};
+  const std::string payload(24, 'p');  // 8-byte header + 24 = 32 bytes/record
+  for (int i = 0; i < 6; ++i) log.publish(payload);
+  EXPECT_EQ(log.segment_count(), 3u);
+  EXPECT_EQ(log.fsync_count(), 2u);  // exactly the two rotations
+}
+
 TEST(FileLogCrc, MatchesKnownVector) {
   // CRC32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
   EXPECT_EQ(FileLogBroker::crc32("123456789", 9), 0xCBF43926u);

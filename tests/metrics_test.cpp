@@ -135,6 +135,39 @@ TEST(Histogram, MergeIncompatibleThrows) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(Histogram, MergeRejectsShiftedRangeWithEqualBucketCount) {
+  // Regression: merge() used to compare only bucket-vector sizes, so two
+  // layouts with the same min/max ratio (hence the same bucket count) but
+  // different edges merged silently, scrambling quantiles by 10x here.
+  Histogram a{Histogram::Options{.min_value = 1e-6, .max_value = 1e3, .growth = 1.04}};
+  Histogram b{Histogram::Options{.min_value = 1e-5, .max_value = 1e4, .growth = 1.04}};
+  ASSERT_EQ(a.bucket_count(), b.bucket_count());  // the shape the bug needs
+  b.add(0.5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+
+  Histogram c{Histogram::Options{.min_value = 1e-6, .max_value = 1e3, .growth = 1.04}};
+  c.add(0.5);
+  a.merge(c);  // identical layouts still merge
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Histogram, MergePreservesQuantilesAcrossShards) {
+  // Sharded recording (one histogram per worker) must agree with a single
+  // histogram fed the union of the samples — the property the layout check
+  // protects.
+  sim::Rng rng{11};
+  Histogram whole, s1, s2;
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.lognormal(-4.0, 1.0);
+    whole.add(x);
+    (i % 2 == 0 ? s1 : s2).add(x);
+  }
+  s1.merge(s2);
+  EXPECT_EQ(s1.count(), whole.count());
+  EXPECT_DOUBLE_EQ(s1.p50(), whole.p50());
+  EXPECT_DOUBLE_EQ(s1.p99(), whole.p99());
+}
+
 // Property sweep: percentile estimates stay within the configured growth
 // factor's relative error bound for several distributions.
 class HistogramPropertyTest : public ::testing::TestWithParam<int> {};

@@ -25,10 +25,17 @@ ExperimentSpec base_spec() {
   ExperimentSpec spec;
   spec.server.model = models::vit_base();
   spec.server.preproc = PreprocDevice::kGpu;
+  spec.server.audit = true;  // every scenario below must pass the lifecycle audit
   spec.concurrency = 64;
   spec.warmup = sim::seconds(1.0);
   spec.measure = sim::seconds(4.0);
   return spec;
+}
+
+// Fails the test with the auditor's own report when a run had violations.
+void expect_audit_clean(const core::ExperimentResult& r) {
+  EXPECT_EQ(r.audit_violations, 0u);
+  for (const auto& line : r.audit_report) ADD_FAILURE() << "audit: " << line;
 }
 
 TEST(InferenceServer, CompletesRequestsUnderLoad) {
@@ -37,6 +44,7 @@ TEST(InferenceServer, CompletesRequestsUnderLoad) {
   EXPECT_GT(r.throughput_rps, 100.0);
   EXPECT_GT(r.mean_latency_s, 0.0);
   EXPECT_GE(r.p99_latency_s, r.p50_latency_s);
+  expect_audit_clean(r);
 }
 
 TEST(InferenceServer, StageTimesSumToLatency) {
@@ -47,6 +55,7 @@ TEST(InferenceServer, StageTimesSumToLatency) {
   const auto r = core::run_experiment(spec);
   ASSERT_GT(r.completed, 0u);
   EXPECT_NEAR(r.breakdown.mean_total(), r.mean_latency_s, r.mean_latency_s * 1e-6);
+  expect_audit_clean(r);
 }
 
 TEST(InferenceServer, ZeroLoadBatchSizeIsOne) {
@@ -193,6 +202,8 @@ TEST(InferenceServer, LoadSheddingBoundsTailUnderOverload) {
   // Closed-loop 2048 clients on a ~1.8k img/s server: without shedding the
   // p99 sits near concurrency/throughput ~ 1.1 s; with it, near the deadline.
   EXPECT_LT(shed.p99_latency_s, 0.3);
+  // Dropped requests must conserve stage time and count like completed ones.
+  expect_audit_clean(shed);
   spec.server.shed_deadline = 0;
   const auto raw = core::run_experiment(spec);
   EXPECT_GT(raw.p99_latency_s, 0.8);
@@ -414,6 +425,7 @@ TEST(InferenceServer, ExtraInstancesOverlapStagingWithCompute) {
   core::ExperimentSpec spec;
   spec.server.model = models::vit_base();
   spec.server.preproc = serving::PreprocDevice::kCpu;
+  spec.server.audit = true;  // instance groups contend on the stall token
   spec.concurrency = 256;
   spec.warmup = sim::seconds(1.0);
   spec.measure = sim::seconds(5.0);
@@ -422,6 +434,8 @@ TEST(InferenceServer, ExtraInstancesOverlapStagingWithCompute) {
   spec.server.instance_count = 2;
   const auto two = core::run_experiment(spec);
   EXPECT_GT(two.throughput_rps, one.throughput_rps * 1.05);
+  EXPECT_EQ(one.audit_violations, 0u);
+  EXPECT_EQ(two.audit_violations, 0u);
 }
 
 TEST(InferenceServer, InvalidInstanceCountThrows) {
@@ -439,6 +453,14 @@ TEST(ConfigFile, InstanceCountRoundTrip) {
   EXPECT_EQ(cfg.instance_count, 3);
   const auto round = serving::parse_server_config(serving::format_server_config(cfg));
   EXPECT_EQ(round.instance_count, 3);
+}
+
+TEST(ConfigFile, AuditKeyRoundTrip) {
+  EXPECT_FALSE(serving::parse_server_config("model = vit-base\n").audit);
+  const auto cfg = serving::parse_server_config("model = vit-base\naudit = true\n");
+  EXPECT_TRUE(cfg.audit);
+  const auto round = serving::parse_server_config(serving::format_server_config(cfg));
+  EXPECT_TRUE(round.audit);
 }
 
 }  // namespace
@@ -461,6 +483,7 @@ TEST_P(ServingPropertyTest, ConservationAndDeterminismHoldEverywhere) {
   spec.server.model = models::resnet50();
   spec.server.preproc = dev;
   spec.server.mode = mode;
+  spec.server.audit = true;
   spec.concurrency = concurrency;
   spec.image = images[image_idx];
   spec.warmup = sim::seconds(0.5);
@@ -468,8 +491,12 @@ TEST_P(ServingPropertyTest, ConservationAndDeterminismHoldEverywhere) {
 
   const auto a = core::run_experiment(spec);
   ASSERT_GT(a.completed, 0u);
-  // Conservation: per-request stage times sum to end-to-end latency.
+  // Conservation: per-request stage times sum to end-to-end latency — both
+  // in aggregate and per request (the lifecycle audit covers every request,
+  // every hand-off, and the post-drain resource state).
   EXPECT_NEAR(a.breakdown.mean_total(), a.mean_latency_s, a.mean_latency_s * 1e-6);
+  EXPECT_EQ(a.audit_violations, 0u);
+  for (const auto& line : a.audit_report) ADD_FAILURE() << "audit: " << line;
   // Sanity: percentiles ordered, throughput positive, energy positive.
   EXPECT_LE(a.p50_latency_s, a.p99_latency_s * (1 + 1e-12));
   EXPECT_GT(a.throughput_rps, 0.0);
