@@ -6,6 +6,7 @@
 // simulator uses the calibrated i9-13900K/libjpeg-turbo-class rates.
 #include <benchmark/benchmark.h>
 
+#include "codec/batch_preprocess.h"
 #include "codec/dct.h"
 #include "codec/deflate.h"
 #include "codec/jpeg.h"
@@ -21,8 +22,14 @@ namespace {
 const workload::CorpusEntry& corpus_entry(hw::ImageSpec spec) {
   static const auto small = workload::make_corpus(hw::kSmallImage, 1, 7)[0];
   static const auto medium = workload::make_corpus(hw::kMediumImage, 1, 7)[0];
+  static const auto large = workload::make_corpus(hw::kLargeImage, 1, 7)[0];
   if (spec == hw::kSmallImage) return small;
+  if (spec == hw::kLargeImage) return large;
   return medium;
+}
+
+double mpix(const hw::ImageSpec& spec) {
+  return static_cast<double>(spec.width) * spec.height / 1e6;
 }
 
 void BM_JpegEncodeMedium(benchmark::State& state) {
@@ -79,6 +86,72 @@ void BM_FullPreprocessPipelineMedium(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FullPreprocessPipelineMedium);
+
+void BM_JpegDecodeLarge(benchmark::State& state) {
+  const auto& entry = corpus_entry(hw::kLargeImage);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::decode_jpeg(entry.jpeg));
+  state.SetItemsProcessed(state.iterations());
+  state.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * mpix(hw::kLargeImage),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_JpegDecodeLarge);
+
+void BM_ResizeLargeTo224(benchmark::State& state) {
+  const codec::Image img =
+      codec::make_synthetic(hw::kLargeImage.width, hw::kLargeImage.height,
+                            codec::Pattern::kScene, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::resize(img, 224, 224));
+  state.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * mpix(hw::kLargeImage),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ResizeLargeTo224);
+
+void BM_NormalizeLarge(benchmark::State& state) {
+  const codec::Image img =
+      codec::make_synthetic(hw::kLargeImage.width, hw::kLargeImage.height,
+                            codec::Pattern::kScene, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::normalize_chw(img));
+  state.counters["MPix/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * mpix(hw::kLargeImage),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NormalizeLarge);
+
+void BM_FullPreprocessPipelineLarge(benchmark::State& state) {
+  const auto& entry = corpus_entry(hw::kLargeImage);
+  for (auto _ : state) {
+    const codec::Image decoded = codec::decode_jpeg(entry.jpeg);
+    const codec::Image resized = codec::resize(decoded, 224, 224);
+    benchmark::DoNotOptimize(codec::normalize_chw(resized));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullPreprocessPipelineLarge);
+
+void BM_CenterCropMedium(benchmark::State& state) {
+  const codec::Image img = codec::make_synthetic(500, 375, codec::Pattern::kScene, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::center_crop(img, 256));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CenterCropMedium);
+
+void BM_BatchPreprocessMedium(benchmark::State& state) {
+  // Thread-scaling of the decode->resize->normalize worker pool over a
+  // 32-image medium corpus (items/s here is images per second).
+  static const auto corpus = workload::make_corpus(hw::kMediumImage, 32, 11, 4);
+  static const auto jpegs = [] {
+    std::vector<std::vector<std::uint8_t>> j;
+    j.reserve(corpus.size());
+    for (const auto& e : corpus) j.push_back(e.jpeg);
+    return j;
+  }();
+  codec::BatchPreprocessor pool{static_cast<int>(state.range(0))};
+  for (auto _ : state) benchmark::DoNotOptimize(pool.run(jpegs, {}));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jpegs.size()));
+}
+BENCHMARK(BM_BatchPreprocessMedium)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_JpegEncodeOptimizedHuffman(benchmark::State& state) {
   const codec::Image img = codec::make_synthetic(500, 375, codec::Pattern::kScene, 3);

@@ -1,0 +1,114 @@
+#include "codec/batch_preprocess.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "codec/jpeg.h"
+
+namespace serve::codec {
+
+BatchPreprocessor::BatchPreprocessor(int threads) : threads_(threads) {
+  if (threads < 1) throw std::invalid_argument("BatchPreprocessor: threads must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+BatchPreprocessor::~BatchPreprocessor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void BatchPreprocessor::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mu_);
+    job_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    while (job_next_ < job_n_) {
+      const std::size_t i = job_next_++;
+      ++job_active_;
+      // On a failed batch, drain remaining indexes without running them so
+      // the caller can return as soon as in-flight work finishes.
+      const bool skip = job_error_ != nullptr;
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        if (!skip) (*job_fn_)(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lk.lock();
+      if (err && !job_error_) job_error_ = err;
+      if (--job_active_ == 0 && job_next_ >= job_n_) done_cv_.notify_all();
+    }
+  }
+}
+
+void BatchPreprocessor::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  job_fn_ = &fn;
+  job_n_ = n;
+  job_next_ = 0;
+  job_active_ = 0;
+  job_error_ = nullptr;
+  ++generation_;
+  job_cv_.notify_all();
+  // The caller pulls indexes too, so a pool of K threads gives K-way
+  // parallelism (and never deadlocks waiting on a blocked worker).
+  while (job_next_ < job_n_) {
+    const std::size_t i = job_next_++;
+    ++job_active_;
+    const bool skip = job_error_ != nullptr;
+    lk.unlock();
+    std::exception_ptr err;
+    try {
+      if (!skip) fn(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lk.lock();
+    if (err && !job_error_) job_error_ = err;
+    --job_active_;
+  }
+  done_cv_.wait(lk, [&] { return job_active_ == 0; });
+  job_fn_ = nullptr;
+  const std::exception_ptr err = job_error_;
+  job_error_ = nullptr;
+  if (err) std::rethrow_exception(err);
+}
+
+std::vector<std::vector<float>> BatchPreprocessor::run(
+    const std::vector<std::span<const std::uint8_t>>& jpegs,
+    const BatchPreprocessOptions& opts) {
+  if (opts.target_side <= 0) throw std::invalid_argument("BatchPreprocessor: bad target_side");
+  std::vector<std::vector<float>> out(jpegs.size());
+  parallel_for(jpegs.size(), [&](std::size_t i) {
+    Image img = decode_jpeg(jpegs[i]);
+    if (opts.center_crop_side > 0) img = center_crop(img, opts.center_crop_side);
+    const Image resized = resize(img, opts.target_side, opts.target_side);
+    out[i] = normalize_chw(resized, opts.mean, opts.stddev);
+  });
+  return out;
+}
+
+std::vector<std::vector<float>> BatchPreprocessor::run(
+    const std::vector<std::vector<std::uint8_t>>& jpegs, const BatchPreprocessOptions& opts) {
+  std::vector<std::span<const std::uint8_t>> views;
+  views.reserve(jpegs.size());
+  for (const auto& j : jpegs) views.emplace_back(j.data(), j.size());
+  return run(views, opts);
+}
+
+}  // namespace serve::codec

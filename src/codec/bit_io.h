@@ -1,5 +1,11 @@
 // Bit-level I/O for JPEG entropy-coded segments, including 0xFF byte
 // stuffing (writer) and unstuffing / restart-marker handling (reader).
+//
+// Both sides run on a 64-bit accumulator so the decoder's inner loop costs
+// one shift/mask per symbol instead of one function call per *bit* (the
+// libjpeg-turbo refill discipline): the reader tops up the accumulator in
+// bulk and serves `peek`/`consume` from it; the writer packs codes into the
+// accumulator and spills whole bytes.
 #pragma once
 
 #include <cstdint>
@@ -20,61 +26,80 @@ class BitWriter {
  public:
   explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
 
+  /// Appends value's low `count` bits (MSB first), `count` in [0, 24].
   void put_bits(std::uint32_t value, int count) {
-    // value's low `count` bits, MSB first.
-    for (int i = count - 1; i >= 0; --i) {
-      acc_ = static_cast<std::uint8_t>((acc_ << 1) | ((value >> i) & 1u));
-      if (++filled_ == 8) flush_byte();
+    acc_ = (acc_ << count) | (value & ((1ull << count) - 1u));
+    filled_ += count;
+    while (filled_ >= 8) {
+      filled_ -= 8;
+      const auto b = static_cast<std::uint8_t>((acc_ >> filled_) & 0xFFu);
+      out_.push_back(b);
+      if (b == 0xFF) out_.push_back(0x00);  // stuffing
     }
   }
 
   /// Pads the final partial byte with 1-bits (T.81 F.1.2.3) and flushes.
   void finish() {
-    while (filled_ != 0) {
-      acc_ = static_cast<std::uint8_t>((acc_ << 1) | 1u);
-      if (++filled_ == 8) flush_byte();
+    if (filled_ > 0) {
+      const int pad = 8 - filled_;
+      put_bits((1u << pad) - 1u, pad);
     }
   }
 
  private:
-  void flush_byte() {
-    out_.push_back(acc_);
-    if (acc_ == 0xFF) out_.push_back(0x00);  // stuffing
-    acc_ = 0;
-    filled_ = 0;
-  }
-
   std::vector<std::uint8_t>& out_;
-  std::uint8_t acc_ = 0;
+  std::uint64_t acc_ = 0;
   int filled_ = 0;
 };
 
 /// MSB-first bit reader over an entropy-coded segment. Unstuffs 0xFF00 and
 /// stops at any real marker (reporting it to the caller).
+///
+/// Refill is bulk: up to eight bytes enter the accumulator at once. Past the
+/// end of the segment (or once a real marker is reached) the accumulator is
+/// topped up with zero padding so that `peek` stays cheap and branch-free;
+/// the error is raised only when `consume` actually eats into the padding,
+/// which is exactly when the old bit-at-a-time reader would have thrown.
 class BitReader {
  public:
   BitReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
-  /// Reads one bit; throws CodecError past the end of the segment.
-  std::uint32_t get_bit() {
-    if (filled_ == 0) load_byte();
-    --filled_;
-    return (acc_ >> filled_) & 1u;
+  /// Returns the next `count` bits (MSB first) without consuming them,
+  /// `count` in [0, 32]. Bits past the end of the segment read as zero.
+  [[nodiscard]] std::uint32_t peek(int count) {
+    if (bits_ < count) refill();
+    return static_cast<std::uint32_t>((acc_ >> (bits_ - count)) & ((1ull << count) - 1u));
   }
 
-  std::uint32_t get_bits(int count) {
-    std::uint32_t v = 0;
-    for (int i = 0; i < count; ++i) v = (v << 1) | get_bit();
+  /// Discards `count` previously peeked bits; throws CodecError if that
+  /// crosses the end of the real data.
+  void consume(int count) {
+    bits_ -= count;
+    if (bits_ < pad_bits_) throw_end_error();
+  }
+
+  [[nodiscard]] std::uint32_t get_bits(int count) {
+    const std::uint32_t v = peek(count);
+    consume(count);
     return v;
   }
 
-  /// Byte position of the next unread byte (for marker resynchronization).
+  [[nodiscard]] std::uint32_t get_bit() { return get_bits(1); }
+
+  /// Byte position of the next byte the reader would refill from (the bulk
+  /// reader never advances past a real marker, so after a decode loop this
+  /// points at the trailing marker).
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
 
   /// Discards buffered bits and consumes an expected RSTn marker. Returns
   /// the restart index 0..7.
   int consume_restart_marker() {
-    filled_ = 0;
+    // Refill stops *at* a marker byte, so buffered bits can only be the
+    // current interval's byte padding — safe to drop wholesale.
+    acc_ = 0;
+    bits_ = 0;
+    pad_bits_ = 0;
+    end_ = End::kNone;
     if (pos_ + 1 >= size_ || data_[pos_] != 0xFF || data_[pos_ + 1] < 0xD0 ||
         data_[pos_ + 1] > 0xD7) {
       throw CodecError("expected restart marker");
@@ -85,28 +110,58 @@ class BitReader {
   }
 
  private:
-  void load_byte() {
-    if (pos_ >= size_) throw CodecError("entropy segment exhausted");
-    std::uint8_t b = data_[pos_++];
-    if (b == 0xFF) {
-      if (pos_ >= size_) throw CodecError("dangling 0xFF at end of segment");
-      const std::uint8_t next = data_[pos_];
-      if (next == 0x00) {
-        ++pos_;  // stuffed byte
-      } else {
-        // A real marker inside entropy data: the scan ended prematurely.
-        throw CodecError("unexpected marker inside entropy-coded segment");
+  enum class End : std::uint8_t { kNone, kExhausted, kDanglingFf, kMarker };
+
+  void refill() {
+    while (bits_ <= 56) {
+      if (end_ == End::kNone) {
+        if (pos_ >= size_) {
+          end_ = End::kExhausted;
+        } else {
+          const std::uint8_t b = data_[pos_];
+          if (b != 0xFF) {
+            ++pos_;
+            acc_ = (acc_ << 8) | b;
+            bits_ += 8;
+            continue;
+          }
+          if (pos_ + 1 >= size_) {
+            end_ = End::kDanglingFf;
+          } else if (data_[pos_ + 1] == 0x00) {
+            pos_ += 2;  // stuffed byte
+            acc_ = (acc_ << 8) | 0xFFu;
+            bits_ += 8;
+            continue;
+          } else {
+            // A real marker inside entropy data; leave pos_ pointing at it.
+            end_ = End::kMarker;
+          }
+        }
       }
+      acc_ <<= 8;  // zero padding past the end; consuming it throws
+      bits_ += 8;
+      pad_bits_ += 8;
     }
-    acc_ = b;
-    filled_ = 8;
+  }
+
+  [[noreturn]] void throw_end_error() const {
+    switch (end_) {
+      case End::kDanglingFf:
+        throw CodecError("dangling 0xFF at end of segment");
+      case End::kMarker:
+        throw CodecError("unexpected marker inside entropy-coded segment");
+      default:
+        throw CodecError("entropy segment exhausted");
+    }
   }
 
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;
-  std::uint8_t acc_ = 0;
-  int filled_ = 0;
+  std::uint64_t acc_ = 0;
+  int bits_ = 0;      ///< buffered bits (low `bits_` of acc_), including padding
+  int pad_bits_ = 0;  ///< zero-padding bits at the bottom of the buffer
+  End end_ = End::kNone;
 };
 
 }  // namespace serve::codec::jpeg

@@ -7,8 +7,8 @@ namespace serve::codec::jpeg {
 namespace {
 
 // Separable DCT via an 8x8 basis matrix: C[u][x] = a(u) cos((2x+1)u pi / 16),
-// a(0)=sqrt(1/8), a(u>0)=sqrt(2/8). Built once; float throughput is plenty
-// for the substrate (the paper's hot path is measured, not competed with).
+// a(0)=sqrt(1/8), a(u>0)=sqrt(2/8). Built once; kept as the reference oracle
+// for the fast AAN transforms below.
 struct Basis {
   float c[8][8];
   Basis() noexcept {
@@ -27,9 +27,147 @@ const Basis& basis() noexcept {
   return b;
 }
 
+// AAN scale factors: aan[u] = cos(u*pi/16) * sqrt(2) for u>0, 1 for u=0.
+// The raw AAN flowgraph computes the unnormalized DCT scaled by aan[u] per
+// axis; dividing by (aan[u] * aan[v] * 8) restores JPEG's normalization
+// (which equals the orthonormal basis above).
+struct AanScales {
+  std::array<float, 64> fdct;  ///< post-scale for the forward transform
+  std::array<float, 64> idct;  ///< pre-scale for the inverse transform
+  AanScales() noexcept {
+    const double pi = 3.14159265358979323846;
+    double aan[8];
+    aan[0] = 1.0;
+    for (int u = 1; u < 8; ++u) aan[u] = std::cos(u * pi / 16.0) * std::sqrt(2.0);
+    for (int v = 0; v < 8; ++v) {
+      for (int u = 0; u < 8; ++u) {
+        fdct[static_cast<std::size_t>(v * 8 + u)] =
+            static_cast<float>(1.0 / (aan[v] * aan[u] * 8.0));
+        idct[static_cast<std::size_t>(v * 8 + u)] =
+            static_cast<float>(aan[v] * aan[u] / 8.0);
+      }
+    }
+  }
+};
+
+const AanScales& aan_scales() noexcept {
+  static const AanScales s;
+  return s;
+}
+
+// 1-D AAN forward butterfly over 8 values with stride `st`.
+inline void fdct_pass1d(float* d, int st) noexcept {
+  const float v0 = d[0 * st], v1 = d[1 * st], v2 = d[2 * st], v3 = d[3 * st];
+  const float v4 = d[4 * st], v5 = d[5 * st], v6 = d[6 * st], v7 = d[7 * st];
+
+  const float t0 = v0 + v7, t7 = v0 - v7;
+  const float t1 = v1 + v6, t6 = v1 - v6;
+  const float t2 = v2 + v5, t5 = v2 - v5;
+  const float t3 = v3 + v4, t4 = v3 - v4;
+
+  // Even part.
+  float t10 = t0 + t3;
+  const float t13 = t0 - t3;
+  const float t11 = t1 + t2;
+  float t12 = t1 - t2;
+
+  d[0 * st] = t10 + t11;
+  d[4 * st] = t10 - t11;
+  const float z1 = (t12 + t13) * 0.707106781f;  // c4
+  d[2 * st] = t13 + z1;
+  d[6 * st] = t13 - z1;
+
+  // Odd part.
+  t10 = t4 + t5;
+  const float t11o = t5 + t6;
+  t12 = t6 + t7;
+
+  const float z5 = (t10 - t12) * 0.382683433f;  // c6
+  const float z2 = 0.541196100f * t10 + z5;     // c2 - c6
+  const float z4 = 1.306562965f * t12 + z5;     // c2 + c6
+  const float z3 = t11o * 0.707106781f;         // c4
+
+  const float z11 = t7 + z3;
+  const float z13 = t7 - z3;
+
+  d[5 * st] = z13 + z2;
+  d[3 * st] = z13 - z2;
+  d[1 * st] = z11 + z4;
+  d[7 * st] = z11 - z4;
+}
+
+// 1-D AAN inverse butterfly over 8 values with stride `st`.
+inline void idct_pass1d(float* d, int st) noexcept {
+  // Even part.
+  const float e0 = d[0 * st], e1 = d[2 * st], e2 = d[4 * st], e3 = d[6 * st];
+  const float t10 = e0 + e2;
+  const float t11 = e0 - e2;
+  const float t13 = e1 + e3;
+  const float t12 = (e1 - e3) * 1.414213562f - t13;  // 2*c4
+
+  const float p0 = t10 + t13;
+  const float p3 = t10 - t13;
+  const float p1 = t11 + t12;
+  const float p2 = t11 - t12;
+
+  // Odd part.
+  const float o4 = d[1 * st], o5 = d[3 * st], o6 = d[5 * st], o7 = d[7 * st];
+  const float z13 = o6 + o5;
+  const float z10 = o6 - o5;
+  const float z11 = o4 + o7;
+  const float z12 = o4 - o7;
+
+  const float q7 = z11 + z13;
+  const float w11 = (z11 - z13) * 1.414213562f;       // 2*c4
+  const float z5 = (z10 + z12) * 1.847759065f;        // 2*c2
+  const float w10 = 1.082392200f * z12 - z5;          // 2*(c2-c6)
+  const float w12 = -2.613125930f * z10 + z5;         // -2*(c2+c6)
+
+  const float q6 = w12 - q7;
+  const float q5 = w11 - q6;
+  const float q4 = w10 + q5;
+
+  d[0 * st] = p0 + q7;
+  d[7 * st] = p0 - q7;
+  d[1 * st] = p1 + q6;
+  d[6 * st] = p1 - q6;
+  d[2 * st] = p2 + q5;
+  d[5 * st] = p2 - q5;
+  d[4 * st] = p3 + q4;
+  d[3 * st] = p3 - q4;
+}
+
 }  // namespace
 
 void fdct8x8(const float in[64], float out[64]) noexcept {
+  float work[64];
+  for (int i = 0; i < 64; ++i) work[i] = in[i];
+  for (int y = 0; y < 8; ++y) fdct_pass1d(&work[y * 8], 1);
+  for (int x = 0; x < 8; ++x) fdct_pass1d(&work[x], 8);
+  const auto& scale = aan_scales().fdct;
+  for (int i = 0; i < 64; ++i) out[i] = work[i] * scale[static_cast<std::size_t>(i)];
+}
+
+void idct8x8(const float in[64], float out[64]) noexcept {
+  const auto& scale = aan_scales().idct;
+  float work[64];
+  for (int i = 0; i < 64; ++i) work[i] = in[i] * scale[static_cast<std::size_t>(i)];
+  for (int x = 0; x < 8; ++x) idct_pass1d(&work[x], 8);
+  for (int y = 0; y < 8; ++y) idct_pass1d(&work[y * 8], 1);
+  for (int i = 0; i < 64; ++i) out[i] = work[i];
+}
+
+void idct8x8_scaled(const float in[64], float out[64]) noexcept {
+  float work[64];
+  for (int i = 0; i < 64; ++i) work[i] = in[i];
+  for (int x = 0; x < 8; ++x) idct_pass1d(&work[x], 8);
+  for (int y = 0; y < 8; ++y) idct_pass1d(&work[y * 8], 1);
+  for (int i = 0; i < 64; ++i) out[i] = work[i];
+}
+
+const std::array<float, 64>& idct_prescale() noexcept { return aan_scales().idct; }
+
+void fdct8x8_ref(const float in[64], float out[64]) noexcept {
   const auto& B = basis();
   float tmp[64];
   // Rows: tmp[y][u] = sum_x in[y][x] * C[u][x]
@@ -50,7 +188,7 @@ void fdct8x8(const float in[64], float out[64]) noexcept {
   }
 }
 
-void idct8x8(const float in[64], float out[64]) noexcept {
+void idct8x8_ref(const float in[64], float out[64]) noexcept {
   const auto& B = basis();
   float tmp[64];
   // Columns: tmp[y][u] = sum_v in[v][u] * C[v][y]

@@ -1,4 +1,11 @@
 // 8x8 forward/inverse DCT-II used by the JPEG codec.
+//
+// The default `fdct8x8`/`idct8x8` are AAN (Arai–Agui–Nakajima) fast
+// transforms: 5 multiplies + 29 adds per 1-D pass instead of the 64
+// multiplies of a basis-matrix row, with the normalization folded into a
+// per-coefficient scale table. The original basis-matrix implementations are
+// kept as `fdct8x8_ref`/`idct8x8_ref` — the correctness oracle the
+// equivalence tests compare against.
 #pragma once
 
 #include <array>
@@ -12,5 +19,20 @@ void fdct8x8(const float in[64], float out[64]) noexcept;
 /// Inverse 2-D DCT (natural-order coefficients -> spatial samples, still
 /// level-shifted around 0).
 void idct8x8(const float in[64], float out[64]) noexcept;
+
+/// Reference basis-matrix transforms (slow; used as test oracles and by the
+/// decoder's reference mode).
+void fdct8x8_ref(const float in[64], float out[64]) noexcept;
+void idct8x8_ref(const float in[64], float out[64]) noexcept;
+
+/// Per-coefficient input scale of the fast IDCT in natural order:
+/// `idct8x8(in) == idct8x8_scaled(in .* idct_prescale())`. The decoder folds
+/// this into its dequantization tables so the per-block prescale multiply
+/// disappears from the hot loop.
+[[nodiscard]] const std::array<float, 64>& idct_prescale() noexcept;
+
+/// Fast IDCT over coefficients already multiplied by `idct_prescale()`
+/// (e.g. via a folded dequantization table).
+void idct8x8_scaled(const float in[64], float out[64]) noexcept;
 
 }  // namespace serve::codec::jpeg

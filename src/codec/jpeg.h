@@ -36,9 +36,18 @@ struct JpegEncodeOptions {
 [[nodiscard]] std::vector<std::uint8_t> encode_jpeg(const Image& img,
                                                     const JpegEncodeOptions& opts = {});
 
+struct JpegDecodeOptions {
+  /// Use the basis-matrix reference IDCT instead of the fast AAN transform.
+  /// Slow; exists so tests can compare the production fast path against the
+  /// oracle on whole streams (they agree within ±1 intensity step).
+  bool use_reference_idct = false;
+};
+
 /// Decodes a baseline JPEG stream. Throws jpeg::CodecError on malformed or
 /// unsupported (e.g. progressive) input.
 [[nodiscard]] Image decode_jpeg(std::span<const std::uint8_t> data);
+[[nodiscard]] Image decode_jpeg(std::span<const std::uint8_t> data,
+                                const JpegDecodeOptions& opts);
 
 /// Header summary without decoding the entropy data.
 struct JpegInfo {

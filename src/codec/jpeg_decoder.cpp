@@ -6,52 +6,13 @@
 
 #include "codec/dct.h"
 #include "codec/jpeg.h"
+#include "codec/jpeg_huffman.h"
 #include "codec/jpeg_tables.h"
 
 namespace serve::codec {
 
 namespace jpeg {
 namespace {
-
-/// Canonical Huffman decoding tables (T.81 F.16).
-struct DecodeTable {
-  std::array<int, 17> mincode{};
-  std::array<int, 17> maxcode{};  ///< -1 where no codes of that length exist
-  std::array<int, 17> valptr{};
-  std::vector<std::uint8_t> vals;
-  bool present = false;
-
-  void build(const std::uint8_t bits[16], const std::uint8_t* huffval, int count) {
-    vals.assign(huffval, huffval + count);
-    int code = 0, k = 0;
-    for (int len = 1; len <= 16; ++len) {
-      if (bits[len - 1] == 0) {
-        maxcode[static_cast<std::size_t>(len)] = -1;
-      } else {
-        valptr[static_cast<std::size_t>(len)] = k;
-        mincode[static_cast<std::size_t>(len)] = code;
-        k += bits[len - 1];
-        code += bits[len - 1];
-        maxcode[static_cast<std::size_t>(len)] = code - 1;
-      }
-      code <<= 1;
-    }
-    present = true;
-  }
-
-  [[nodiscard]] std::uint8_t decode(BitReader& br) const {
-    int code = 0;
-    for (int len = 1; len <= 16; ++len) {
-      code = (code << 1) | static_cast<int>(br.get_bit());
-      const int mc = maxcode[static_cast<std::size_t>(len)];
-      if (mc >= 0 && code <= mc) {
-        return vals[static_cast<std::size_t>(valptr[static_cast<std::size_t>(len)] + code -
-                                             mincode[static_cast<std::size_t>(len)])];
-      }
-    }
-    throw CodecError("invalid Huffman code");
-  }
-};
 
 /// Sign extension of an ssss-bit magnitude (T.81 F.12).
 int extend(int v, int ssss) noexcept {
@@ -67,6 +28,10 @@ struct Component {
   int blocks_w = 0, blocks_h = 0;      ///< plane dims in 8x8 blocks (MCU-padded)
   std::vector<float> plane;            ///< decoded samples
   int dc_pred = 0;
+  /// Dequantization table in natural order. In the fast path the AAN IDCT's
+  /// per-coefficient prescale is folded in, so entropy decode writes
+  /// IDCT-ready coefficients directly.
+  std::array<float, kBlockSize> dequant{};
 };
 
 struct Parser {
@@ -246,6 +211,48 @@ DecoderState parse_headers(std::span<const std::uint8_t> data) {
   }
 }
 
+/// Entropy-decodes one 8x8 block into `coeffs` (already dequantized via
+/// `c.dequant`). Returns true when the block carries only a DC coefficient,
+/// letting the caller skip the IDCT entirely.
+inline bool decode_block(BitReader& br, Component& c, const DecodeTable& dc,
+                         const DecodeTable& ac, float coeffs[64]) {
+  const int ssss = dc.decode(br);
+  // Baseline DC magnitudes are at most 11 bits (T.81 table F.1); a
+  // corrupted table can hand back any byte, which would overflow
+  // the shifts in extend().
+  if (ssss > 15) throw CodecError("DC magnitude category out of range");
+  if (ssss > 0) c.dc_pred += extend(static_cast<int>(br.get_bits(ssss)), ssss);
+  coeffs[0] = static_cast<float>(c.dc_pred) * c.dequant[0];
+
+  int k = 1;
+  bool dc_only = true;
+  while (k < 64) {
+    const std::uint8_t rs = ac.decode(br);
+    const int run = rs >> 4;
+    const int size = rs & 0x0F;
+    if (size == 0) {
+      if (run == 15) {
+        k += 16;  // ZRL
+        continue;
+      }
+      break;  // EOB
+    }
+    if (dc_only) {
+      // First nonzero AC: zero the rest of the block lazily so DC-only
+      // blocks (the common case in smooth regions) never touch it.
+      std::memset(coeffs + 1, 0, 63 * sizeof(float));
+      dc_only = false;
+    }
+    k += run;
+    if (k > 63) throw CodecError("AC run past end of block");
+    const int nat = kZigZag[static_cast<std::size_t>(k)];
+    const int v = extend(static_cast<int>(br.get_bits(size)), size);
+    coeffs[nat] = static_cast<float>(v) * c.dequant[static_cast<std::size_t>(nat)];
+    ++k;
+  }
+  return dc_only;
+}
+
 }  // namespace
 }  // namespace jpeg
 
@@ -263,9 +270,10 @@ JpegInfo peek_jpeg_info(std::span<const std::uint8_t> data) {
   return info;
 }
 
-Image decode_jpeg(std::span<const std::uint8_t> data) {
+Image decode_jpeg(std::span<const std::uint8_t> data, const JpegDecodeOptions& opts) {
   using namespace jpeg;
   DecoderState st = parse_headers(data);
+  const bool fast_idct = !opts.use_reference_idct;
 
   int hmax = 1, vmax = 1;
   for (const auto& c : st.comps) {
@@ -286,10 +294,18 @@ Image decode_jpeg(std::span<const std::uint8_t> data) {
     c.blocks_h = mcus_y * c.v;
     c.plane.assign(static_cast<std::size_t>(c.blocks_w) * 8 * static_cast<std::size_t>(c.blocks_h) * 8,
                    0.0f);
+    const auto& quant = st.quant[static_cast<std::size_t>(c.quant_id)];
+    const auto& prescale = idct_prescale();
+    for (int i = 0; i < kBlockSize; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      c.dequant[idx] = fast_idct ? static_cast<float>(quant[idx]) * prescale[idx]
+                                 : static_cast<float>(quant[idx]);
+    }
   }
 
   BitReader br{data.data() + st.scan_start, data.size() - st.scan_start};
-  float coeffs[64], samples[64];
+  alignas(16) float coeffs[64];
+  alignas(16) float samples[64];
   int mcu_count = 0;
   for (int my = 0; my < mcus_y; ++my) {
     for (int mx = 0; mx < mcus_x; ++mx) {
@@ -302,47 +318,32 @@ Image decode_jpeg(std::span<const std::uint8_t> data) {
         const auto& dc = st.dc_tables[static_cast<std::size_t>(c.dc_table)];
         const auto& ac = st.ac_tables[static_cast<std::size_t>(c.ac_table)];
         if (!dc.present || !ac.present) throw CodecError("missing Huffman table");
-        const auto& quant = st.quant[static_cast<std::size_t>(c.quant_id)];
         for (int by = 0; by < c.v; ++by) {
           for (int bx = 0; bx < c.h; ++bx) {
-            // Entropy-decode one block in zig-zag order.
-            std::memset(coeffs, 0, sizeof coeffs);
-            const int ssss = dc.decode(br);
-            // Baseline DC magnitudes are at most 11 bits (T.81 table F.1); a
-            // corrupted table can hand back any byte, which would overflow
-            // the shifts in extend().
-            if (ssss > 15) throw CodecError("DC magnitude category out of range");
-            int diff = 0;
-            if (ssss > 0) diff = extend(static_cast<int>(br.get_bits(ssss)), ssss);
-            c.dc_pred += diff;
-            coeffs[0] = static_cast<float>(c.dc_pred * quant[0]);
-            for (int k = 1; k < 64;) {
-              const std::uint8_t rs = ac.decode(br);
-              const int run = rs >> 4;
-              const int size = rs & 0x0F;
-              if (size == 0) {
-                if (run == 15) {
-                  k += 16;  // ZRL
-                  continue;
-                }
-                break;  // EOB
-              }
-              k += run;
-              if (k > 63) throw CodecError("AC run past end of block");
-              const int nat = kZigZag[static_cast<std::size_t>(k)];
-              const int v = extend(static_cast<int>(br.get_bits(size)), size);
-              coeffs[nat] = static_cast<float>(v * quant[static_cast<std::size_t>(nat)]);
-              ++k;
-            }
-            idct8x8(coeffs, samples);
-            // Place into the component plane.
+            const bool dc_only = decode_block(br, c, dc, ac, coeffs);
             const int px = (mx * c.h + bx) * 8;
             const int py = (my * c.v + by) * 8;
             const int stride = c.blocks_w * 8;
+            float* dst0 = &c.plane[static_cast<std::size_t>(py) * static_cast<std::size_t>(stride) +
+                                   static_cast<std::size_t>(px)];
+            if (dc_only && fast_idct) {
+              // A DC-only block is flat: every sample equals the folded DC
+              // coefficient (the AAN prescale already includes the /8).
+              const float flat = coeffs[0] + 128.0f;
+              for (int y = 0; y < 8; ++y) {
+                float* row = dst0 + static_cast<std::size_t>(y) * static_cast<std::size_t>(stride);
+                for (int x = 0; x < 8; ++x) row[x] = flat;
+              }
+              continue;
+            }
+            if (dc_only) std::memset(coeffs + 1, 0, 63 * sizeof(float));
+            if (fast_idct) {
+              idct8x8_scaled(coeffs, samples);
+            } else {
+              idct8x8_ref(coeffs, samples);
+            }
             for (int y = 0; y < 8; ++y) {
-              float* row = &c.plane[static_cast<std::size_t>(py + y) *
-                                        static_cast<std::size_t>(stride) +
-                                    static_cast<std::size_t>(px)];
+              float* row = dst0 + static_cast<std::size_t>(y) * static_cast<std::size_t>(stride);
               for (int x = 0; x < 8; ++x) row[x] = samples[y * 8 + x] + 128.0f;
             }
           }
@@ -351,34 +352,57 @@ Image decode_jpeg(std::span<const std::uint8_t> data) {
     }
   }
 
-  // Upsample (nearest) and convert to the output image.
+  // Upsample (nearest) and convert to the output image. Source indices per
+  // axis are precomputed per component, so the pixel loop is a gather plus
+  // the YCbCr matrix — no divisions.
   const bool gray = st.comps.size() == 1;
   Image img{st.width, st.height, gray ? 1 : 3};
-  auto sample = [&](const Component& c, int x, int y) {
-    const int sx = std::min(x * c.h / hmax, c.plane_w - 1);
-    const int sy = std::min(y * c.v / vmax, c.plane_h - 1);
-    const int stride = c.blocks_w * 8;
-    return c.plane[static_cast<std::size_t>(sy) * static_cast<std::size_t>(stride) +
-                   static_cast<std::size_t>(sx)];
-  };
+  // Round-half-up + clamp without the libm lround call (which is a PLT call
+  // per sample — three per pixel). Agrees with lround on every non-negative
+  // value except those within one float ulp below a .5 boundary.
   auto clamp255 = [](float v) {
-    return static_cast<std::uint8_t>(v < 0.0f ? 0 : (v > 255.0f ? 255 : std::lround(v)));
+    v += 0.5f;
+    return static_cast<std::uint8_t>(v < 0.0f ? 0 : (v > 255.0f ? 255 : static_cast<int>(v)));
   };
-  for (int y = 0; y < st.height; ++y) {
+  std::array<std::vector<int>, 3> xmap;
+  for (std::size_t ci = 0; ci < st.comps.size(); ++ci) {
+    const auto& c = st.comps[ci];
+    xmap[ci].resize(static_cast<std::size_t>(st.width));
     for (int x = 0; x < st.width; ++x) {
-      if (gray) {
-        img.at(x, y, 0) = clamp255(sample(st.comps[0], x, y));
-      } else {
-        const float Y = sample(st.comps[0], x, y);
-        const float Cb = sample(st.comps[1], x, y) - 128.0f;
-        const float Cr = sample(st.comps[2], x, y) - 128.0f;
-        img.at(x, y, 0) = clamp255(Y + 1.402f * Cr);
-        img.at(x, y, 1) = clamp255(Y - 0.344136f * Cb - 0.714136f * Cr);
-        img.at(x, y, 2) = clamp255(Y + 1.772f * Cb);
+      xmap[ci][static_cast<std::size_t>(x)] = std::min(x * c.h / hmax, c.plane_w - 1);
+    }
+  }
+  auto comp_row = [&](const Component& c, int y) -> const float* {
+    const int sy = std::min(y * c.v / vmax, c.plane_h - 1);
+    return &c.plane[static_cast<std::size_t>(sy) * static_cast<std::size_t>(c.blocks_w) * 8u];
+  };
+  std::uint8_t* out = img.data().data();
+  for (int y = 0; y < st.height; ++y) {
+    if (gray) {
+      const float* yrow = comp_row(st.comps[0], y);
+      const int* xm = xmap[0].data();
+      for (int x = 0; x < st.width; ++x) *out++ = clamp255(yrow[xm[x]]);
+    } else {
+      const float* yrow = comp_row(st.comps[0], y);
+      const float* cbrow = comp_row(st.comps[1], y);
+      const float* crrow = comp_row(st.comps[2], y);
+      const int* xmy = xmap[0].data();
+      const int* xmcb = xmap[1].data();
+      const int* xmcr = xmap[2].data();
+      for (int x = 0; x < st.width; ++x) {
+        const float Y = yrow[xmy[x]];
+        const float Cb = cbrow[xmcb[x]] - 128.0f;
+        const float Cr = crrow[xmcr[x]] - 128.0f;
+        out[0] = clamp255(Y + 1.402f * Cr);
+        out[1] = clamp255(Y - 0.344136f * Cb - 0.714136f * Cr);
+        out[2] = clamp255(Y + 1.772f * Cb);
+        out += 3;
       }
     }
   }
   return img;
 }
+
+Image decode_jpeg(std::span<const std::uint8_t> data) { return decode_jpeg(data, {}); }
 
 }  // namespace serve::codec

@@ -1,0 +1,86 @@
+// Canonical Huffman decoding for baseline JPEG (T.81 F.16), accelerated by
+// a flat primary lookup table in the libjpeg-turbo style: the decoder peeks
+// `kHuffLookupBits` bits and resolves (symbol, code length) with one load;
+// codes longer than the window fall back to the serial mincode/maxcode walk.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "codec/bit_io.h"
+
+namespace serve::codec::jpeg {
+
+/// Primary lookup window. Annex K tables place every high-frequency symbol
+/// at 9 bits or fewer, so the slow path only runs for rare symbols.
+inline constexpr int kHuffLookupBits = 9;
+
+struct DecodeTable {
+  std::array<int, 17> mincode{};
+  std::array<int, 17> maxcode{};  ///< -1 where no codes of that length exist
+  std::array<int, 17> valptr{};
+  std::vector<std::uint8_t> vals;
+  /// `(symbol << 8) | code_length` for every `kHuffLookupBits`-bit window
+  /// that starts with a code of that length; 0 routes to the slow path.
+  std::array<std::uint16_t, 1u << kHuffLookupBits> lookup{};
+  bool present = false;
+
+  /// Builds the canonical code book from a DHT segment's BITS/HUFFVAL.
+  /// Throws CodecError when the length counts do not describe a prefix code
+  /// (a corrupted table would otherwise index out of bounds).
+  void build(const std::uint8_t bits[16], const std::uint8_t* huffval, int count) {
+    vals.assign(huffval, huffval + count);
+    lookup.fill(0);
+    int code = 0, k = 0;
+    for (int len = 1; len <= 16; ++len) {
+      const auto l = static_cast<std::size_t>(len);
+      if (bits[len - 1] == 0) {
+        maxcode[l] = -1;
+      } else {
+        valptr[l] = k;
+        mincode[l] = code;
+        k += bits[len - 1];
+        code += bits[len - 1];
+        // All codes of this length must fit in `len` bits, or the counts do
+        // not form a valid canonical prefix code (T.81 C.2).
+        if (code > (1 << len)) throw CodecError("DHT: invalid code length counts");
+        maxcode[l] = code - 1;
+        for (int c = mincode[l]; c <= maxcode[l] && len <= kHuffLookupBits; ++c) {
+          const auto sym = vals[static_cast<std::size_t>(valptr[l] + c - mincode[l])];
+          const int base = c << (kHuffLookupBits - len);
+          const int span = 1 << (kHuffLookupBits - len);
+          const auto entry = static_cast<std::uint16_t>((sym << 8) | len);
+          for (int s = 0; s < span; ++s) lookup[static_cast<std::size_t>(base + s)] = entry;
+        }
+      }
+      code <<= 1;
+    }
+    present = true;
+  }
+
+  /// Decodes one symbol: one peek + one table load on the fast path.
+  [[nodiscard]] std::uint8_t decode(BitReader& br) const {
+    const std::uint16_t entry = lookup[br.peek(kHuffLookupBits)];
+    if (entry != 0) {
+      br.consume(entry & 0xFF);
+      return static_cast<std::uint8_t>(entry >> 8);
+    }
+    return decode_slow(br);
+  }
+
+  [[nodiscard]] std::uint8_t decode_slow(BitReader& br) const {
+    for (int len = kHuffLookupBits + 1; len <= 16; ++len) {
+      const auto l = static_cast<std::size_t>(len);
+      if (maxcode[l] < 0) continue;
+      const int code = static_cast<int>(br.peek(len));
+      if (code >= mincode[l] && code <= maxcode[l]) {
+        br.consume(len);
+        return vals[static_cast<std::size_t>(valptr[l] + code - mincode[l])];
+      }
+    }
+    throw CodecError("invalid Huffman code");
+  }
+};
+
+}  // namespace serve::codec::jpeg

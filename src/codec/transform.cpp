@@ -2,11 +2,142 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace serve::codec {
 
+namespace {
+
+/// Per-axis bilinear resampling plan: for each destination index, the two
+/// clamped source taps and the weight of the second tap. Precomputed once
+/// per resize so the pixel loops are pure float multiply-adds.
+struct AxisPlan {
+  std::vector<int> i0, i1;
+  std::vector<float> w1;  ///< weight of tap i1; tap i0 gets (1 - w1)
+};
+
+AxisPlan make_axis_plan(int src, int dst) {
+  AxisPlan plan;
+  const auto n = static_cast<std::size_t>(dst);
+  plan.i0.resize(n);
+  plan.i1.resize(n);
+  plan.w1.resize(n);
+  const double scale = static_cast<double>(src) / dst;
+  for (int x = 0; x < dst; ++x) {
+    // Pixel-center mapping keeps the image from shifting by half a pixel.
+    const double f = (x + 0.5) * scale - 0.5;
+    const int x0 = static_cast<int>(std::floor(f));
+    const auto i = static_cast<std::size_t>(x);
+    plan.i0[i] = std::clamp(x0, 0, src - 1);
+    plan.i1[i] = std::clamp(x0 + 1, 0, src - 1);
+    plan.w1[i] = static_cast<float>(f - x0);
+  }
+  return plan;
+}
+
+/// Nearest-neighbour index plan (same pixel-center mapping as the reference).
+std::vector<int> make_nearest_plan(int src, int dst) {
+  std::vector<int> idx(static_cast<std::size_t>(dst));
+  const double scale = static_cast<double>(src) / dst;
+  for (int x = 0; x < dst; ++x) {
+    const double f = (x + 0.5) * scale - 0.5;
+    idx[static_cast<std::size_t>(x)] =
+        std::clamp(static_cast<int>(std::lround(f)), 0, src - 1);
+  }
+  return idx;
+}
+
+// Round-half-up + clamp without the per-sample libm lround call.
+inline std::uint8_t round_clamp255(float v) noexcept {
+  v += 0.5f;
+  return static_cast<std::uint8_t>(v < 0.0f ? 0 : (v > 255.0f ? 255 : static_cast<int>(v)));
+}
+
+Image resize_nearest(const Image& src, int dst_w, int dst_h) {
+  Image dst{dst_w, dst_h, src.channels()};
+  const auto xs = make_nearest_plan(src.width(), dst_w);
+  const auto ys = make_nearest_plan(src.height(), dst_h);
+  const int ch = src.channels();
+  const std::uint8_t* sdata = src.data().data();
+  std::uint8_t* out = dst.data().data();
+  const std::size_t src_row = static_cast<std::size_t>(src.width()) * static_cast<std::size_t>(ch);
+  for (int y = 0; y < dst_h; ++y) {
+    const std::uint8_t* srow = sdata + static_cast<std::size_t>(ys[static_cast<std::size_t>(y)]) * src_row;
+    for (int x = 0; x < dst_w; ++x) {
+      const std::uint8_t* sp = srow + static_cast<std::size_t>(xs[static_cast<std::size_t>(x)]) * static_cast<std::size_t>(ch);
+      for (int c = 0; c < ch; ++c) *out++ = sp[c];
+    }
+  }
+  return dst;
+}
+
+Image resize_bilinear_two_pass(const Image& src, int dst_w, int dst_h) {
+  Image dst{dst_w, dst_h, src.channels()};
+  const int ch = src.channels();
+  const AxisPlan xp = make_axis_plan(src.width(), dst_w);
+  const AxisPlan yp = make_axis_plan(src.height(), dst_h);
+
+  // Only source rows referenced by the vertical plan get a horizontal pass
+  // (a heavy downscale touches far fewer than src_h rows); `row_slot` maps a
+  // source row to its slot in the compact intermediate buffer.
+  std::vector<int> row_slot(static_cast<std::size_t>(src.height()), -1);
+  for (int y = 0; y < dst_h; ++y) {
+    row_slot[static_cast<std::size_t>(yp.i0[static_cast<std::size_t>(y)])] = 0;
+    row_slot[static_cast<std::size_t>(yp.i1[static_cast<std::size_t>(y)])] = 0;
+  }
+  int n_slots = 0;
+  for (auto& slot : row_slot) {
+    if (slot == 0) slot = n_slots++;
+  }
+
+  const std::size_t mid_row = static_cast<std::size_t>(dst_w) * static_cast<std::size_t>(ch);
+  std::vector<float> mid(static_cast<std::size_t>(n_slots) * mid_row);
+  const std::uint8_t* sdata = src.data().data();
+  const std::size_t src_row = static_cast<std::size_t>(src.width()) * static_cast<std::size_t>(ch);
+  for (int sy = 0; sy < src.height(); ++sy) {
+    const int slot = row_slot[static_cast<std::size_t>(sy)];
+    if (slot < 0) continue;
+    const std::uint8_t* srow = sdata + static_cast<std::size_t>(sy) * src_row;
+    float* mrow = mid.data() + static_cast<std::size_t>(slot) * mid_row;
+    for (int x = 0; x < dst_w; ++x) {
+      const auto xi = static_cast<std::size_t>(x);
+      const std::uint8_t* p0 = srow + static_cast<std::size_t>(xp.i0[xi]) * static_cast<std::size_t>(ch);
+      const std::uint8_t* p1 = srow + static_cast<std::size_t>(xp.i1[xi]) * static_cast<std::size_t>(ch);
+      const float w = xp.w1[xi];
+      const float w0 = 1.0f - w;
+      for (int c = 0; c < ch; ++c) {
+        *mrow++ = static_cast<float>(p0[c]) * w0 + static_cast<float>(p1[c]) * w;
+      }
+    }
+  }
+
+  std::uint8_t* out = dst.data().data();
+  for (int y = 0; y < dst_h; ++y) {
+    const auto yi = static_cast<std::size_t>(y);
+    const float* r0 = mid.data() +
+        static_cast<std::size_t>(row_slot[static_cast<std::size_t>(yp.i0[yi])]) * mid_row;
+    const float* r1 = mid.data() +
+        static_cast<std::size_t>(row_slot[static_cast<std::size_t>(yp.i1[yi])]) * mid_row;
+    const float w = yp.w1[yi];
+    const float w0 = 1.0f - w;
+    for (std::size_t i = 0; i < mid_row; ++i) {
+      *out++ = round_clamp255(r0[i] * w0 + r1[i] * w);
+    }
+  }
+  return dst;
+}
+
+}  // namespace
+
 Image resize(const Image& src, int dst_w, int dst_h, ResizeFilter filter) {
+  if (src.empty()) throw std::invalid_argument("resize: empty source");
+  if (dst_w <= 0 || dst_h <= 0) throw std::invalid_argument("resize: non-positive target");
+  if (filter == ResizeFilter::kNearest) return resize_nearest(src, dst_w, dst_h);
+  return resize_bilinear_two_pass(src, dst_w, dst_h);
+}
+
+Image resize_reference(const Image& src, int dst_w, int dst_h, ResizeFilter filter) {
   if (src.empty()) throw std::invalid_argument("resize: empty source");
   if (dst_w <= 0 || dst_h <= 0) throw std::invalid_argument("resize: non-positive target");
   Image dst{dst_w, dst_h, src.channels()};
@@ -47,18 +178,27 @@ std::vector<float> normalize_chw(const Image& img, const std::array<float, 3>& m
   for (float s : stddev) {
     if (s <= 0.0f) throw std::invalid_argument("normalize_chw: stddev must be positive");
   }
-  const auto plane = static_cast<std::size_t>(img.width()) * static_cast<std::size_t>(img.height());
-  std::vector<float> out(plane * 3);
+  // 256-entry per-channel lookup tables; each entry applies exactly the
+  // per-pixel formula, so the output is bit-identical to computing it inline.
+  float lut[3][256];
   for (int c = 0; c < 3; ++c) {
-    float* dst = out.data() + static_cast<std::size_t>(c) * plane;
     const float m = mean[static_cast<std::size_t>(c)];
     const float inv = 1.0f / stddev[static_cast<std::size_t>(c)];
-    std::size_t i = 0;
-    for (int y = 0; y < img.height(); ++y) {
-      for (int x = 0; x < img.width(); ++x) {
-        dst[i++] = (static_cast<float>(img.at(x, y, c)) / 255.0f - m) * inv;
-      }
+    for (int v = 0; v < 256; ++v) {
+      lut[c][v] = (static_cast<float>(v) / 255.0f - m) * inv;
     }
+  }
+  const auto plane = static_cast<std::size_t>(img.width()) * static_cast<std::size_t>(img.height());
+  std::vector<float> out(plane * 3);
+  float* r = out.data();
+  float* g = out.data() + plane;
+  float* b = out.data() + 2 * plane;
+  const std::uint8_t* p = img.data().data();
+  for (std::size_t i = 0; i < plane; ++i) {
+    r[i] = lut[0][p[0]];
+    g[i] = lut[1][p[1]];
+    b[i] = lut[2][p[2]];
+    p += 3;
   }
   return out;
 }
@@ -69,10 +209,16 @@ Image center_crop(const Image& src, int side) {
   const int x0 = (src.width() - s) / 2;
   const int y0 = (src.height() - s) / 2;
   Image dst{s, s, src.channels()};
+  const auto ch = static_cast<std::size_t>(src.channels());
+  const std::size_t src_row = static_cast<std::size_t>(src.width()) * ch;
+  const std::size_t dst_row = static_cast<std::size_t>(s) * ch;
+  const std::uint8_t* sp = src.data().data() +
+      static_cast<std::size_t>(y0) * src_row + static_cast<std::size_t>(x0) * ch;
+  std::uint8_t* dp = dst.data().data();
   for (int y = 0; y < s; ++y) {
-    for (int x = 0; x < s; ++x) {
-      for (int c = 0; c < src.channels(); ++c) dst.at(x, y, c) = src.at(x0 + x, y0 + y, c);
-    }
+    std::memcpy(dp, sp, dst_row);
+    sp += src_row;
+    dp += dst_row;
   }
   return dst;
 }

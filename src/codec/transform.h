@@ -12,9 +12,16 @@ namespace serve::codec {
 
 enum class ResizeFilter { kNearest, kBilinear };
 
-/// Resamples `src` to `dst_w x dst_h`.
+/// Resamples `src` to `dst_w x dst_h`. Bilinear runs as a separable two-pass
+/// resample with precomputed per-axis coefficient tables (float intermediate
+/// rows); results match `resize_reference` within ±1 intensity step.
 [[nodiscard]] Image resize(const Image& src, int dst_w, int dst_h,
                            ResizeFilter filter = ResizeFilter::kBilinear);
+
+/// Naive per-pixel double-precision resampler — the oracle the equivalence
+/// tests compare the two-pass fast path against. Same pixel-center mapping.
+[[nodiscard]] Image resize_reference(const Image& src, int dst_w, int dst_h,
+                                     ResizeFilter filter = ResizeFilter::kBilinear);
 
 /// Standard ImageNet normalization constants.
 inline constexpr std::array<float, 3> kImageNetMean{0.485f, 0.456f, 0.406f};

@@ -2,25 +2,27 @@
 
 #include <chrono>
 
+#include "codec/batch_preprocess.h"
 #include "codec/jpeg.h"
 #include "codec/synthetic.h"
 #include "codec/transform.h"
 
 namespace serve::workload {
 
-std::vector<CorpusEntry> make_corpus(hw::ImageSpec target, int count, std::uint64_t seed) {
+std::vector<CorpusEntry> make_corpus(hw::ImageSpec target, int count, std::uint64_t seed,
+                                     int threads) {
   if (count <= 0) throw std::invalid_argument("make_corpus: count must be positive");
-  std::vector<CorpusEntry> corpus;
-  corpus.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    const codec::Image img = codec::make_synthetic(
-        target.width, target.height, codec::Pattern::kScene, seed + static_cast<std::uint64_t>(i));
-    CorpusEntry entry;
+  std::vector<CorpusEntry> corpus(static_cast<std::size_t>(count));
+  codec::BatchPreprocessor pool{threads};
+  pool.parallel_for(static_cast<std::size_t>(count), [&](std::size_t i) {
+    const codec::Image img = codec::make_synthetic(target.width, target.height,
+                                                   codec::Pattern::kScene,
+                                                   seed + static_cast<std::uint64_t>(i));
+    CorpusEntry& entry = corpus[i];
     entry.jpeg = codec::encode_jpeg(img, {.quality = 85});
     entry.spec = hw::ImageSpec{target.width, target.height,
                                static_cast<std::int64_t>(entry.jpeg.size())};
-    corpus.push_back(std::move(entry));
-  }
+  });
   return corpus;
 }
 

@@ -22,9 +22,11 @@ struct CorpusEntry {
 
 /// Builds `count` real JPEGs at roughly the geometry of `target` (encoded
 /// size will differ from the paper's byte counts — content differs — but the
-/// decode work is the real thing). Deterministic in `seed`.
+/// decode work is the real thing). Deterministic in `seed` regardless of
+/// `threads`: each entry is synthesized and encoded independently, fanned
+/// out over a codec::BatchPreprocessor worker pool when `threads > 1`.
 [[nodiscard]] std::vector<CorpusEntry> make_corpus(hw::ImageSpec target, int count,
-                                                   std::uint64_t seed = 1);
+                                                   std::uint64_t seed = 1, int threads = 1);
 
 /// Decodes + resizes + normalizes one entry with the real pipeline and
 /// returns the wall-clock cost in seconds (used to ground CpuCalib rates).

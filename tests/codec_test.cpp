@@ -4,11 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <tuple>
 
+#include "codec/batch_preprocess.h"
+#include "codec/bit_io.h"
+#include "codec/dct.h"
 #include "codec/image.h"
 #include "codec/jpeg.h"
+#include "codec/jpeg_huffman.h"
 #include "codec/jpeg_tables.h"
 #include "codec/synthetic.h"
 #include "codec/transform.h"
@@ -341,6 +346,354 @@ TEST(Synthetic, DeterministicPerSeed) {
   const Image c = make_synthetic(32, 32, Pattern::kTexture, 6);
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
+}
+
+// --- Fast-path equivalence: every optimized kernel against its reference ---
+
+TEST(DctEquivalence, FastFdctMatchesReferenceOnRandomBlocks) {
+  sim::Rng rng{99};
+  double max_err = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    float in[64], fast[64], ref[64];
+    for (auto& v : in) v = static_cast<float>(rng.uniform_int(0, 255)) - 128.0f;
+    jpeg::fdct8x8(in, fast);
+    jpeg::fdct8x8_ref(in, ref);
+    for (int i = 0; i < 64; ++i) {
+      max_err = std::max(max_err, std::abs(static_cast<double>(fast[i]) - ref[i]));
+    }
+  }
+  // AAN and the basis-matrix DCT compute the same transform; the gap is pure
+  // float rounding, far below one quantizer step.
+  EXPECT_LT(max_err, 0.01);
+}
+
+TEST(DctEquivalence, FastIdctMatchesReferenceOnRandomBlocks) {
+  sim::Rng rng{101};
+  double max_err = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    float in[64], fast[64], ref[64];
+    // Realistic dequantized-coefficient magnitudes (DC large, AC smaller).
+    for (auto& v : in) v = static_cast<float>(rng.uniform_int(-1024, 1024));
+    jpeg::idct8x8(in, fast);
+    jpeg::idct8x8_ref(in, ref);
+    for (int i = 0; i < 64; ++i) {
+      max_err = std::max(max_err, std::abs(static_cast<double>(fast[i]) - ref[i]));
+    }
+  }
+  EXPECT_LT(max_err, 0.01);
+}
+
+TEST(DctEquivalence, FastRoundTripReconstructs) {
+  sim::Rng rng{7};
+  float in[64], freq[64], out[64];
+  for (auto& v : in) v = static_cast<float>(rng.uniform_int(0, 255)) - 128.0f;
+  jpeg::fdct8x8(in, freq);
+  jpeg::idct8x8(freq, out);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(out[i], in[i], 0.01f);
+}
+
+TEST(DctEquivalence, ScaledIdctMatchesPrescaledInput) {
+  // idct8x8_scaled(x * prescale) == idct8x8(x): the decoder folds the
+  // prescale into its dequantization tables.
+  sim::Rng rng{31};
+  const auto& pre = jpeg::idct_prescale();
+  float in[64], scaled_in[64], a[64], b[64];
+  for (int i = 0; i < 64; ++i) {
+    in[i] = static_cast<float>(rng.uniform_int(-512, 512));
+    scaled_in[i] = in[i] * pre[static_cast<std::size_t>(i)];
+  }
+  jpeg::idct8x8(in, a);
+  jpeg::idct8x8_scaled(scaled_in, b);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(a[i], b[i], 0.01f);
+}
+
+TEST(DecodeEquivalence, FastIdctWithinOneLsbOfReference) {
+  // Full decode with the AAN fast IDCT vs the basis-matrix reference IDCT:
+  // the entropy/dequant path is bit-identical, so pixels may differ only
+  // when the exact value sits within float error of a rounding boundary —
+  // never by more than 1 LSB.
+  for (auto sub : {Subsampling::k444, Subsampling::k422, Subsampling::k420}) {
+    for (auto [w, h] : {std::pair{96, 64}, {31, 33}}) {
+      const Image img = make_synthetic(w, h, Pattern::kScene, 17);
+      const auto bytes = encode_jpeg(img, {.quality = 85, .subsampling = sub});
+      const Image fast = decode_jpeg(bytes);
+      const Image ref = decode_jpeg(bytes, {.use_reference_idct = true});
+      ASSERT_EQ(fast.data().size(), ref.data().size());
+      int max_diff = 0;
+      for (std::size_t i = 0; i < fast.data().size(); ++i) {
+        max_diff = std::max(max_diff, std::abs(static_cast<int>(fast.data()[i]) -
+                                               static_cast<int>(ref.data()[i])));
+      }
+      EXPECT_LE(max_diff, 1) << w << "x" << h;
+    }
+  }
+}
+
+TEST(ResizeEquivalence, TwoPassBilinearWithinOneLsbOfReference) {
+  for (auto [sw, sh, dw, dh] : {std::tuple{500, 375, 224, 224},
+                                {64, 48, 224, 224},     // upscale
+                                {357, 289, 89, 53},     // odd geometry downscale
+                                {224, 224, 224, 224}})  // identity
+  {
+    const Image img = make_synthetic(sw, sh, Pattern::kScene, 23);
+    const Image fast = resize(img, dw, dh, ResizeFilter::kBilinear);
+    const Image ref = resize_reference(img, dw, dh, ResizeFilter::kBilinear);
+    ASSERT_EQ(fast.data().size(), ref.data().size());
+    int max_diff = 0;
+    for (std::size_t i = 0; i < fast.data().size(); ++i) {
+      max_diff = std::max(max_diff, std::abs(static_cast<int>(fast.data()[i]) -
+                                             static_cast<int>(ref.data()[i])));
+    }
+    EXPECT_LE(max_diff, 1) << sw << "x" << sh << " -> " << dw << "x" << dh;
+  }
+}
+
+TEST(ResizeEquivalence, NearestMatchesReferenceExactly) {
+  const Image img = make_synthetic(123, 77, Pattern::kTexture, 4);
+  EXPECT_EQ(resize(img, 50, 60, ResizeFilter::kNearest),
+            resize_reference(img, 50, 60, ResizeFilter::kNearest));
+}
+
+TEST(NormalizeEquivalence, LutIsBitExactAgainstInlineFormula) {
+  const Image img = make_synthetic(53, 41, Pattern::kScene, 12);
+  const auto t = normalize_chw(img);
+  const auto plane = static_cast<std::size_t>(53 * 41);
+  ASSERT_EQ(t.size(), plane * 3);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const auto i = static_cast<std::size_t>(y) * 53 + static_cast<std::size_t>(x);
+      for (std::size_t c = 0; c < 3; ++c) {
+        // Same operation order as the kernel (multiply by the reciprocal,
+        // not divide) so "bit-exact" is well defined.
+        const float inv = 1.0f / kImageNetStd[c];
+        const float expect = (static_cast<float>(img.at(x, y, static_cast<int>(c))) / 255.0f -
+                              kImageNetMean[c]) * inv;
+        ASSERT_EQ(t[c * plane + i], expect) << x << "," << y << "," << c;
+      }
+    }
+  }
+}
+
+TEST(CenterCropEquivalence, RowMemcpyMatchesNaiveLoops) {
+  const Image img = make_synthetic(61, 47, Pattern::kScene, 6);
+  const int side = 32;
+  const Image crop = center_crop(img, side);
+  const int x0 = (img.width() - side) / 2;
+  const int y0 = (img.height() - side) / 2;
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        ASSERT_EQ(crop.at(x, y, c), img.at(x0 + x, y0 + y, c)) << x << "," << y;
+      }
+    }
+  }
+}
+
+// --- Bit reader / Huffman table malformed-stream behaviour ---
+
+TEST(BitReader, BulkRefillReadsBitsMsbFirst) {
+  const std::uint8_t data[] = {0xA5, 0x3C, 0x0F, 0xF0, 0x81, 0x42, 0x24, 0x18, 0x99, 0x66};
+  jpeg::BitReader br(data, sizeof(data));
+  EXPECT_EQ(br.get_bits(4), 0xAu);
+  EXPECT_EQ(br.get_bits(8), 0x53u);
+  EXPECT_EQ(br.get_bit(), 1u);
+  EXPECT_EQ(br.get_bits(3), 0x4u);  // remaining of 0x3C
+  // Crosses the first 8-byte bulk refill boundary.
+  EXPECT_EQ(br.get_bits(32), 0x0FF08142u);
+  EXPECT_EQ(br.get_bits(32), 0x24189966u);
+}
+
+TEST(BitReader, StuffedByteAtRefillBoundaryIsUnstuffed) {
+  // 0xFF00 pairs placed so one straddles the first bulk refill (which stops
+  // after the accumulator holds > 56 bits): bytes 6..8 are FF 00 FF 00.
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06,
+                               0xFF, 0x00, 0xFF, 0x00, 0x07, 0x08};
+  jpeg::BitReader br(data, sizeof(data));
+  for (std::uint32_t expect : {0x01u, 0x02u, 0x03u, 0x04u, 0x05u, 0x06u,
+                               0xFFu, 0xFFu, 0x07u, 0x08u}) {
+    EXPECT_EQ(br.get_bits(8), expect);
+  }
+}
+
+TEST(BitReader, PeekPastEndIsZeroButConsumeThrows) {
+  const std::uint8_t data[] = {0xAB, 0xCD};
+  jpeg::BitReader br(data, sizeof(data));
+  EXPECT_EQ(br.get_bits(16), 0xABCDu);
+  // Peeks beyond the segment read zero padding without throwing...
+  EXPECT_EQ(br.peek(16), 0u);
+  // ...but consuming into the padding reports exhaustion.
+  EXPECT_THROW(br.consume(1), jpeg::CodecError);
+}
+
+TEST(BitReader, TruncatedRefillThrowsOnConsume) {
+  const std::uint8_t data[] = {0x12, 0x34, 0x56};
+  jpeg::BitReader br(data, sizeof(data));
+  EXPECT_EQ(br.get_bits(24), 0x123456u);
+  EXPECT_THROW((void)br.get_bits(8), jpeg::CodecError);
+}
+
+TEST(BitReader, StopsAtMarkerAndReportsPosition) {
+  const std::uint8_t data[] = {0x12, 0xFF, 0xD9};  // EOI after one data byte
+  jpeg::BitReader br(data, sizeof(data));
+  EXPECT_EQ(br.get_bits(8), 0x12u);
+  EXPECT_EQ(br.peek(8), 0u);          // zero padding, not marker bytes
+  EXPECT_EQ(br.position(), 1u);       // refill never advanced past the 0xFF
+  EXPECT_THROW(br.consume(8), jpeg::CodecError);
+}
+
+TEST(BitReader, DanglingFfThrowsOnConsume) {
+  const std::uint8_t data[] = {0x12, 0xFF};
+  jpeg::BitReader br(data, sizeof(data));
+  EXPECT_EQ(br.get_bits(8), 0x12u);
+  EXPECT_THROW((void)br.get_bits(8), jpeg::CodecError);
+}
+
+TEST(BitReader, RestartMarkerResetsStream) {
+  const std::uint8_t data[] = {0xAB, 0xFF, 0xD3, 0xCD};
+  jpeg::BitReader br(data, sizeof(data));
+  EXPECT_EQ(br.get_bits(8), 0xABu);
+  (void)br.peek(8);  // force a refill that stops at the marker
+  EXPECT_EQ(br.consume_restart_marker(), 3);
+  EXPECT_EQ(br.get_bits(8), 0xCDu);
+}
+
+TEST(BitWriter, RoundTripsThroughReaderWithStuffing) {
+  std::vector<std::uint8_t> out;
+  jpeg::BitWriter bw(out);
+  sim::Rng rng{55};
+  std::vector<std::pair<std::uint32_t, int>> writes;
+  for (int i = 0; i < 500; ++i) {
+    const int count = static_cast<int>(rng.uniform_int(1, 24));
+    // Bias toward all-ones values so 0xFF stuffing triggers frequently.
+    std::uint32_t value = static_cast<std::uint32_t>(
+        rng.uniform_int(0, (1ll << count) - 1));
+    if (rng.uniform_int(0, 3) == 0) value = (1u << count) - 1u;
+    writes.emplace_back(value, count);
+    bw.put_bits(value, count);
+  }
+  bw.finish();
+  ASSERT_FALSE(out.empty());
+  jpeg::BitReader br(out.data(), out.size());
+  for (const auto& [value, count] : writes) {
+    ASSERT_EQ(br.get_bits(count), value & ((1u << count) - 1u));
+  }
+}
+
+TEST(HuffmanTable, DecodesKnownSpecBitExact) {
+  // Canonical code book: one code each of lengths 1..3 => 0, 10, 110.
+  std::uint8_t bits[16] = {1, 1, 1};
+  const std::uint8_t vals[] = {5, 9, 17};
+  jpeg::DecodeTable table;
+  table.build(bits, vals, 3);
+  std::vector<std::uint8_t> stream;
+  jpeg::BitWriter bw(stream);
+  bw.put_bits(0b0, 1);    // 5
+  bw.put_bits(0b10, 2);   // 9
+  bw.put_bits(0b110, 3);  // 17
+  bw.put_bits(0b0, 1);    // 5
+  bw.finish();
+  jpeg::BitReader br(stream.data(), stream.size());
+  EXPECT_EQ(table.decode(br), 5);
+  EXPECT_EQ(table.decode(br), 9);
+  EXPECT_EQ(table.decode(br), 17);
+  EXPECT_EQ(table.decode(br), 5);
+}
+
+TEST(HuffmanTable, SlowPathDecodesCodesLongerThanLookupWindow) {
+  // One code per length 1..12; length-12's canonical code is 2^12 - 2
+  // (eleven 1-bits then 0), beyond the 9-bit primary window.
+  std::uint8_t bits[16] = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  std::uint8_t vals[12];
+  for (int i = 0; i < 12; ++i) vals[i] = static_cast<std::uint8_t>(i + 1);
+  jpeg::DecodeTable table;
+  table.build(bits, vals, 12);
+  std::vector<std::uint8_t> stream;
+  jpeg::BitWriter bw(stream);
+  bw.put_bits((1u << 12) - 2u, 12);  // length-12 code -> symbol 12
+  bw.put_bits(0, 1);                 // length-1 code -> symbol 1
+  bw.finish();
+  jpeg::BitReader br(stream.data(), stream.size());
+  EXPECT_EQ(table.decode(br), 12);
+  EXPECT_EQ(table.decode(br), 1);
+}
+
+TEST(HuffmanTable, OverLongInvalidCodeThrows) {
+  std::uint8_t bits[16] = {1, 1, 1};  // codes 0, 10, 110; 111... is unassigned
+  const std::uint8_t vals[] = {5, 9, 17};
+  jpeg::DecodeTable table;
+  table.build(bits, vals, 3);
+  const std::uint8_t stream[] = {0xFF, 0x00, 0xFF, 0x00};  // stuffed all-ones
+  jpeg::BitReader br(stream, sizeof(stream));
+  EXPECT_THROW((void)table.decode(br), jpeg::CodecError);
+}
+
+TEST(HuffmanTable, InvalidDhtCountsThrowInBuild) {
+  // Three 1-bit codes cannot exist in a binary prefix code.
+  std::uint8_t bits[16] = {3};
+  const std::uint8_t vals[] = {1, 2, 3};
+  jpeg::DecodeTable table;
+  EXPECT_THROW(table.build(bits, vals, 3), jpeg::CodecError);
+}
+
+// --- BatchPreprocessor: parallel decode->resize->normalize worker pool ---
+
+TEST(BatchPreprocessor, MatchesSequentialPipelineAcrossThreadCounts) {
+  std::vector<std::vector<std::uint8_t>> jpegs;
+  for (int i = 0; i < 9; ++i) {
+    const Image img = make_synthetic(64 + 8 * i, 48 + 4 * i, Pattern::kScene,
+                                     static_cast<unsigned>(100 + i));
+    jpegs.push_back(encode_jpeg(img, {.quality = 85}));
+  }
+  // Reference: the plain single-image pipeline, in order.
+  std::vector<std::vector<float>> expect;
+  for (const auto& j : jpegs) {
+    const Image img = decode_jpeg(j);
+    expect.push_back(normalize_chw(resize(img, 224, 224)));
+  }
+  for (int threads : {1, 2, 4}) {
+    BatchPreprocessor pool{threads};
+    const auto got = pool.run(jpegs, {});
+    ASSERT_EQ(got.size(), expect.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << "threads=" << threads << " image=" << i;
+    }
+  }
+}
+
+TEST(BatchPreprocessor, AppliesCenterCrop) {
+  const Image img = make_synthetic(120, 90, Pattern::kScene, 3);
+  const auto jpeg_bytes = encode_jpeg(img, {.quality = 90});
+  BatchPreprocessor pool{2};
+  BatchPreprocessOptions opts;
+  opts.center_crop_side = 80;
+  opts.target_side = 64;
+  const auto got = pool.run(std::vector<std::vector<std::uint8_t>>{jpeg_bytes}, opts);
+  const auto expect =
+      normalize_chw(resize(center_crop(decode_jpeg(jpeg_bytes), 80), 64, 64));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], expect);
+}
+
+TEST(BatchPreprocessor, PropagatesDecodeErrors) {
+  std::vector<std::vector<std::uint8_t>> jpegs;
+  for (int i = 0; i < 6; ++i) {
+    const Image img = make_synthetic(40, 30, Pattern::kGradient, static_cast<unsigned>(i));
+    jpegs.push_back(encode_jpeg(img));
+  }
+  jpegs[3] = {0xDE, 0xAD, 0xBE, 0xEF};  // not a JPEG
+  for (int threads : {1, 4}) {
+    BatchPreprocessor pool{threads};
+    EXPECT_THROW((void)pool.run(jpegs, {}), jpeg::CodecError) << "threads=" << threads;
+  }
+}
+
+TEST(BatchPreprocessor, RejectsBadConfiguration) {
+  EXPECT_THROW(BatchPreprocessor{0}, std::invalid_argument);
+  BatchPreprocessor pool{1};
+  BatchPreprocessOptions opts;
+  opts.target_side = 0;
+  EXPECT_THROW((void)pool.run(std::vector<std::vector<std::uint8_t>>{}, opts),
+               std::invalid_argument);
 }
 
 TEST(FullPreprocessingPipeline, MatchesPaperStages) {

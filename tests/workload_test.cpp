@@ -76,6 +76,18 @@ TEST(Corpus, RejectsBadCount) {
   EXPECT_THROW(make_corpus(hw::kSmallImage, 0), std::invalid_argument);
 }
 
+TEST(Corpus, ThreadedGenerationIsDeterministic) {
+  // Fanning the per-entry work over the BatchPreprocessor pool must not
+  // change the corpus: entries depend only on (seed + index).
+  const auto seq = make_corpus(hw::kSmallImage, 8, 42, 1);
+  const auto par = make_corpus(hw::kSmallImage, 8, 42, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].jpeg, par[i].jpeg) << "entry " << i;
+    EXPECT_EQ(seq[i].spec.compressed_bytes, par[i].spec.compressed_bytes);
+  }
+}
+
 TEST(Corpus, RealPreprocessTimingIsPositiveAndDecodeHeavy) {
   const auto corpus = make_corpus(hw::kMediumImage, 1, 3);
   const auto t = time_real_preprocess(corpus[0], 224);

@@ -1,0 +1,230 @@
+// Compares two google-benchmark JSON outputs and fails on large regressions.
+//
+//   bench_check baseline.json current.json [--tolerance 0.30]
+//
+// A benchmark regresses when its current real_time exceeds the baseline by
+// more than `tolerance` (fractional; default 30%). The tolerance is
+// deliberately generous: CI machines are noisy and shared, so the gate is
+// meant to catch order-of-magnitude mistakes (an accidentally disabled fast
+// path), not a few percent of jitter. Benchmarks present on only one side
+// are warned about but never fail the check.
+//
+// The parser below handles exactly the subset of JSON that google-benchmark
+// emits (objects/arrays/strings/numbers/bools, no escapes beyond \" \\ \/
+// \n \t), which keeps this tool dependency-free.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Bench {
+  double real_time = 0.0;
+  std::string time_unit = "ns";
+};
+
+double unit_to_ns(const std::string& unit) {
+  if (unit == "ns") return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 1.0;
+}
+
+/// Minimal recursive-descent scanner over the benchmark JSON. We only need
+/// the objects inside the top-level "benchmarks" array, and within each the
+/// "name", "real_time", and "time_unit" fields.
+class Scanner {
+ public:
+  explicit Scanner(std::string text) : text_(std::move(text)) {}
+
+  [[nodiscard]] std::map<std::string, Bench> benchmarks() {
+    std::map<std::string, Bench> out;
+    const std::size_t key = text_.find("\"benchmarks\"");
+    if (key == std::string::npos) return out;
+    pos_ = text_.find('[', key);
+    if (pos_ == std::string::npos) return out;
+    ++pos_;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] == ']') break;
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      if (text_[pos_] != '{') break;
+      auto entry = parse_object();
+      if (entry) out[entry->first] = entry->second;
+    }
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      s.push_back(text_[pos_++]);
+    }
+    if (pos_ < text_.size()) ++pos_;  // closing quote
+    return s;
+  }
+
+  /// Consumes one value of any type; returns its raw text (sans containers'
+  /// contents — nested objects/arrays are skipped with depth counting).
+  std::string parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return {};
+    const char c = text_[pos_];
+    if (c == '"') return parse_string().value_or("");
+    if (c == '{' || c == '[') {
+      const char open = c;
+      const char close = (c == '{') ? '}' : ']';
+      int depth = 0;
+      std::string raw;
+      bool in_str = false;
+      while (pos_ < text_.size()) {
+        const char ch = text_[pos_++];
+        raw.push_back(ch);
+        if (in_str) {
+          if (ch == '\\' && pos_ < text_.size()) raw.push_back(text_[pos_++]);
+          else if (ch == '"') in_str = false;
+        } else if (ch == '"') {
+          in_str = true;
+        } else if (ch == open) {
+          ++depth;
+        } else if (ch == close) {
+          if (--depth == 0) break;
+        }
+      }
+      return raw;
+    }
+    std::string raw;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+           text_[pos_] != ']' &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      raw.push_back(text_[pos_++]);
+    }
+    return raw;
+  }
+
+  std::optional<std::pair<std::string, Bench>> parse_object() {
+    ++pos_;  // consume '{'
+    std::string name;
+    Bench b;
+    bool have_time = false;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size()) return std::nullopt;
+      if (text_[pos_] == '}') { ++pos_; break; }
+      if (text_[pos_] == ',') { ++pos_; continue; }
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ':') ++pos_;
+      const std::string value = parse_value();
+      if (*key == "name") {
+        name = value;
+      } else if (*key == "real_time") {
+        b.real_time = std::strtod(value.c_str(), nullptr);
+        have_time = true;
+      } else if (*key == "time_unit") {
+        b.time_unit = value;
+      }
+    }
+    if (name.empty() || !have_time) return std::nullopt;
+    // Skip aggregate rows (mean/median/stddev) if repetitions were used.
+    if (name.find("_mean") != std::string::npos ||
+        name.find("_median") != std::string::npos ||
+        name.find("_stddev") != std::string::npos ||
+        name.find("_cv") != std::string::npos) {
+      return std::nullopt;
+    }
+    return std::make_pair(name, b);
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<std::map<std::string, Bench>> load(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Scanner{ss.str()}.benchmarks();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.30;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bench_check baseline.json current.json [--tolerance 0.30]\n");
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr, "usage: bench_check baseline.json current.json [--tolerance 0.30]\n");
+    return 2;
+  }
+  const auto baseline = load(files[0]);
+  const auto current = load(files[1]);
+  if (!baseline) { std::fprintf(stderr, "bench_check: cannot read %s\n", files[0]); return 2; }
+  if (!current) { std::fprintf(stderr, "bench_check: cannot read %s\n", files[1]); return 2; }
+  if (baseline->empty()) { std::fprintf(stderr, "bench_check: no benchmarks in %s\n", files[0]); return 2; }
+  if (current->empty()) { std::fprintf(stderr, "bench_check: no benchmarks in %s\n", files[1]); return 2; }
+
+  int regressions = 0;
+  std::printf("%-44s %12s %12s %8s\n", "benchmark", "baseline", "current", "delta");
+  for (const auto& [name, base] : *baseline) {
+    const auto it = current->find(name);
+    if (it == current->end()) {
+      std::printf("%-44s %12s %12s %8s  WARN: missing from current run\n",
+                  name.c_str(), "-", "-", "-");
+      continue;
+    }
+    const double base_ns = base.real_time * unit_to_ns(base.time_unit);
+    const double cur_ns = it->second.real_time * unit_to_ns(it->second.time_unit);
+    if (base_ns <= 0.0) continue;
+    const double delta = cur_ns / base_ns - 1.0;
+    const bool bad = delta > tolerance;
+    std::printf("%-44s %10.0fns %10.0fns %+7.1f%%%s\n", name.c_str(), base_ns, cur_ns,
+                delta * 100.0, bad ? "  REGRESSION" : "");
+    if (bad) ++regressions;
+  }
+  for (const auto& [name, cur] : *current) {
+    (void)cur;
+    if (baseline->find(name) == baseline->end()) {
+      std::printf("%-44s %12s %12s %8s  WARN: new benchmark (no baseline)\n",
+                  name.c_str(), "-", "-", "-");
+    }
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_check: %d benchmark(s) regressed by more than %.0f%%\n",
+                 regressions, tolerance * 100.0);
+    return 1;
+  }
+  std::printf("bench_check: OK (tolerance %.0f%%)\n", tolerance * 100.0);
+  return 0;
+}

@@ -1,10 +1,20 @@
 // Scratch calibration probe: prints the key paper targets vs simulated
 // values so calibration constants can be tuned quickly.
+//
+// `calibrate --substrate` instead measures the real codec substrate on this
+// machine (decode/resize/normalize MPix/s on the three paper size classes,
+// plus BatchPreprocessor thread scaling) and prints suggested CpuCalib
+// values. Run it after changing codec hot paths, then fold the measured
+// rates into src/hw/calibration.h if the simulator should track this host.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 
+#include "codec/batch_preprocess.h"
 #include "core/experiment.h"
 #include "core/face_pipeline.h"
 #include "models/model_zoo.h"
+#include "workload/corpus.h"
 
 using namespace serve;
 using core::ExperimentSpec;
@@ -12,7 +22,68 @@ using metrics::Stage;
 using serving::PipelineMode;
 using serving::PreprocDevice;
 
-int main() {
+namespace {
+
+int probe_substrate() {
+  std::printf("substrate probe: real codec rates on this machine\n\n");
+  double decode_sum = 0, resize_sum = 0, norm_sum = 0;
+  int classes = 0;
+  for (auto [name, img] : {std::pair{"S", hw::kSmallImage}, {"M", hw::kMediumImage},
+                           {"L", hw::kLargeImage}}) {
+    const int count = img == hw::kLargeImage ? 4 : 16;
+    const auto corpus = workload::make_corpus(img, count, 7, 4);
+    const double px = static_cast<double>(img.width) * img.height;
+    workload::PreprocessTiming acc;
+    // One warm-up pass, then average over the corpus.
+    (void)workload::time_real_preprocess(corpus[0], 224);
+    for (const auto& e : corpus) {
+      const auto t = workload::time_real_preprocess(e, 224);
+      acc.decode_s += t.decode_s;
+      acc.resize_s += t.resize_s;
+      acc.normalize_s += t.normalize_s;
+    }
+    const double n = static_cast<double>(corpus.size());
+    const double decode = px * n / acc.decode_s / 1e6;
+    const double resize = px * n / acc.resize_s / 1e6;
+    // Normalize runs on the 224x224 output, not the source geometry.
+    const double norm = 224.0 * 224.0 * n / acc.normalize_s / 1e6;
+    std::printf("  %s %4dx%-4d decode=%7.1f MPix/s  resize=%7.1f MPix/s  normalize=%7.1f MPix/s\n",
+                name, static_cast<int>(img.width), static_cast<int>(img.height), decode, resize,
+                norm);
+    decode_sum += decode;
+    resize_sum += resize;
+    norm_sum += norm;
+    ++classes;
+  }
+
+  std::printf("\nBatchPreprocessor thread scaling (32 medium images):\n");
+  const auto corpus = workload::make_corpus(hw::kMediumImage, 32, 11, 4);
+  std::vector<std::vector<std::uint8_t>> jpegs;
+  for (const auto& e : corpus) jpegs.push_back(e.jpeg);
+  double t1 = 0;
+  for (int threads : {1, 2, 4}) {
+    codec::BatchPreprocessor pool{threads};
+    (void)pool.run(jpegs, {});  // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    (void)pool.run(jpegs, {});
+    const double secs = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    if (threads == 1) t1 = secs;
+    std::printf("  threads=%d  %6.1f img/s  speedup=%.2fx\n", threads,
+                static_cast<double>(jpegs.size()) / secs, t1 / secs);
+  }
+
+  std::printf("\nsuggested CpuCalib (mean across size classes; see src/hw/calibration.h):\n");
+  std::printf("  decode_mpix_per_s    = %.0fe6\n", decode_sum / classes);
+  std::printf("  resize_mpix_per_s    = %.0fe6\n", resize_sum / classes);
+  std::printf("  normalize_mpix_per_s = %.0fe6\n", norm_sum / classes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--substrate") == 0) return probe_substrate();
   // --- Fig 6: zero-load breakdown ---
   for (auto [name, img] : {std::pair{"S", hw::kSmallImage}, {"M", hw::kMediumImage},
                            {"L", hw::kLargeImage}}) {
