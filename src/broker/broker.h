@@ -16,6 +16,7 @@
 
 #include "hw/calibration.h"
 #include "sim/channel.h"
+#include "sim/fault_plan.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
@@ -48,31 +49,44 @@ struct BrokerProfile {
           .disk_backed = false};
 }
 
-/// Simulated publish/subscribe topic with broker-side costs.
+/// Simulated publish/subscribe topic with broker-side costs. An optional
+/// FaultPlan makes the broker fail publishes and stall deliveries inside
+/// kBrokerOutage windows (deterministically, like every other fault).
 template <typename T>
 class SimBroker {
  public:
-  SimBroker(sim::Simulator& sim, BrokerProfile profile)
+  SimBroker(sim::Simulator& sim, BrokerProfile profile, const sim::FaultPlan* faults = nullptr)
       : sim_(sim),
         profile_(std::move(profile)),
+        faults_(faults),
         io_(sim, static_cast<std::size_t>(profile_.io_threads), profile_.name + ".io"),
         topic_(sim, std::numeric_limits<std::size_t>::max(), profile_.name + ".topic") {}
 
   /// Publishes one message: occupies an IO thread for the service time, then
-  /// the message becomes visible to consumers.
-  sim::Task<> publish(T msg) {
+  /// the message becomes visible to consumers. Returns false (message not
+  /// accepted) when a broker-outage fault window is active — the service
+  /// time is still paid, as a real client pays for a timed-out round trip.
+  sim::Task<bool> publish(T msg) {
     auto io = co_await io_.acquire();
     co_await sim_.wait(sim::seconds(profile_.publish_service_s));
     io.release();
+    if (outage_now()) {
+      ++publish_failures_;
+      co_return false;
+    }
     ++published_;
     topic_.try_put(std::move(msg));
+    co_return true;
   }
 
   /// Blocks until a message is available (or the topic closes), then charges
-  /// the consumer-side delivery latency.
+  /// the consumer-side delivery latency. Messages already in the topic when
+  /// an outage begins are held back until the window ends.
   sim::Task<std::optional<T>> consume() {
     auto msg = co_await topic_.get();
     if (msg) {
+      const sim::Time until = outage_until();
+      if (until > sim_.now()) co_await sim_.wait(until - sim_.now());
       co_await sim_.wait(sim::seconds(profile_.consume_latency_s));
       ++consumed_;
     }
@@ -84,16 +98,29 @@ class SimBroker {
   [[nodiscard]] const BrokerProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
   [[nodiscard]] std::uint64_t consumed() const noexcept { return consumed_; }
+  [[nodiscard]] std::uint64_t publish_failures() const noexcept { return publish_failures_; }
   [[nodiscard]] std::size_t depth() const noexcept { return topic_.size(); }
   [[nodiscard]] sim::Resource& io() noexcept { return io_; }
 
  private:
+  [[nodiscard]] bool outage_now() const noexcept {
+    return faults_ != nullptr && faults_->active(sim::FaultKind::kBrokerOutage,
+                                                 sim::FaultWindow::kAllTargets, sim_.now());
+  }
+  [[nodiscard]] sim::Time outage_until() const noexcept {
+    return faults_ == nullptr ? sim_.now()
+                              : faults_->active_until(sim::FaultKind::kBrokerOutage,
+                                                      sim::FaultWindow::kAllTargets, sim_.now());
+  }
+
   sim::Simulator& sim_;
   BrokerProfile profile_;
+  const sim::FaultPlan* faults_ = nullptr;
   sim::Resource io_;
   sim::Channel<T> topic_;
   std::uint64_t published_ = 0;
   std::uint64_t consumed_ = 0;
+  std::uint64_t publish_failures_ = 0;
 };
 
 }  // namespace serve::broker

@@ -114,6 +114,11 @@ void parse_sof0(Parser& p, DecoderState& st) {
   st.width = p.u16();
   const int ncomp = p.u8();
   if (st.width == 0 || st.height == 0) throw CodecError("SOF0: zero dimensions");
+  // Cap total pixels so a corrupted dimension field cannot demand a
+  // multi-gigabyte allocation before entropy decoding even starts.
+  if (static_cast<std::int64_t>(st.width) * st.height > (std::int64_t{1} << 26)) {
+    throw CodecError("SOF0: image dimensions exceed decoder limit");
+  }
   if (ncomp != 1 && ncomp != 3) throw CodecError("SOF0: only 1 or 3 components supported");
   st.comps.resize(static_cast<std::size_t>(ncomp));
   for (auto& c : st.comps) {

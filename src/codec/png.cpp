@@ -135,6 +135,11 @@ PngInfo parse_ihdr(std::span<const std::uint8_t> p) {
   info.height = static_cast<int>((p[4] << 24) | (p[5] << 16) | (p[6] << 8) | p[7]);
   const int depth = p[8], color = p[9], interlace = p[12];
   if (info.width <= 0 || info.height <= 0) throw CodecError("png: bad dimensions");
+  // Cap total pixels so a corrupted IHDR cannot demand a multi-gigabyte
+  // allocation before inflation even starts.
+  if (static_cast<std::int64_t>(info.width) * info.height > (std::int64_t{1} << 26)) {
+    throw CodecError("png: image dimensions exceed decoder limit");
+  }
   if (depth != 8) throw CodecError("png: only 8-bit depth supported");
   if (color == 0) {
     info.channels = 1;

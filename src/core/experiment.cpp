@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string_view>
 
+#include "broker/broker.h"
 #include "hw/tracing.h"
 
 namespace serve::core {
@@ -63,6 +65,14 @@ ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& plat
   r.breakdown = stats.breakdown();
   r.energy = hw::measure_energy(platform, window_start, window_end);
   r.gpu_evictions = total_evictions(platform) - evictions_before;
+  r.dropped = stats.dropped();
+  r.failed = stats.failed();
+  r.rejected = stats.rejected();
+  r.breaker_opens = stats.breaker_opens();
+  r.degraded = stats.degraded();
+  r.broker_failovers = stats.broker_failovers();
+  r.client_retries = clients.retries();
+  r.client_timeouts = clients.timeouts();
 
   // Drain: stop the clients, let in-flight requests complete, close the
   // server so scheduler processes exit cleanly.
@@ -86,14 +96,51 @@ void wire_audit_trace(const ExperimentSpec& spec, serving::InferenceServer& serv
   }
 }
 
+/// Fault-injection wiring owned by the runner: the optional result broker
+/// (shares the fault plan so outages hit it), staging-budget shrink
+/// transitions, and fault-window spans on the trace.
+struct FaultHarness {
+  std::optional<broker::SimBroker<std::uint64_t>> result_broker;
+
+  void install(const ExperimentSpec& spec, sim::Simulator& sim, hw::Platform& platform,
+               serving::InferenceServer& server) {
+    if (spec.server.broker_publish.publish_results) {
+      result_broker.emplace(sim, broker::redis_profile(spec.calib.broker), spec.faults);
+      server.set_result_broker(&*result_broker);
+    }
+    if (spec.faults == nullptr || spec.faults->empty()) return;
+    if (auto* audit = server.auditor()) {
+      for (const auto& w : spec.faults->windows()) {
+        audit->on_fault_window(sim::fault_kind_name(w.kind), w.begin, w.end);
+      }
+    }
+    spec.faults->schedule_transitions(sim, [&platform](const sim::FaultWindow& w, bool begin) {
+      if (w.kind != sim::FaultKind::kGpuMemoryShrink) return;
+      for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
+        if (w.target != sim::FaultWindow::kAllTargets && static_cast<int>(g) != w.target) {
+          continue;
+        }
+        auto& gpu = platform.gpu(g);
+        const std::int64_t full = gpu.calib().staging_budget_bytes;
+        const auto shrunk = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(static_cast<double>(full) * w.magnitude));
+        gpu.stager().set_budget(begin ? shrunk : full);
+      }
+    });
+  }
+};
+
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
   sim::Simulator sim;
-  hw::Platform platform{sim, {.calib = spec.calib, .gpu_count = spec.gpu_count}};
+  hw::Platform platform{sim,
+                        {.calib = spec.calib, .gpu_count = spec.gpu_count, .faults = spec.faults}};
   if (spec.trace != nullptr) hw::attach_tracer(platform, *spec.trace);
   serving::InferenceServer server{platform, spec.server};
   wire_audit_trace(spec, server);
+  FaultHarness harness;
+  harness.install(spec, sim, platform, server);
   serving::ClosedLoopClients clients{server,
                                      {.concurrency = spec.concurrency,
                                       .image_source = serving::fixed_image(spec.image),
@@ -104,10 +151,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 ExperimentResult run_open_loop(const ExperimentSpec& spec,
                                serving::OpenLoopClients::Interarrival interarrival) {
   sim::Simulator sim;
-  hw::Platform platform{sim, {.calib = spec.calib, .gpu_count = spec.gpu_count}};
+  hw::Platform platform{sim,
+                        {.calib = spec.calib, .gpu_count = spec.gpu_count, .faults = spec.faults}};
   if (spec.trace != nullptr) hw::attach_tracer(platform, *spec.trace);
   serving::InferenceServer server{platform, spec.server};
   wire_audit_trace(spec, server);
+  FaultHarness harness;
+  harness.install(spec, sim, platform, server);
   serving::OpenLoopClients clients{server,
                                    {.interarrival = std::move(interarrival),
                                     .image_source = serving::fixed_image(spec.image),

@@ -14,6 +14,7 @@
 #include "serving/client.h"
 #include "serving/config.h"
 #include "serving/server.h"
+#include "sim/fault_plan.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 
@@ -33,6 +34,12 @@ struct ExperimentSpec {
 
   /// Optional: record device-occupancy counters for chrome://tracing.
   sim::TraceRecorder* trace = nullptr;
+
+  /// Optional deterministic fault-injection schedule (must outlive the run).
+  /// Wired into the platform (PCIe/preproc/GPU-failure queries), the result
+  /// broker (outages), and the runner (staging-budget shrink transitions,
+  /// fault spans on the trace's "faults" track).
+  const sim::FaultPlan* faults = nullptr;
 };
 
 /// Outputs of a serving experiment (one point of a paper figure).
@@ -46,6 +53,17 @@ struct ExperimentResult {
   metrics::Breakdown breakdown{};  ///< per-stage latency decomposition
   hw::EnergyReport energy{};       ///< over the measurement window
   std::uint64_t gpu_evictions = 0; ///< staging-memory evictions observed
+
+  // Resilience accounting (window-scoped like completed, except the client
+  // counters, which cover the whole run including warmup).
+  std::uint64_t dropped = 0;          ///< shed by admission control
+  std::uint64_t failed = 0;           ///< failed terminally (faults, breaker)
+  std::uint64_t rejected = 0;         ///< failed by the open circuit breaker
+  std::uint64_t breaker_opens = 0;    ///< breaker Closed/HalfOpen -> Open edges
+  std::uint64_t degraded = 0;         ///< requests rerouted to CPU preprocessing
+  std::uint64_t broker_failovers = 0; ///< result publishes that fell back to fused
+  std::uint64_t client_retries = 0;   ///< client-side re-submissions
+  std::uint64_t client_timeouts = 0;  ///< client attempts abandoned at deadline
 
   /// Lifecycle-audit verdict (ServerConfig::audit): total violations across
   /// the whole run (warmup + measure + drain) and the formatted report.

@@ -9,6 +9,7 @@
 #include "hw/calibration.h"
 #include "hw/gpu_memory.h"
 #include "hw/image_spec.h"
+#include "sim/fault_plan.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -19,7 +20,8 @@ namespace serve::hw {
 class CpuModel {
  public:
   CpuModel(sim::Simulator& sim, const CpuCalib& calib)
-      : calib_(calib),
+      : sim_(sim),
+        calib_(calib),
         cores_(sim, static_cast<std::size_t>(calib.cores), "cpu.cores"),
         preproc_workers_(sim, static_cast<std::size_t>(calib.preproc_workers),
                          "cpu.preproc_workers") {}
@@ -27,6 +29,10 @@ class CpuModel {
   [[nodiscard]] const CpuCalib& calib() const noexcept { return calib_; }
   [[nodiscard]] sim::Resource& cores() noexcept { return cores_; }
   [[nodiscard]] sim::Resource& preproc_workers() noexcept { return preproc_workers_; }
+
+  /// Installs the fault schedule (kPreprocSlowdown windows stretch worker
+  /// service times). nullptr = healthy.
+  void set_faults(const sim::FaultPlan* faults) noexcept { faults_ = faults; }
 
   /// Seconds one worker takes to decode+resize+normalize one image down to a
   /// `target_side`^2 network input using the raw image library (the Fig. 3
@@ -40,8 +46,14 @@ class CpuModel {
 
   /// Same work performed inside the serving framework's preprocessing
   /// backend (per-request packaging and interpreter overhead included).
+  /// Active kPreprocSlowdown fault windows stretch the service time.
   [[nodiscard]] double preprocess_seconds(const ImageSpec& img, int target_side) const noexcept {
-    return calib_.server_preproc_factor * raw_preprocess_seconds(img, target_side);
+    double t = calib_.server_preproc_factor * raw_preprocess_seconds(img, target_side);
+    if (faults_ != nullptr) {
+      t *= faults_->multiplier(sim::FaultKind::kPreprocSlowdown,
+                               sim::FaultWindow::kAllTargets, sim_.now());
+    }
+    return t;
   }
 
   [[nodiscard]] double ingest_seconds() const noexcept { return calib_.ingest_s; }
@@ -51,7 +63,9 @@ class CpuModel {
   }
 
  private:
+  sim::Simulator& sim_;
   CpuCalib calib_;
+  const sim::FaultPlan* faults_ = nullptr;
   sim::Resource cores_;
   sim::Resource preproc_workers_;
 };
@@ -61,7 +75,8 @@ class CpuModel {
 class GpuModel {
  public:
   GpuModel(sim::Simulator& sim, const GpuCalib& calib, const PcieCalib& pcie, int index)
-      : calib_(calib),
+      : sim_(sim),
+        calib_(calib),
         pcie_(pcie),
         index_(index),
         compute_(sim, 1, "gpu.compute"),
@@ -84,6 +99,17 @@ class GpuModel {
   /// Fixed-function hardware video decoder (NVDEC-class).
   [[nodiscard]] sim::Resource& nvdec() noexcept { return nvdec_; }
   [[nodiscard]] GpuMemoryStager& stager() noexcept { return stager_; }
+
+  /// Installs the fault schedule (kPcieDegradation stretches link_seconds;
+  /// kGpuFailure is consulted by the serving scheduler). nullptr = healthy.
+  void set_faults(const sim::FaultPlan* faults) noexcept { faults_ = faults; }
+  [[nodiscard]] const sim::FaultPlan* faults() const noexcept { return faults_; }
+
+  /// True while a kGpuFailure window covers this GPU.
+  [[nodiscard]] bool failed_now() const noexcept {
+    return faults_ != nullptr &&
+           faults_->active(sim::FaultKind::kGpuFailure, index_, sim_.now());
+  }
 
   /// Small-batch efficiency of the tensor engine in (0, 1].
   [[nodiscard]] double batch_efficiency(int batch) const noexcept {
@@ -117,15 +143,22 @@ class GpuModel {
     return calib_.dali_batch_fixed_s;
   }
 
-  /// Seconds the per-GPU PCIe link is occupied moving `bytes`.
+  /// Seconds the per-GPU PCIe link is occupied moving `bytes`. Active
+  /// kPcieDegradation fault windows stretch the transfer.
   [[nodiscard]] double link_seconds(std::int64_t bytes) const noexcept {
-    return pcie_.per_transfer_fixed_s +
-           static_cast<double>(bytes) / pcie_.gpu_link_bytes_per_s;
+    double t = pcie_.per_transfer_fixed_s +
+               static_cast<double>(bytes) / pcie_.gpu_link_bytes_per_s;
+    if (faults_ != nullptr) {
+      t *= faults_->multiplier(sim::FaultKind::kPcieDegradation, index_, sim_.now());
+    }
+    return t;
   }
 
  private:
+  sim::Simulator& sim_;
   GpuCalib calib_;
   PcieCalib pcie_;
+  const sim::FaultPlan* faults_ = nullptr;
   int index_;
   sim::Resource compute_;
   sim::Resource preproc_;
@@ -142,17 +175,22 @@ class Platform {
   struct Config {
     Calibration calib = default_calibration();
     int gpu_count = 1;
+    /// Optional fault-injection schedule; must outlive the platform.
+    const sim::FaultPlan* faults = nullptr;
   };
 
   Platform(sim::Simulator& sim, Config config)
       : sim_(sim),
         calib_(config.calib),
+        faults_(config.faults),
         cpu_(sim, config.calib.cpu),
         host_link_(sim, 1, "pcie.host") {
     if (config.gpu_count < 1) throw std::invalid_argument("Platform: need at least one GPU");
+    cpu_.set_faults(faults_);
     gpus_.reserve(static_cast<std::size_t>(config.gpu_count));
     for (int i = 0; i < config.gpu_count; ++i) {
       gpus_.push_back(std::make_unique<GpuModel>(sim, config.calib.gpu, config.calib.pcie, i));
+      gpus_.back()->set_faults(faults_);
     }
   }
 
@@ -165,12 +203,21 @@ class Platform {
   /// Shared host-side PCIe fabric (one staging engine feeding all GPUs).
   [[nodiscard]] sim::Resource& host_link() noexcept { return host_link_; }
   [[nodiscard]] double host_link_seconds(std::int64_t bytes) const noexcept {
-    return static_cast<double>(bytes) / calib_.pcie.host_agg_bytes_per_s;
+    double t = static_cast<double>(bytes) / calib_.pcie.host_agg_bytes_per_s;
+    if (faults_ != nullptr) {
+      t *= faults_->multiplier(sim::FaultKind::kPcieDegradation,
+                               sim::FaultWindow::kAllTargets, sim_.now());
+    }
+    return t;
   }
+
+  /// Fault schedule this platform was built with (nullptr = healthy).
+  [[nodiscard]] const sim::FaultPlan* faults() const noexcept { return faults_; }
 
  private:
   sim::Simulator& sim_;
   Calibration calib_;
+  const sim::FaultPlan* faults_ = nullptr;
   CpuModel cpu_;
   sim::Resource host_link_;
   std::vector<std::unique_ptr<GpuModel>> gpus_;

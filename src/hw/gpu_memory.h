@@ -63,6 +63,15 @@ class GpuMemoryStager {
     remove(it);
   }
 
+  /// Changes the staging budget at runtime (fault injection: a shrink forces
+  /// an eviction storm until residency fits; a restore re-admits nothing
+  /// retroactively — evicted buffers stay evicted until re-staged).
+  void set_budget(std::int64_t budget_bytes) {
+    if (budget_bytes <= 0) throw std::invalid_argument("GpuMemoryStager: budget must be positive");
+    budget_ = budget_bytes;
+    while (resident_bytes_ > budget_ && !lru_.empty()) evict_oldest();
+  }
+
   [[nodiscard]] std::int64_t budget_bytes() const noexcept { return budget_; }
   [[nodiscard]] std::int64_t resident_bytes() const noexcept { return resident_bytes_; }
   [[nodiscard]] std::size_t staged_count() const noexcept { return entries_.size(); }

@@ -67,6 +67,8 @@ void RequestAuditor::on_complete(const Request& req) {
   }
   if (req.dropped) {
     ++dropped_;
+  } else if (req.failed) {
+    ++failed_;
   } else {
     ++completed_;
   }
@@ -79,6 +81,10 @@ void RequestAuditor::on_lost_handoff(const Request& req, std::string_view where)
   add_violation(req.id, "lost-handoff",
                 "request failed the " + std::string(where) +
                     " queue hand-off and had to be drop-accounted");
+}
+
+void RequestAuditor::on_fault_window(std::string_view name, sim::Time begin, sim::Time end) {
+  if (trace_ != nullptr && end > begin) trace_->span("faults", std::string(name), begin, end);
 }
 
 void RequestAuditor::check_request(const Request& req, const InFlight& fl) {
@@ -168,11 +174,12 @@ void RequestAuditor::finalize() {
     add_violation(id, "leaked-request",
                   "submitted at " + format_time(fl.arrival) + " but never completed or dropped");
   }
-  if (submitted_ != completed_ + dropped_) {
+  if (submitted_ != completed_ + dropped_ + failed_) {
     add_violation(0, "request-conservation",
                   "submitted " + std::to_string(submitted_) + " != completed " +
                       std::to_string(completed_) + " + dropped " + std::to_string(dropped_) +
-                      " (leaked " + std::to_string(inflight_.size()) + ")");
+                      " + failed " + std::to_string(failed_) + " (leaked " +
+                      std::to_string(inflight_.size()) + ")");
   }
 }
 

@@ -5,8 +5,8 @@
 // preprocess, transfer, inference, postprocess) so that the Fig. 6/7
 // breakdowns are trustworthy. This class enforces that promise at runtime:
 //
-//  1. request conservation — submitted == completed + dropped, every
-//     `Request::done` set exactly once, no request leaked at shutdown;
+//  1. request conservation — submitted == completed + dropped + failed,
+//     every `Request::done` set exactly once, no request leaked at shutdown;
 //  2. stage-time conservation — sum(stage charges) == end-to-end latency
 //     within a ns-quantization tolerance, flagging the stage that drifted;
 //  3. resource hygiene — staging memory, batcher queues, and channel waiter
@@ -83,6 +83,10 @@ class RequestAuditor final : public ChargeObserver {
   /// silently before the drop-accounting fix). Always a violation.
   void on_lost_handoff(const Request& req, std::string_view where);
 
+  /// Records an injected fault episode as a span on the "faults" trace
+  /// track, so fault windows line up visually with request-latency spans.
+  void on_fault_window(std::string_view name, sim::Time begin, sim::Time end);
+
   // --- terminal checks -------------------------------------------------------
 
   /// Resource-hygiene check: `value` must be zero after drain.
@@ -99,6 +103,7 @@ class RequestAuditor final : public ChargeObserver {
   [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
   [[nodiscard]] std::uint64_t in_flight() const noexcept { return inflight_.size(); }
 
   [[nodiscard]] bool clean() const noexcept { return violation_count_ == 0; }
@@ -136,6 +141,7 @@ class RequestAuditor final : public ChargeObserver {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t failed_ = 0;
   std::size_t traced_count_ = 0;
   bool finalized_ = false;
   std::unordered_map<std::uint64_t, InFlight> inflight_;

@@ -7,12 +7,14 @@
 // studies.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
 #include "hw/image_spec.h"
 #include "serving/server.h"
 #include "sim/rng.h"
+#include "sim/task.h"
 
 namespace serve::serving {
 
@@ -23,6 +25,66 @@ using ImageSource = std::function<hw::ImageSpec(sim::Rng&)>;
 [[nodiscard]] inline ImageSource fixed_image(hw::ImageSpec spec) {
   return [spec](sim::Rng&) { return spec; };
 }
+
+/// Client-side resilience engine shared by both client pools. Each run()
+/// drives one *logical* request to a terminal verdict under the server's
+/// RetryPolicy: per-attempt timeout, capped attempts, exponential backoff
+/// with deterministic jitter, and a gRPC-style retry token budget shared by
+/// every client in the pool (a success refills a fraction of a token, each
+/// retry spends one — retries self-limit when most attempts fail).
+class RetryingSubmitter {
+ public:
+  RetryingSubmitter(InferenceServer& server, sim::Rng& rng)
+      : server_(server), rng_(rng), policy_(server.config().retry), budget_(policy_.retry_budget) {}
+
+  /// Submits (and re-submits) until an attempt succeeds or the policy gives
+  /// up. Every attempt is a fresh Request with its own id; a timed-out
+  /// attempt is abandoned, not cancelled — the server still completes it.
+  sim::Task<bool> run(hw::ImageSpec image, std::uint64_t& next_id) {
+    auto& sim = server_.platform().sim();
+    const int attempts = policy_.enabled ? std::max(1, policy_.max_attempts) : 1;
+    for (int attempt = 1;; ++attempt) {
+      auto req = std::make_shared<Request>(sim, next_id++, image);
+      req->attempt = attempt;
+      server_.submit(req);
+      bool signalled = true;
+      if (policy_.enabled && policy_.timeout > 0) {
+        signalled = co_await req->done.wait_until(sim.now() + policy_.timeout);
+      } else {
+        co_await req->done.wait();
+      }
+      if (!signalled) ++timeouts_;
+      if (signalled && !req->failed && !req->dropped) {
+        budget_ = std::min(policy_.retry_budget, budget_ + policy_.budget_refill_per_success);
+        co_return true;
+      }
+      if (attempt >= attempts) co_return false;
+      if (budget_ < 1.0) co_return false;  // retry token budget exhausted
+      budget_ -= 1.0;
+      ++retries_;
+      sim::Time step = policy_.backoff_base;
+      for (int i = 1; i < attempt && step < policy_.backoff_cap; ++i) step *= 2;
+      step = std::min(step, policy_.backoff_cap);
+      // Deterministic jitter in [step/2, step): spreads retry storms without
+      // breaking run-to-run reproducibility.
+      const auto jitter =
+          static_cast<sim::Time>(rng_.uniform() * static_cast<double>(step - step / 2));
+      if (step > 0) co_await sim.wait(step / 2 + jitter);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] double budget() const noexcept { return budget_; }
+
+ private:
+  InferenceServer& server_;
+  sim::Rng& rng_;
+  RetryPolicy policy_;
+  double budget_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
 
 /// Closed-loop client pool: `concurrency` clients, each submitting the next
 /// request as soon as the previous one completes.
@@ -50,16 +112,18 @@ class ClosedLoopClients {
   /// Clients exit after their current request completes.
   void stop() noexcept { stopping_ = true; }
 
+  /// Logical requests issued (retries of the same request not re-counted).
   [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retrier_.retries(); }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return retrier_.timeouts(); }
 
  private:
   sim::Process client_loop() {
     auto& sim = server_.platform().sim();
     while (!stopping_) {
-      auto req = std::make_shared<Request>(sim, next_id_++, opts_.image_source(rng_));
+      const hw::ImageSpec image = opts_.image_source(rng_);
       ++issued_;
-      server_.submit(req);
-      co_await req->done.wait();
+      co_await retrier_.run(image, next_id_);
       if (opts_.think_time > 0) co_await sim.wait(opts_.think_time);
     }
   }
@@ -67,6 +131,7 @@ class ClosedLoopClients {
   InferenceServer& server_;
   Options opts_;
   sim::Rng rng_;
+  RetryingSubmitter retrier_{server_, rng_};
   std::uint64_t next_id_ = 1;
   std::uint64_t issued_ = 0;
   bool stopping_ = false;
@@ -95,7 +160,10 @@ class OpenLoopClients {
 
   void start() { server_.platform().sim().spawn(generator()); }
   void stop() noexcept { stopping_ = true; }
+  /// Logical requests issued (retries of the same request not re-counted).
   [[nodiscard]] std::uint64_t issued() const noexcept { return issued_; }
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retrier_.retries(); }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return retrier_.timeouts(); }
 
  private:
   sim::Process generator() {
@@ -103,15 +171,19 @@ class OpenLoopClients {
     while (!stopping_) {
       co_await sim.wait(opts_.interarrival(rng_));
       if (stopping_) break;
-      auto req = std::make_shared<Request>(sim, next_id_++, opts_.image_source(rng_));
       ++issued_;
-      server_.submit(req);
+      sim.spawn(submit_one(opts_.image_source(rng_)));
     }
   }
+
+  /// One detached per-arrival process: open-loop arrivals never block on
+  /// completion, but each logical request still runs the retry policy.
+  sim::Process submit_one(hw::ImageSpec image) { co_await retrier_.run(image, next_id_); }
 
   InferenceServer& server_;
   Options opts_;
   sim::Rng rng_;
+  RetryingSubmitter retrier_{server_, rng_};
   std::uint64_t next_id_ = 1;
   std::uint64_t issued_ = 0;
   bool stopping_ = false;

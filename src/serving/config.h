@@ -22,6 +22,50 @@ enum class PipelineMode : std::uint8_t {
   kInferenceOnly,  ///< client ships the preprocessed fp32 tensor
 };
 
+/// Client-side timeout + retry with exponential backoff, deterministic
+/// jitter, and a gRPC-style retry token budget shared by all clients.
+struct RetryPolicy {
+  bool enabled = false;
+  int max_attempts = 3;             ///< total tries per logical request (>= 1)
+  sim::Time timeout = 0;            ///< per-attempt deadline (0 = wait forever)
+  sim::Time backoff_base = 5'000'000;    ///< first retry delay (5 ms)
+  sim::Time backoff_cap = 500'000'000;   ///< backoff ceiling (500 ms)
+  double retry_budget = 64.0;            ///< initial retry tokens
+  double budget_refill_per_success = 0.1;  ///< tokens returned per success
+};
+
+/// Ingest circuit breaker: opens when the server is drowning (deep in-flight
+/// queue or high recent error rate) and fast-fails submissions instead of
+/// letting the backlog grow without bound.
+struct CircuitBreakerPolicy {
+  bool enabled = false;
+  int queue_depth_open = 2048;     ///< in-flight depth that trips the breaker
+  double error_rate_open = 0.5;    ///< recent-error EWMA that trips it
+  sim::Time open_duration = 100'000'000;  ///< how long it stays open (100 ms)
+  int half_open_probes = 8;        ///< trial admissions before closing again
+};
+
+/// Graceful degradation: when a GPU's preprocessing path is unusable (the
+/// GPU is in a failure window), reroute its requests through the CPU
+/// preprocessing pool; return to GPU preprocessing only after the GPU has
+/// been healthy for `hysteresis` (avoids flapping at window edges).
+struct DegradePolicy {
+  bool enabled = false;
+  sim::Time hysteresis = 50'000'000;  ///< healthy time before un-degrading (50 ms)
+};
+
+/// Result publication over the broker: capped retries with backoff, then
+/// failover to the fused in-process path (counted, not dropped). With
+/// retry_enabled = false a publish blindly re-polls every poll_interval
+/// until the broker recovers — the unbounded-queue baseline.
+struct BrokerPublishPolicy {
+  bool publish_results = false;  ///< publish completions through a broker
+  bool retry_enabled = false;
+  int max_attempts = 3;
+  sim::Time backoff_base = 2'000'000;   ///< 2 ms
+  sim::Time poll_interval = 10'000'000;  ///< blind re-poll cadence (10 ms)
+};
+
 /// One deployed model endpoint.
 struct ServerConfig {
   models::ModelDesc model{};
@@ -56,6 +100,17 @@ struct ServerConfig {
   /// resource hygiene at drain, and timestamp monotonicity. Off by default:
   /// auditing tracks every in-flight request.
   bool audit = false;
+
+  /// Validate request payloads at ingest by actually decoding them (real
+  /// codec error paths); corrupted payloads fail the request. Off by
+  /// default: decoding costs host time per request.
+  bool validate_payloads = false;
+
+  // --- resilience policies (each independently switchable) ---
+  RetryPolicy retry{};
+  CircuitBreakerPolicy breaker{};
+  DegradePolicy degrade{};
+  BrokerPublishPolicy broker_publish{};
 
   [[nodiscard]] int effective_max_batch() const {
     const int mb = max_batch > 0 ? max_batch : model.max_batch;

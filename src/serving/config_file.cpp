@@ -1,6 +1,7 @@
 #include "serving/config_file.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -15,22 +16,48 @@ std::string trim(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
-bool parse_bool(const std::string& key, const std::string& v) {
-  if (v == "true" || v == "1" || v == "yes") return true;
-  if (v == "false" || v == "0" || v == "no") return false;
-  throw std::invalid_argument("server config: bad boolean for '" + key + "': " + v);
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw std::invalid_argument("server config line " + std::to_string(line_no) + ": " + msg);
 }
 
-int parse_int(const std::string& key, const std::string& v) {
+bool parse_bool(int line_no, const std::string& key, const std::string& v) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  fail(line_no, "bad boolean for '" + key + "': " + v);
+}
+
+int parse_int(int line_no, const std::string& key, const std::string& v, int min_value,
+              int max_value = std::numeric_limits<int>::max()) {
   std::size_t used = 0;
   int out = 0;
   try {
     out = std::stoi(v, &used);
   } catch (const std::exception&) {
-    throw std::invalid_argument("server config: bad integer for '" + key + "': " + v);
+    fail(line_no, "bad integer for '" + key + "': " + v);
   }
-  if (used != v.size()) {
-    throw std::invalid_argument("server config: trailing junk for '" + key + "': " + v);
+  if (used != v.size()) fail(line_no, "trailing junk for '" + key + "': " + v);
+  if (out < min_value || out > max_value) {
+    fail(line_no, "'" + key + "' = " + v + " out of range [" + std::to_string(min_value) + ", " +
+                      (max_value == std::numeric_limits<int>::max() ? std::string("inf")
+                                                                    : std::to_string(max_value)) +
+                      "]");
+  }
+  return out;
+}
+
+double parse_double(int line_no, const std::string& key, const std::string& v, double min_value,
+                    double max_value) {
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    fail(line_no, "bad number for '" + key + "': " + v);
+  }
+  if (used != v.size()) fail(line_no, "trailing junk for '" + key + "': " + v);
+  if (!(out >= min_value && out <= max_value)) {
+    fail(line_no, "'" + key + "' = " + v + " out of range [" + std::to_string(min_value) + ", " +
+                      std::to_string(max_value) + "]");
   }
   return out;
 }
@@ -48,19 +75,18 @@ ServerConfig parse_server_config(const std::string& text) {
     const std::string stripped = trim(line);
     if (stripped.empty() || stripped[0] == '#') continue;
     const auto eq = stripped.find('=');
-    if (eq == std::string::npos) {
-      throw std::invalid_argument("server config line " + std::to_string(line_no) +
-                                  ": expected key = value");
-    }
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
     const std::string key = trim(stripped.substr(0, eq));
     const std::string value = trim(stripped.substr(eq + 1));
-    if (key.empty() || value.empty()) {
-      throw std::invalid_argument("server config line " + std::to_string(line_no) +
-                                  ": empty key or value");
-    }
+    if (key.empty() || value.empty()) fail(line_no, "empty key or value");
 
     if (key == "model") {
-      cfg.model = models::find_model(value);  // throws std::out_of_range if unknown
+      try {
+        cfg.model = models::find_model(value);
+      } catch (const std::out_of_range&) {
+        throw std::out_of_range("server config line " + std::to_string(line_no) +
+                                ": unknown model '" + value + "'");
+      }
       have_model = true;
     } else if (key == "backend") {
       if (value == "tensorrt") {
@@ -70,7 +96,7 @@ ServerConfig parse_server_config(const std::string& text) {
       } else if (value == "pytorch") {
         cfg.backend = models::Backend::kPyTorch;
       } else {
-        throw std::invalid_argument("server config: unknown backend '" + value + "'");
+        fail(line_no, "unknown backend '" + value + "'");
       }
     } else if (key == "preprocessing") {
       if (value == "cpu") {
@@ -78,24 +104,74 @@ ServerConfig parse_server_config(const std::string& text) {
       } else if (value == "gpu") {
         cfg.preproc = PreprocDevice::kGpu;
       } else {
-        throw std::invalid_argument("server config: unknown preprocessing device '" + value + "'");
+        fail(line_no, "unknown preprocessing device '" + value + "'");
+      }
+    } else if (key == "mode") {
+      if (value == "end_to_end") {
+        cfg.mode = PipelineMode::kEndToEnd;
+      } else if (value == "preprocess_only") {
+        cfg.mode = PipelineMode::kPreprocessOnly;
+      } else if (value == "inference_only") {
+        cfg.mode = PipelineMode::kInferenceOnly;
+      } else {
+        fail(line_no, "unknown pipeline mode '" + value + "'");
       }
     } else if (key == "dynamic_batching") {
-      cfg.dynamic_batching = parse_bool(key, value);
+      cfg.dynamic_batching = parse_bool(line_no, key, value);
     } else if (key == "max_batch") {
-      cfg.max_batch = parse_int(key, value);
+      cfg.max_batch = parse_int(line_no, key, value, 0);
     } else if (key == "instance_count") {
-      cfg.instance_count = parse_int(key, value);
+      cfg.instance_count = parse_int(line_no, key, value, 1);
     } else if (key == "fixed_batch") {
-      cfg.fixed_batch = parse_int(key, value);
+      cfg.fixed_batch = parse_int(line_no, key, value, 1);
     } else if (key == "max_queue_delay_us") {
-      cfg.max_queue_delay = sim::microseconds(parse_int(key, value));
+      cfg.max_queue_delay = sim::microseconds(parse_int(line_no, key, value, 0));
     } else if (key == "shed_deadline_ms") {
-      cfg.shed_deadline = sim::milliseconds(parse_int(key, value));
+      cfg.shed_deadline = sim::milliseconds(parse_int(line_no, key, value, 0));
     } else if (key == "audit") {
-      cfg.audit = parse_bool(key, value);
+      cfg.audit = parse_bool(line_no, key, value);
+    } else if (key == "validate_payloads") {
+      cfg.validate_payloads = parse_bool(line_no, key, value);
+    } else if (key == "retry") {
+      cfg.retry.enabled = parse_bool(line_no, key, value);
+    } else if (key == "retry_max_attempts") {
+      cfg.retry.max_attempts = parse_int(line_no, key, value, 1);
+    } else if (key == "retry_timeout_ms") {
+      cfg.retry.timeout = sim::milliseconds(parse_int(line_no, key, value, 0));
+    } else if (key == "retry_backoff_base_ms") {
+      cfg.retry.backoff_base = sim::milliseconds(parse_int(line_no, key, value, 0));
+    } else if (key == "retry_backoff_cap_ms") {
+      cfg.retry.backoff_cap = sim::milliseconds(parse_int(line_no, key, value, 0));
+    } else if (key == "retry_budget") {
+      cfg.retry.retry_budget = parse_double(line_no, key, value, 0.0, 1e9);
+    } else if (key == "retry_budget_refill") {
+      cfg.retry.budget_refill_per_success = parse_double(line_no, key, value, 0.0, 1e9);
+    } else if (key == "circuit_breaker") {
+      cfg.breaker.enabled = parse_bool(line_no, key, value);
+    } else if (key == "breaker_queue_depth") {
+      cfg.breaker.queue_depth_open = parse_int(line_no, key, value, 1);
+    } else if (key == "breaker_error_rate") {
+      cfg.breaker.error_rate_open = parse_double(line_no, key, value, 0.0, 1.0);
+    } else if (key == "breaker_open_ms") {
+      cfg.breaker.open_duration = sim::milliseconds(parse_int(line_no, key, value, 0));
+    } else if (key == "breaker_half_open_probes") {
+      cfg.breaker.half_open_probes = parse_int(line_no, key, value, 1);
+    } else if (key == "degrade") {
+      cfg.degrade.enabled = parse_bool(line_no, key, value);
+    } else if (key == "degrade_hysteresis_ms") {
+      cfg.degrade.hysteresis = sim::milliseconds(parse_int(line_no, key, value, 0));
+    } else if (key == "broker_publish") {
+      cfg.broker_publish.publish_results = parse_bool(line_no, key, value);
+    } else if (key == "broker_retry") {
+      cfg.broker_publish.retry_enabled = parse_bool(line_no, key, value);
+    } else if (key == "broker_max_attempts") {
+      cfg.broker_publish.max_attempts = parse_int(line_no, key, value, 1);
+    } else if (key == "broker_backoff_ms") {
+      cfg.broker_publish.backoff_base = sim::milliseconds(parse_int(line_no, key, value, 0));
+    } else if (key == "broker_poll_ms") {
+      cfg.broker_publish.poll_interval = sim::milliseconds(parse_int(line_no, key, value, 0));
     } else {
-      throw std::invalid_argument("server config: unknown key '" + key + "'");
+      fail(line_no, "unknown key '" + key + "'");
     }
   }
   if (!have_model) throw std::invalid_argument("server config: 'model' is required");
@@ -116,6 +192,12 @@ std::string format_server_config(const ServerConfig& config) {
   out << "model = " << config.model.name << "\n";
   out << "backend = " << models::backend_name(config.backend) << "\n";
   out << "preprocessing = " << preproc_device_name(config.preproc) << "\n";
+  out << "mode = "
+      << (config.mode == PipelineMode::kEndToEnd
+              ? "end_to_end"
+              : config.mode == PipelineMode::kPreprocessOnly ? "preprocess_only"
+                                                             : "inference_only")
+      << "\n";
   out << "dynamic_batching = " << (config.dynamic_batching ? "true" : "false") << "\n";
   out << "max_batch = " << config.effective_max_batch() << "\n";
   out << "instance_count = " << config.instance_count << "\n";
@@ -123,6 +205,26 @@ std::string format_server_config(const ServerConfig& config) {
   out << "max_queue_delay_us = " << sim::to_microseconds(config.max_queue_delay) << "\n";
   out << "shed_deadline_ms = " << sim::to_milliseconds(config.shed_deadline) << "\n";
   out << "audit = " << (config.audit ? "true" : "false") << "\n";
+  out << "validate_payloads = " << (config.validate_payloads ? "true" : "false") << "\n";
+  out << "retry = " << (config.retry.enabled ? "true" : "false") << "\n";
+  out << "retry_max_attempts = " << config.retry.max_attempts << "\n";
+  out << "retry_timeout_ms = " << sim::to_milliseconds(config.retry.timeout) << "\n";
+  out << "retry_backoff_base_ms = " << sim::to_milliseconds(config.retry.backoff_base) << "\n";
+  out << "retry_backoff_cap_ms = " << sim::to_milliseconds(config.retry.backoff_cap) << "\n";
+  out << "retry_budget = " << config.retry.retry_budget << "\n";
+  out << "retry_budget_refill = " << config.retry.budget_refill_per_success << "\n";
+  out << "circuit_breaker = " << (config.breaker.enabled ? "true" : "false") << "\n";
+  out << "breaker_queue_depth = " << config.breaker.queue_depth_open << "\n";
+  out << "breaker_error_rate = " << config.breaker.error_rate_open << "\n";
+  out << "breaker_open_ms = " << sim::to_milliseconds(config.breaker.open_duration) << "\n";
+  out << "breaker_half_open_probes = " << config.breaker.half_open_probes << "\n";
+  out << "degrade = " << (config.degrade.enabled ? "true" : "false") << "\n";
+  out << "degrade_hysteresis_ms = " << sim::to_milliseconds(config.degrade.hysteresis) << "\n";
+  out << "broker_publish = " << (config.broker_publish.publish_results ? "true" : "false") << "\n";
+  out << "broker_retry = " << (config.broker_publish.retry_enabled ? "true" : "false") << "\n";
+  out << "broker_max_attempts = " << config.broker_publish.max_attempts << "\n";
+  out << "broker_backoff_ms = " << sim::to_milliseconds(config.broker_publish.backoff_base) << "\n";
+  out << "broker_poll_ms = " << sim::to_milliseconds(config.broker_publish.poll_interval) << "\n";
   return out.str();
 }
 

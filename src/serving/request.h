@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 
 #include "hw/gpu_memory.h"
 #include "hw/image_spec.h"
@@ -13,6 +14,28 @@
 namespace serve::serving {
 
 struct Request;
+
+/// Why a request finished with `failed = true`.
+enum class FailReason : std::uint8_t {
+  kNone,           ///< not failed
+  kGpuFault,       ///< batch was on a GPU that entered a failure window
+  kCorruptPayload, ///< payload failed codec validation at ingest
+  kBreakerOpen,    ///< fast-failed by the ingest circuit breaker
+  kBrokerPublish,  ///< result publication gave up (no failover configured)
+  kShutdown,       ///< submitted after the server stopped accepting
+};
+
+[[nodiscard]] constexpr std::string_view fail_reason_name(FailReason r) noexcept {
+  switch (r) {
+    case FailReason::kNone: return "none";
+    case FailReason::kGpuFault: return "gpu-fault";
+    case FailReason::kCorruptPayload: return "corrupt-payload";
+    case FailReason::kBreakerOpen: return "breaker-open";
+    case FailReason::kBrokerPublish: return "broker-publish";
+    case FailReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
 
 /// Hook invoked on every stage charge (request auditing / per-request
 /// tracing). `end` is the virtual time the charge was recorded at and `dt`
@@ -43,6 +66,9 @@ struct Request {
   std::size_t gpu_index = 0;               ///< accelerator this request runs on
   sim::Time enqueue_time = 0;              ///< last scheduler-queue entry time
   bool dropped = false;                    ///< shed by admission control
+  bool failed = false;                     ///< completed exceptionally (fault path)
+  FailReason fail_reason = FailReason::kNone;
+  int attempt = 1;                         ///< 1-based client retry attempt
   ChargeObserver* observer = nullptr;      ///< optional audit/trace hook
   sim::Event done;                         ///< set exactly once at completion
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "codec/jpeg.h"
+#include "codec/synthetic.h"
 #include "sim/sync.h"
 
 namespace serve::serving {
@@ -12,9 +14,23 @@ using metrics::Stage;
 using sim::seconds;
 using sim::Time;
 
+namespace {
+/// Circuit-breaker error EWMA smoothing and the minimum number of outcomes
+/// before the error-rate trigger may fire (a single early failure must not
+/// read as a 100% error rate).
+constexpr double kEwmaAlpha = 0.05;
+constexpr std::uint64_t kMinOutcomeSamples = 20;
+}  // namespace
+
 InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
     : platform_(platform), config_(config), stats_(platform.sim()) {
   if (config_.audit) auditor_ = std::make_unique<RequestAuditor>();
+  if (config_.validate_payloads) {
+    // Template payload for ingest validation: corrupted requests decode a
+    // seeded byte-mutated copy of this stream through the real JPEG decoder.
+    template_jpeg_ =
+        codec::encode_jpeg(codec::make_synthetic(96, 96, codec::Pattern::kScene, 7));
+  }
   const int mb = config_.effective_max_batch();
   const Batcher<RequestPtr>::Options preproc_opts{
       .dynamic = true, .max_batch = mb, .max_queue_delay = 0, .fixed_batch = mb};
@@ -40,11 +56,119 @@ InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
 }
 
 void InferenceServer::submit(RequestPtr req) {
-  if (!accepting_) throw std::logic_error("InferenceServer::submit: server is shut down");
   ++submitted_;
-  req->gpu_index = next_gpu_++ % gpus_.size();
   if (auditor_) auditor_->on_submit(*req);
+  if (!accepting_) {
+    // Post-shutdown submissions are fail-accounted (counted, done signalled)
+    // instead of thrown or silently destroyed: callers racing a drain still
+    // observe a completed lifecycle and conservation holds.
+    fail_request(0, std::move(req), FailReason::kShutdown);
+    return;
+  }
+  if (!breaker_admit()) {
+    fail_request(0, std::move(req), FailReason::kBreakerOpen);
+    return;
+  }
+  req->gpu_index = route_request();
   platform_.sim().spawn(handle_request(std::move(req)));
+}
+
+bool InferenceServer::breaker_admit() {
+  if (!config_.breaker.enabled) return true;
+  const Time now = platform_.sim().now();
+  if (breaker_state_ == BreakerState::kOpen && now >= breaker_open_until_) {
+    breaker_state_ = BreakerState::kHalfOpen;
+    half_open_budget_ = std::max(1, config_.breaker.half_open_probes);
+    half_open_successes_ = 0;
+  }
+  switch (breaker_state_) {
+    case BreakerState::kClosed: {
+      const bool deep =
+          in_flight() >= static_cast<std::uint64_t>(std::max(1, config_.breaker.queue_depth_open));
+      const bool erroring = outcome_samples_ >= kMinOutcomeSamples &&
+                            error_ewma_ >= config_.breaker.error_rate_open;
+      if (deep || erroring) {
+        open_breaker();
+        return false;
+      }
+      return true;
+    }
+    case BreakerState::kOpen:
+      return false;
+    case BreakerState::kHalfOpen:
+      if (half_open_budget_ <= 0) return false;  // probes outstanding
+      --half_open_budget_;
+      return true;
+  }
+  return true;
+}
+
+void InferenceServer::open_breaker() {
+  breaker_state_ = BreakerState::kOpen;
+  breaker_open_until_ = platform_.sim().now() + config_.breaker.open_duration;
+  stats_.record_breaker_open();
+}
+
+void InferenceServer::record_outcome(bool success) {
+  ++outcome_samples_;
+  error_ewma_ = kEwmaAlpha * (success ? 0.0 : 1.0) + (1.0 - kEwmaAlpha) * error_ewma_;
+  if (!config_.breaker.enabled || breaker_state_ != BreakerState::kHalfOpen) return;
+  if (!success) {
+    open_breaker();  // a failed probe re-opens immediately
+    return;
+  }
+  if (++half_open_successes_ >= std::max(1, config_.breaker.half_open_probes)) {
+    breaker_state_ = BreakerState::kClosed;
+    error_ewma_ = 0.0;  // fresh start; stale failure history must not re-trip
+  }
+}
+
+bool InferenceServer::gpu_degraded(std::size_t g) {
+  if (!config_.degrade.enabled) return false;
+  auto& st = *gpus_[g];
+  const Time now = platform_.sim().now();
+  if (platform_.gpu(g).failed_now()) {
+    st.degraded = true;
+    st.last_unhealthy = now;
+    return true;
+  }
+  if (st.degraded && now - st.last_unhealthy >= config_.degrade.hysteresis) {
+    st.degraded = false;
+  }
+  return st.degraded;
+}
+
+std::size_t InferenceServer::route_request() {
+  const std::size_t n = gpus_.size();
+  if (config_.degrade.enabled) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t g = next_gpu_++ % n;
+      if (!gpu_degraded(g)) return g;
+    }
+  }
+  return next_gpu_++ % n;
+}
+
+bool InferenceServer::corrupted_payload_decodes(std::uint64_t stream_seed) const {
+  std::vector<std::uint8_t> buf = template_jpeg_;
+  std::uint64_t s = stream_seed | 1;  // xorshift64 must not start at zero
+  auto next = [&s]() noexcept {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  const std::size_t flips = 1 + static_cast<std::size_t>(next() % 8);
+  for (std::size_t i = 0; i < flips; ++i) {
+    buf[next() % buf.size()] ^= static_cast<std::uint8_t>(1 + next() % 255);
+  }
+  if (next() % 4 == 0) buf.resize(buf.size() / 2 + next() % (buf.size() / 2));  // truncation
+  try {
+    (void)codec::decode_jpeg(buf);
+    return true;  // the mutation did not break the stream — payload usable
+  } catch (const codec::jpeg::CodecError&) {
+    return false;
+  }
 }
 
 void InferenceServer::shutdown() {
@@ -120,6 +244,17 @@ sim::Process InferenceServer::handle_request(RequestPtr req) {
     req->charge(Stage::kIngest, seconds(cpu.ingest_seconds()));
   }
 
+  // Payload validation: corrupted requests (a seeded per-id draw from the
+  // fault plan) decode a byte-mutated template through the real JPEG
+  // decoder; streams the codec rejects fail here, at ingest.
+  if (config_.validate_payloads && platform_.faults() != nullptr &&
+      platform_.faults()->corrupts_payload(req->id)) {
+    if (!corrupted_payload_decodes(platform_.faults()->corruption_stream(req->id))) {
+      fail_request(g, std::move(req), FailReason::kCorruptPayload);
+      co_return;
+    }
+  }
+
   if (config_.mode == PipelineMode::kInferenceOnly) {
     // The client ships the preprocessed fp32 tensor (~5x the compressed
     // JPEG for the medium image — the Fig. 7 TinyViT data-transfer outlier).
@@ -155,6 +290,38 @@ sim::Process InferenceServer::handle_request(RequestPtr req) {
     } else {
       enqueue_inference(g, std::move(req));
     }
+    co_return;
+  }
+
+  // Graceful degradation: when this GPU's preprocessing pipeline is in (or
+  // recently left) a failure window, fall back to the CPU pool and ship the
+  // preprocessed tensor instead — slower, but the request survives.
+  if (gpu_degraded(g)) {
+    stats_.record_degraded();
+    const Time q0 = sim.now();
+    auto worker = co_await cpu.preproc_workers().acquire();
+    req->charge(Stage::kQueue, sim.now() - q0);
+    const double p = cpu.preprocess_seconds(req->image, config_.model.input_side);
+    co_await sim.wait(seconds(p));
+    worker.release();
+    req->charge(Stage::kPreprocess, seconds(p));
+    if (config_.mode == PipelineMode::kPreprocessOnly) {
+      sim.spawn(finish_request(std::move(req)));
+      co_return;
+    }
+    const std::int64_t bytes = config_.model.input_tensor_bytes();
+    const Time t0 = sim.now();
+    {
+      auto host = co_await platform_.host_link().acquire();
+      co_await sim.wait(seconds(platform_.host_link_seconds(bytes)));
+    }
+    {
+      auto copy = co_await gpu.copy_h2d().acquire();
+      co_await sim.wait(seconds(gpu.link_seconds(bytes)));
+    }
+    req->charge(Stage::kTransfer, sim.now() - t0);
+    req->staged = gpu.stager().stage(bytes);
+    enqueue_inference(g, std::move(req));
     co_return;
   }
 
@@ -197,6 +364,20 @@ sim::Process InferenceServer::run_gpu_preproc_batch(std::size_t g, std::vector<R
                                                     sim::ResourceToken pipeline) {
   auto& sim = platform_.sim();
   auto& gpu = platform_.gpu(g);
+  // GPU failure window: with a resilience policy on, the batch holds (the
+  // pipeline token stays taken, modelling a wedged pipeline) until recovery;
+  // without one it fails outright. The wait is charged as queue residue when
+  // requests are next charged, since `start` is taken after the hold.
+  while (gpu.failed_now()) {
+    if (!resilient_hold()) {
+      pipeline.release();
+      for (auto& r : batch) fail_request(g, std::move(r), FailReason::kGpuFault);
+      co_return;
+    }
+    const Time until =
+        gpu.faults()->active_until(sim::FaultKind::kGpuFailure, gpu.index(), sim.now());
+    co_await sim.wait(std::max<Time>(until - sim.now(), 1));
+  }
   const Time start = sim.now();
   double total = gpu.preproc_batch_fixed_seconds();
   for (const auto& r : batch) {
@@ -243,6 +424,21 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
       co_await ready.wait();
     }
     if (batch.empty()) break;  // input closed
+    // GPU failure window: hold the dispatched batch until the GPU recovers
+    // (resilience policy on — the wait lands in the queue stage because
+    // dispatch accounting happens below) or fail it (no policy).
+    bool batch_failed = false;
+    while (gpu.failed_now()) {
+      if (!resilient_hold()) {
+        for (auto& r : batch) fail_request(g, std::move(r), FailReason::kGpuFault);
+        batch_failed = true;
+        break;
+      }
+      const Time until =
+          gpu.faults()->active_until(sim::FaultKind::kGpuFailure, gpu.index(), sim.now());
+      co_await sim.wait(std::max<Time>(until - sim.now(), 1));
+    }
+    if (batch_failed) continue;
     // Admission control: shed requests that already blew the deadline
     // before spending GPU time on them.
     if (config_.shed_deadline > 0) {
@@ -313,7 +509,14 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
           co_await sim.wait(seconds(gpu.link_seconds(reload_bytes)));
         }
         const Time dt = sim.now() - t0;
-        for (Request* r : evicted) r->charge(Stage::kTransfer, dt);
+        // Evicted members pay the reload as transfer time; the rest of the
+        // batch waits on them, so they are charged the same interval as
+        // queueing (stage conservation: the whole batch stalls together).
+        for (const auto& r : batch) {
+          const bool was_evicted =
+              std::find(evicted.begin(), evicted.end(), r.get()) != evicted.end();
+          r->charge(was_evicted ? Stage::kTransfer : Stage::kQueue, dt);
+        }
       }
     }
 
@@ -346,6 +549,31 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
   }
 }
 
+void InferenceServer::fail_request(std::size_t g, RequestPtr req, FailReason reason) {
+  if (req->staged != 0) {
+    platform_.gpu(g).stager().release(req->staged);
+    req->staged = 0;
+  }
+  // Like drop_request: charge the uncharged residue since the last queue
+  // entry so failed requests conserve stage time too.
+  const Time now = platform_.sim().now();
+  if (req->enqueue_time >= req->arrival && now > req->enqueue_time) {
+    req->charge(Stage::kQueue, now - req->enqueue_time);
+  }
+  req->failed = true;
+  req->fail_reason = reason;
+  req->completed = now;
+  ++finished_;
+  stats_.record(*req);
+  // Breaker rejections and post-shutdown submissions must not feed the error
+  // EWMA: the breaker would hold itself open on its own rejections.
+  if (reason != FailReason::kBreakerOpen && reason != FailReason::kShutdown) {
+    record_outcome(false);
+  }
+  if (auditor_) auditor_->on_complete(*req);
+  req->done.set();
+}
+
 void InferenceServer::drop_request(std::size_t g, RequestPtr req) {
   if (req->staged != 0) {
     platform_.gpu(g).stager().release(req->staged);
@@ -370,15 +598,48 @@ sim::Process InferenceServer::finish_request(RequestPtr req) {
   auto& sim = platform_.sim();
   auto& cpu = platform_.cpu();
   const Time t0 = sim.now();
-  auto core = co_await cpu.cores().acquire();
-  req->charge(Stage::kQueue, sim.now() - t0);
-  const double post = std::max(cpu.postprocess_seconds(), config_.model.postprocess_cpu_s);
-  co_await sim.wait(seconds(post));
-  core.release();
-  req->charge(Stage::kPostprocess, seconds(post));
+  {
+    auto core = co_await cpu.cores().acquire();
+    req->charge(Stage::kQueue, sim.now() - t0);
+    const double post = std::max(cpu.postprocess_seconds(), config_.model.postprocess_cpu_s);
+    co_await sim.wait(seconds(post));
+    core.release();
+    req->charge(Stage::kPostprocess, seconds(post));
+  }
+
+  // Result publication through the broker. During an outage, the policy path
+  // retries a few times with exponential backoff and then fails over to the
+  // fused in-process delivery; the no-policy baseline blindly re-polls until
+  // the broker takes the message, so completions pile up for the whole
+  // outage (the unbounded-backlog scenario the circuit breaker exists for).
+  if (result_broker_ != nullptr && config_.broker_publish.publish_results) {
+    const auto& pol = config_.broker_publish;
+    const Time p0 = sim.now();
+    if (pol.retry_enabled) {
+      bool delivered = false;
+      const int attempts = std::max(1, pol.max_attempts);
+      for (int attempt = 1; attempt <= attempts; ++attempt) {
+        if (co_await result_broker_->publish(req->id)) {
+          delivered = true;
+          break;
+        }
+        if (attempt < attempts && pol.backoff_base > 0) {
+          co_await sim.wait(pol.backoff_base << (attempt - 1));
+        }
+      }
+      if (!delivered) stats_.record_broker_failover();  // fused in-process delivery
+    } else {
+      while (!co_await result_broker_->publish(req->id)) {
+        co_await sim.wait(std::max<Time>(pol.poll_interval, 1));
+      }
+    }
+    if (sim.now() > p0) req->charge(Stage::kPostprocess, sim.now() - p0);
+  }
+
   req->completed = sim.now();
   ++finished_;
   stats_.record(*req);
+  record_outcome(true);
   if (auditor_) auditor_->on_complete(*req);
   req->done.set();
 }

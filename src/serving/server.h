@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "broker/broker.h"
 #include "hw/devices.h"
 #include "serving/audit.h"
 #include "serving/batcher.h"
@@ -27,6 +28,9 @@ namespace serve::serving {
 
 class InferenceServer {
  public:
+  /// Ingest circuit-breaker state (CircuitBreakerPolicy).
+  enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
   /// Creates the endpoint and spawns its scheduler processes.
   InferenceServer(hw::Platform& platform, ServerConfig config);
 
@@ -34,10 +38,19 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Enqueues a request. Completion is signalled through `req->done`.
+  /// After shutdown() or while the circuit breaker is open the request is
+  /// fail-accounted immediately (done set, counted) instead of processed.
   void submit(RequestPtr req);
 
   /// Stops accepting requests and lets in-flight work drain.
   void shutdown();
+
+  /// Routes completed-request notifications through `broker` when
+  /// ServerConfig::broker_publish.publish_results is set. The broker must
+  /// outlive the server. Call before the first submit.
+  void set_result_broker(broker::SimBroker<std::uint64_t>* broker) noexcept {
+    result_broker_ = broker;
+  }
 
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
   [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
@@ -55,6 +68,8 @@ class InferenceServer {
   /// instead of lost (always 0 in a healthy configuration).
   [[nodiscard]] std::uint64_t lost_handoffs() const noexcept { return lost_handoffs_; }
 
+  [[nodiscard]] BreakerState breaker_state() const noexcept { return breaker_state_; }
+
  private:
   struct GpuState {
     GpuState(sim::Simulator& sim, const Batcher<RequestPtr>::Options& preproc_opts,
@@ -62,6 +77,10 @@ class InferenceServer {
         : preproc_batcher(sim, preproc_opts), inf_batcher(sim, inf_opts) {}
     Batcher<RequestPtr> preproc_batcher;  ///< DALI-style batched GPU preprocessing
     Batcher<RequestPtr> inf_batcher;      ///< dynamic batcher in front of the engine
+    // Graceful-degradation state (DegradePolicy): set while the GPU is in a
+    // failure window, cleared only after `hysteresis` of continuous health.
+    bool degraded = false;
+    sim::Time last_unhealthy = 0;
   };
 
   // Scheduler processes (one set per GPU).
@@ -73,6 +92,10 @@ class InferenceServer {
   sim::Process finish_request(RequestPtr req);
   void drop_request(std::size_t gpu, RequestPtr req);
 
+  /// Terminal failure: releases staged memory, charges the queue residue,
+  /// records + signals completion with `failed = true`.
+  void fail_request(std::size_t gpu, RequestPtr req, FailReason reason);
+
   // Pipeline fragments shared by the paths above (implemented in server.cpp).
   void enqueue_inference(std::size_t g, RequestPtr req);
 
@@ -81,16 +104,45 @@ class InferenceServer {
   void hand_off(sim::Channel<RequestPtr>& ch, std::size_t g, RequestPtr req,
                 std::string_view where);
 
+  // --- resilience machinery ---
+  /// Circuit-breaker admission decision for one submission.
+  bool breaker_admit();
+  void open_breaker();
+  /// Feeds the breaker's error EWMA and half-open probe bookkeeping.
+  void record_outcome(bool success);
+  /// Degradation check with hysteresis; updates per-GPU degrade state.
+  bool gpu_degraded(std::size_t g);
+  /// Picks the GPU for a new request, skipping degraded ones when the
+  /// degrade policy is on (falls back to plain round-robin if all are down).
+  std::size_t route_request();
+  /// Hold-until-recovery is on when any resilience policy wants batches to
+  /// survive a GPU failure window instead of failing.
+  [[nodiscard]] bool resilient_hold() const noexcept {
+    return config_.retry.enabled || config_.degrade.enabled;
+  }
+  /// Real decode of the seeded byte-mutated template payload; false when the
+  /// codec rejects the corrupted stream.
+  [[nodiscard]] bool corrupted_payload_decodes(std::uint64_t stream_seed) const;
+
   hw::Platform& platform_;
   ServerConfig config_;
   ServerStats stats_;
   std::unique_ptr<RequestAuditor> auditor_;
   std::vector<std::unique_ptr<GpuState>> gpus_;
+  broker::SimBroker<std::uint64_t>* result_broker_ = nullptr;
+  std::vector<std::uint8_t> template_jpeg_;  ///< payload-validation template
   std::uint64_t submitted_ = 0;
   std::uint64_t finished_ = 0;
   std::uint64_t lost_handoffs_ = 0;
   std::size_t next_gpu_ = 0;
   bool accepting_ = true;
+  // Circuit-breaker state.
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  sim::Time breaker_open_until_ = 0;
+  int half_open_budget_ = 0;     ///< probe admissions left in half-open
+  int half_open_successes_ = 0;  ///< successful probes observed
+  double error_ewma_ = 0.0;      ///< recent failure rate (EWMA, alpha 0.05)
+  std::uint64_t outcome_samples_ = 0;
 };
 
 }  // namespace serve::serving

@@ -22,6 +22,11 @@ class ServerStats {
     window_start_ = sim_.now();
     completed_ = 0;
     dropped_ = 0;
+    failed_ = 0;
+    rejected_ = 0;
+    degraded_ = 0;
+    breaker_opens_ = 0;
+    broker_failovers_ = 0;
     latency_.reset();
     breakdown_.reset();
     batch_sizes_.reset();
@@ -34,9 +39,25 @@ class ServerStats {
       ++dropped_;
       return;
     }
+    if (req.failed) {
+      ++failed_;
+      if (req.fail_reason == FailReason::kBreakerOpen) ++rejected_;
+      return;
+    }
     ++completed_;
     latency_.add(sim::to_seconds(req.latency()));
     breakdown_.add(req.stages);
+  }
+
+  /// Resilience-event counters (always counted; windowed like records).
+  void record_degraded() {
+    if (measuring_) ++degraded_;
+  }
+  void record_breaker_open() {
+    if (measuring_) ++breaker_opens_;
+  }
+  void record_broker_failover() {
+    if (measuring_) ++broker_failovers_;
   }
 
   void record_batch_size(int b) {
@@ -45,6 +66,12 @@ class ServerStats {
 
   [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+  /// Failed specifically by the open circuit breaker (subset of failed()).
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::uint64_t degraded() const noexcept { return degraded_; }
+  [[nodiscard]] std::uint64_t breaker_opens() const noexcept { return breaker_opens_; }
+  [[nodiscard]] std::uint64_t broker_failovers() const noexcept { return broker_failovers_; }
   /// Fraction of finished requests that were shed.
   [[nodiscard]] double drop_rate() const noexcept {
     const auto total = completed_ + dropped_;
@@ -69,6 +96,11 @@ class ServerStats {
   bool measuring_ = true;
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t degraded_ = 0;
+  std::uint64_t breaker_opens_ = 0;
+  std::uint64_t broker_failovers_ = 0;
   metrics::Histogram latency_;
   metrics::Breakdown breakdown_;
   metrics::StatAccumulator batch_sizes_;

@@ -4,10 +4,12 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "sim/time.h"
 
 namespace serve::sim {
 
@@ -26,6 +28,12 @@ class Event {
     set_ = true;
     for (auto h : waiters_) sim_.post([h] { h.resume(); });
     waiters_.clear();
+    for (TimedAwaiter* w : timed_waiters_) {
+      w->done = true;
+      w->result = true;
+      sim_.post([h = w->handle] { h.resume(); });
+    }
+    timed_waiters_.clear();
   }
 
   void reset() noexcept { set_ = false; }
@@ -38,10 +46,65 @@ class Event {
   };
   [[nodiscard]] Awaiter wait() noexcept { return Awaiter{*this}; }
 
+  /// Timed wait: resumes with true when set() fires, false at `deadline` if
+  /// it never did — the primitive client-side request timeouts are built on.
+  struct TimedAwaiter {
+    Event& ev;
+    Time deadline;
+    bool result = false;
+    bool done = false;  ///< set or timeout already decided
+    std::coroutine_handle<> handle{};
+    // The timeout lambda may fire after this awaiter is gone (the event was
+    // set first and the coroutine moved on); it holds a weak_ptr guard and
+    // no-ops once the guard expires.
+    std::shared_ptr<TimedAwaiter*> alive{};
+
+    bool await_ready() {
+      if (ev.set_) {
+        result = true;
+        done = true;
+        return true;
+      }
+      if (deadline <= ev.sim_.now()) {
+        done = true;
+        return true;  // immediate timeout
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ev.timed_waiters_.push_back(this);
+      alive = std::make_shared<TimedAwaiter*>(this);
+      ev.sim_.schedule_at(deadline, [weak = std::weak_ptr<TimedAwaiter*>(alive)] {
+        auto guard = weak.lock();
+        if (!guard) return;  // awaiter already destroyed
+        TimedAwaiter* self = *guard;
+        if (self->done) return;  // set() already delivered
+        self->ev.remove_timed_waiter(self);
+        self->done = true;
+        self->handle.resume();
+      });
+    }
+    bool await_resume() const noexcept { return result; }
+  };
+  [[nodiscard]] TimedAwaiter wait_until(Time deadline) noexcept {
+    return TimedAwaiter{*this, deadline};
+  }
+
  private:
+  void remove_timed_waiter(TimedAwaiter* w) noexcept {
+    for (auto it = timed_waiters_.begin(); it != timed_waiters_.end(); ++it) {
+      if (*it == w) {
+        timed_waiters_.erase(it);
+        return;
+      }
+    }
+  }
+
   Simulator& sim_;
   bool set_ = false;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<TimedAwaiter*> timed_waiters_;
 };
 
 /// Counts outstanding work; waiters resume when the count returns to zero.

@@ -147,7 +147,7 @@ TEST(InferenceServer, EnergyPositiveAndCpuPreprocCostsMoreCpuEnergy) {
   EXPECT_GT(cpu.cpu_joules_per_image(), gpu.cpu_joules_per_image());
 }
 
-TEST(InferenceServer, SubmitAfterShutdownThrows) {
+TEST(InferenceServer, SubmitAfterShutdownIsFailAccountedNotThrown) {
   sim::Simulator sim;
   hw::Platform platform{sim, {}};
   serving::ServerConfig cfg;
@@ -155,7 +155,15 @@ TEST(InferenceServer, SubmitAfterShutdownThrows) {
   serving::InferenceServer server{platform, cfg};
   server.shutdown();
   auto req = std::make_shared<serving::Request>(sim, 1, hw::kMediumImage);
-  EXPECT_THROW(server.submit(req), std::logic_error);
+  EXPECT_NO_THROW(server.submit(req));
+  // The request reaches a terminal state immediately: done signalled, failed
+  // with the shutdown reason, and the server's accounting stays balanced.
+  EXPECT_TRUE(req->done.is_set());
+  EXPECT_TRUE(req->failed);
+  EXPECT_EQ(req->fail_reason, serving::FailReason::kShutdown);
+  EXPECT_FALSE(req->dropped);
+  EXPECT_EQ(server.in_flight(), 0u);
+  EXPECT_EQ(server.stats().failed(), 1u);
 }
 
 TEST(InferenceServer, ShutdownDrainsInFlightRequests) {
@@ -396,6 +404,121 @@ TEST(ConfigFile, FormatParsesBackIdentically) {
   EXPECT_EQ(round.preproc, cfg.preproc);
   EXPECT_EQ(round.max_batch, cfg.max_batch);
   EXPECT_EQ(round.shed_deadline, cfg.shed_deadline);
+}
+
+TEST(ConfigFile, ErrorsCarryLineNumbers) {
+  try {
+    (void)serving::parse_server_config("model = vit-base\n\nmax_batch = banana\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+  try {
+    (void)serving::parse_server_config("model = no-such-model\n");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos) << e.what();
+  }
+  try {
+    (void)serving::parse_server_config("model = vit-base\nmode = sideways\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ConfigFile, RejectsOutOfRangeValues) {
+  const auto bad = [](const std::string& line) {
+    EXPECT_THROW((void)serving::parse_server_config("model = vit-base\n" + line + "\n"),
+                 std::invalid_argument)
+        << line;
+  };
+  bad("instance_count = 0");
+  bad("fixed_batch = 0");
+  bad("max_batch = -1");
+  bad("max_queue_delay_us = -5");
+  bad("retry_max_attempts = 0");
+  bad("retry_timeout_ms = -1");
+  bad("retry_budget = -0.5");
+  bad("breaker_queue_depth = 0");
+  bad("breaker_error_rate = 1.5");
+  bad("breaker_half_open_probes = 0");
+  bad("degrade_hysteresis_ms = -10");
+  bad("broker_max_attempts = 0");
+  bad("max_batch = 12junk");
+}
+
+TEST(ConfigFile, EveryFieldRoundTrips) {
+  // Set every ServerConfig field away from its default (doubles to values an
+  // ostream reproduces exactly), format, re-parse, and compare field by field.
+  serving::ServerConfig cfg;
+  cfg.model = models::tiny_vit();
+  cfg.backend = models::Backend::kPyTorch;
+  cfg.preproc = serving::PreprocDevice::kCpu;
+  cfg.mode = serving::PipelineMode::kPreprocessOnly;
+  cfg.dynamic_batching = false;
+  cfg.max_batch = 48;  // format writes effective_max_batch(); set it explicitly
+  cfg.instance_count = 3;
+  cfg.fixed_batch = 12;
+  cfg.max_queue_delay = sim::microseconds(2500);
+  cfg.shed_deadline = sim::milliseconds(150);
+  cfg.audit = true;
+  cfg.validate_payloads = true;
+  cfg.retry.enabled = true;
+  cfg.retry.max_attempts = 7;
+  cfg.retry.timeout = sim::milliseconds(450);
+  cfg.retry.backoff_base = sim::milliseconds(3);
+  cfg.retry.backoff_cap = sim::milliseconds(750);
+  cfg.retry.retry_budget = 32.5;
+  cfg.retry.budget_refill_per_success = 0.25;
+  cfg.breaker.enabled = true;
+  cfg.breaker.queue_depth_open = 96;
+  cfg.breaker.error_rate_open = 0.75;
+  cfg.breaker.open_duration = sim::milliseconds(220);
+  cfg.breaker.half_open_probes = 5;
+  cfg.degrade.enabled = true;
+  cfg.degrade.hysteresis = sim::milliseconds(90);
+  cfg.broker_publish.publish_results = true;
+  cfg.broker_publish.retry_enabled = true;
+  cfg.broker_publish.max_attempts = 6;
+  cfg.broker_publish.backoff_base = sim::milliseconds(4);
+  cfg.broker_publish.poll_interval = sim::milliseconds(25);
+
+  const std::string text = serving::format_server_config(cfg);
+  const auto round = serving::parse_server_config(text);
+  EXPECT_EQ(round.model.name, cfg.model.name);
+  EXPECT_EQ(round.backend, cfg.backend);
+  EXPECT_EQ(round.preproc, cfg.preproc);
+  EXPECT_EQ(round.mode, cfg.mode);
+  EXPECT_EQ(round.dynamic_batching, cfg.dynamic_batching);
+  EXPECT_EQ(round.max_batch, cfg.max_batch);
+  EXPECT_EQ(round.instance_count, cfg.instance_count);
+  EXPECT_EQ(round.fixed_batch, cfg.fixed_batch);
+  EXPECT_EQ(round.max_queue_delay, cfg.max_queue_delay);
+  EXPECT_EQ(round.shed_deadline, cfg.shed_deadline);
+  EXPECT_EQ(round.audit, cfg.audit);
+  EXPECT_EQ(round.validate_payloads, cfg.validate_payloads);
+  EXPECT_EQ(round.retry.enabled, cfg.retry.enabled);
+  EXPECT_EQ(round.retry.max_attempts, cfg.retry.max_attempts);
+  EXPECT_EQ(round.retry.timeout, cfg.retry.timeout);
+  EXPECT_EQ(round.retry.backoff_base, cfg.retry.backoff_base);
+  EXPECT_EQ(round.retry.backoff_cap, cfg.retry.backoff_cap);
+  EXPECT_EQ(round.retry.retry_budget, cfg.retry.retry_budget);
+  EXPECT_EQ(round.retry.budget_refill_per_success, cfg.retry.budget_refill_per_success);
+  EXPECT_EQ(round.breaker.enabled, cfg.breaker.enabled);
+  EXPECT_EQ(round.breaker.queue_depth_open, cfg.breaker.queue_depth_open);
+  EXPECT_EQ(round.breaker.error_rate_open, cfg.breaker.error_rate_open);
+  EXPECT_EQ(round.breaker.open_duration, cfg.breaker.open_duration);
+  EXPECT_EQ(round.breaker.half_open_probes, cfg.breaker.half_open_probes);
+  EXPECT_EQ(round.degrade.enabled, cfg.degrade.enabled);
+  EXPECT_EQ(round.degrade.hysteresis, cfg.degrade.hysteresis);
+  EXPECT_EQ(round.broker_publish.publish_results, cfg.broker_publish.publish_results);
+  EXPECT_EQ(round.broker_publish.retry_enabled, cfg.broker_publish.retry_enabled);
+  EXPECT_EQ(round.broker_publish.max_attempts, cfg.broker_publish.max_attempts);
+  EXPECT_EQ(round.broker_publish.backoff_base, cfg.broker_publish.backoff_base);
+  EXPECT_EQ(round.broker_publish.poll_interval, cfg.broker_publish.poll_interval);
+  // Formatting is a fixed point: format(parse(format(cfg))) == format(cfg).
+  EXPECT_EQ(serving::format_server_config(round), text);
 }
 
 TEST(ConfigFile, LoadFromDisk) {
