@@ -27,8 +27,9 @@ core::FleetResult run(std::vector<int> gpus, BalancerPolicy policy, int concurre
 
 }  // namespace
 
-int main() {
-  bench::print_banner("Ablation", "Fleet load balancing: policy x fleet shape");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Ablation", "Fleet load balancing: policy x fleet shape");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   metrics::Table table({"fleet", "policy", "tput_img_s", "p99_ms", "imbalance"});
   const BalancerPolicy policies[] = {BalancerPolicy::kRoundRobin, BalancerPolicy::kRandom,
@@ -55,7 +56,7 @@ int main() {
   // Fleet scaling sanity: 1 -> 4 homogeneous nodes.
   const auto one = run({1}, BalancerPolicy::kRoundRobin, 256);
   const auto four = run({1, 1, 1, 1}, BalancerPolicy::kRoundRobin, 1024);
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"homogeneous fleet: all policies deliver comparable throughput",
@@ -74,6 +75,6 @@ int main() {
                     four.throughput_rps > 3.5 * one.throughput_rps,
                     std::to_string(one.throughput_rps) + " -> " +
                         std::to_string(four.throughput_rps) + " img/s"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

@@ -29,8 +29,9 @@ core::ExperimentResult run(bool dynamic, int max_batch, sim::Time delay, int con
 
 }  // namespace
 
-int main() {
-  bench::print_banner("Ablation", "Dynamic batching: max batch size & max queue delay");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Ablation", "Dynamic batching: max batch size & max queue delay");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   metrics::Table batch_table({"scheduler", "max_batch", "tput_img_s", "p99_ms", "mean_batch"});
   double tput_mb[4] = {};
@@ -44,7 +45,7 @@ int main() {
   const auto fixed = run(false, 64, 0, 256);
   batch_table.add_row({std::string("fixed"), std::int64_t{64}, fixed.throughput_rps,
                        fixed.p99_latency_s * 1e3, fixed.mean_batch});
-  bench::print_table(batch_table);
+  rep.table("batch_table", batch_table);
 
   metrics::Table delay_table({"max_queue_delay_ms", "tput_img_s", "p99_ms", "mean_batch"});
   double p99_delay0 = 0, p99_delay20 = 0;
@@ -55,7 +56,7 @@ int main() {
     if (d == 0.0) p99_delay0 = r.p99_latency_s;
     if (d == 20.0) p99_delay20 = r.p99_latency_s;
   }
-  bench::print_table(delay_table);
+  rep.table("delay_table", delay_table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"larger batch limits raise throughput (batch amortization)",
@@ -68,6 +69,6 @@ int main() {
                     p99_delay20 > p99_delay0,
                     std::to_string(p99_delay0 * 1e3) + " -> " + std::to_string(p99_delay20 * 1e3) +
                         " ms p99"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

@@ -15,8 +15,9 @@
 
 using namespace serve;
 
-int main() {
-  bench::print_banner("Ablation", "Broker durability: fsync batching vs pipeline throughput");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Ablation", "Broker durability: fsync batching vs pipeline throughput");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   // (a) Simulated pipeline with progressively cheaper disk-broker publishes.
   metrics::Table sim_table(
@@ -39,7 +40,7 @@ int main() {
     if (batch == 1) fps_sync1 = r.frames_per_s;
     if (batch == 64) fps_sync64 = r.frames_per_s;
   }
-  bench::print_table(sim_table);
+  rep.table("sim_table", sim_table);
 
   // (b) Real disk: measured publish cost of FileLogBroker.
   metrics::Table real_table({"fsync_interval", "msgs", "wall_us_per_publish"});
@@ -60,7 +61,7 @@ int main() {
     if (interval == 64) us_per_pub_sync64 = us;
   }
   std::filesystem::remove_all(dir);
-  bench::print_table(real_table);
+  rep.table("real_table", real_table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"relaxing per-message fsync recovers most of the Kafka penalty (sim)",
@@ -70,6 +71,6 @@ int main() {
                     us_per_pub_sync64 < us_per_pub_sync1,
                     std::to_string(us_per_pub_sync1) + " -> " + std::to_string(us_per_pub_sync64) +
                         " us"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

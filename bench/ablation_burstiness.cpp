@@ -14,8 +14,9 @@
 using namespace serve;
 using core::ExperimentSpec;
 
-int main() {
-  bench::print_banner("Ablation", "Arrival-process burstiness vs latency (open loop)");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Ablation", "Arrival-process burstiness vs latency (open loop)");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   ExperimentSpec spec;
   spec.server.model = models::vit_base();
@@ -42,7 +43,7 @@ int main() {
       p99[s][r] = result.p99_latency_s;
     }
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"burstiness inflates tail latency at moderate load",
@@ -55,6 +56,6 @@ int main() {
   checks.push_back({"burstiness penalty grows with utilization",
                     (p99[2][1] - p99[1][1]) > (p99[2][0] - p99[1][0]),
                     "bursty-vs-poisson gap widens from 600 to 1200 img/s"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

@@ -73,13 +73,8 @@ void arm_retry(serving::ServerConfig& cfg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    g_harness = core::parse_harness_options(argc, argv);
-  } catch (const std::invalid_argument& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 2;
-  }
-  bench::print_banner("Ablation", "Fault injection vs resilience policies (ViT, audited)");
+  bench::Reporter rep("Ablation", "Fault injection vs resilience policies (ViT, audited)");
+  if (!rep.parse_cli(argc, argv, &g_harness)) return 2;
 
   metrics::Table table({"scenario", "goodput_img_s", "p99_ms", "failed", "rejected", "degraded",
                         "retries", "failovers", "evictions"});
@@ -160,7 +155,7 @@ int main(int argc, char** argv) {
   const Row c_second = run("C/chaos-repeat", c_spec, rate_c);
   add("C chaos: repeat (determinism)", c_second);
 
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"A: without a policy, a failed GPU collapses goodput",
@@ -203,6 +198,6 @@ int main(int argc, char** argv) {
                         std::to_string(c_second.r.failed)});
   checks.push_back({"conservation holds in every scenario (auditor)", g_violations == 0,
                     std::to_string(g_violations) + " violation(s)"});
-  bench::print_checks(checks);
-  return core::finish_harness(g_harness, g_trace, g_violations) ? 0 : 1;
+  rep.checks(std::move(checks));
+  return rep.finish(core::finish_harness(g_harness, g_trace, g_violations));
 }

@@ -30,8 +30,9 @@ double time_ms(const std::function<void()>& fn, int iters = 5) {
 
 }  // namespace
 
-int main() {
-  bench::print_banner("Ablation", "Image wire format: size vs decode cost vs serving impact");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Ablation", "Image wire format: size vs decode cost vs serving impact");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   // (a) Real codec measurements on the paper's medium geometry.
   const codec::Image img = codec::make_synthetic(500, 375, codec::Pattern::kScene, 5);
@@ -51,7 +52,7 @@ int main() {
   real_table.add_row({std::string("jpeg q85 +optimized huffman"),
                       static_cast<double>(jpg_opt.size()) / 1024.0,
                       static_cast<double>(jpg_opt.size()) / (raw_kb * 1024.0), jpg_ms});
-  bench::print_table(real_table);
+  rep.table("real_table", real_table);
 
   // (b) Serving impact of the measured wire sizes on a 4-GPU node, where the
   // shared host fabric (6 GB/s) is the binding resource for fat formats
@@ -75,7 +76,7 @@ int main() {
     sim_table.add_row({std::string(names[i]), static_cast<std::int64_t>(sizes[i]),
                        r.throughput_rps, r.mean_latency_s * 1e3});
   }
-  bench::print_table(sim_table);
+  rep.table("sim_table", sim_table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"JPEG is several times smaller on the wire than PNG (real codecs)",
@@ -89,6 +90,6 @@ int main() {
                     tput[0] > tput[1] && tput[1] > tput[2],
                     std::string("jpeg ") + std::to_string(tput[0]) + " > png " +
                         std::to_string(tput[1]) + " > raw " + std::to_string(tput[2])});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

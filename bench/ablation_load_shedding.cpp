@@ -49,8 +49,9 @@ Point run(sim::Time deadline, double rate) {
 
 }  // namespace
 
-int main() {
-  bench::print_banner("Ablation", "Load shedding under overload (ViT @ ~120% offered load)");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Ablation", "Load shedding under overload (ViT @ ~120% offered load)");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   const double overload_rate = 2200.0;  // capacity ~1840 img/s
   metrics::Table table({"shed_deadline_ms", "goodput_img_s", "p99_ms", "dropped_%"});
@@ -63,7 +64,7 @@ int main() {
     if (d_ms == 100.0) tight = p;
     if (d_ms == 1000.0) loose = p;
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"without shedding, overload latency grows unbounded (seconds-scale p99)",
@@ -78,6 +79,6 @@ int main() {
   checks.push_back({"looser deadlines drop less but allow higher tails",
                     loose.drop_pct < tight.drop_pct && loose.p99_ms > tight.p99_ms,
                     "see table"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

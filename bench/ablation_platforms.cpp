@@ -26,8 +26,9 @@ struct PlatformRow {
 
 }  // namespace
 
-int main() {
-  bench::print_banner("Ablation", "Cross-platform generality (desktop / datacenter / edge)");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Ablation", "Cross-platform generality (desktop / datacenter / edge)");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   PlatformRow rows[] = {
       {"rtx4090+i9 (paper)", hw::rtx4090_i9_preset()},
@@ -60,7 +61,7 @@ int main() {
                    row.tput_gpu, 100 * (row.tput_gpu / row.tput_cpu - 1.0),
                    row.mj_per_img_gpu_pre});
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"preprocessing is a first-order cost on every platform (>25% zero-load)",
@@ -85,6 +86,6 @@ int main() {
   checks.push_back({"edge box draws an order of magnitude less average power",
                     edge_watts < desktop_watts / 5.0,
                     std::to_string(edge_watts) + " W vs " + std::to_string(desktop_watts) + " W"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

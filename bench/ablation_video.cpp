@@ -26,8 +26,9 @@ core::VideoPipelineResult run(workload::VideoSpec clip, VideoDecodeDevice dev, S
 
 }  // namespace
 
-int main() {
-  bench::print_banner("Ablation", "Video classification: decode placement & frame sampling");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Ablation", "Video classification: decode placement & frame sampling");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   metrics::Table table(
       {"clip", "decode", "sampling", "clips_per_s", "frames_per_s", "decode_share_%"});
@@ -54,7 +55,7 @@ int main() {
       }
     }
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   // Zero-load breakdown: decode dominance claim.
   const auto zero = run(workload::kHdClip, VideoDecodeDevice::kCpu, SamplingMode::kDecodeAll, 1);
@@ -72,6 +73,6 @@ int main() {
   checks.push_back({"decode dominates zero-load latency (paper's thesis, extended to video)",
                     zero.decode_share() > 0.5 && zero.decode_share() > zero.inference_share(),
                     std::to_string(100 * zero.decode_share()) + " % decode share"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

@@ -70,8 +70,9 @@ StepResult run_server_step(const std::string& name, models::Backend backend, boo
 
 }  // namespace
 
-int main() {
-  bench::print_banner("Figure 3", "Software-configuration ladder (ViT, medium image)");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Figure 3", "Software-configuration ladder (ViT, medium image)");
+  if (!rep.parse_cli(argc, argv)) return 2;
   const auto calib = hw::default_calibration();
 
   std::vector<StepResult> steps;
@@ -107,7 +108,7 @@ int main() {
     table.add_row({s.name, s.tput, s.p99_ms < 0 ? std::string("-") : std::to_string(s.p99_ms),
                    s.paper_tput < 0 ? std::string("-") : std::to_string(s.paper_tput)});
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"each configuration step improves (or holds) throughput",
@@ -127,6 +128,6 @@ int main() {
   const double span = steps[6].tput / steps[0].tput;
   checks.push_back({"large end-to-end gain from software alone (paper: >8x; see EXPERIMENTS.md)",
                     span > 4.0, std::to_string(span) + "x"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

@@ -15,8 +15,9 @@ using core::ExperimentSpec;
 using metrics::Stage;
 using serving::PreprocDevice;
 
-int main() {
-  bench::print_banner("Figure 4", "Model sweep: throughput + inference share, CPU vs GPU preproc");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Figure 4", "Model sweep: throughput + inference share, CPU vs GPU preproc");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   metrics::Table table({"model", "gflops", "tput_cpu_pre", "tput_gpu_pre", "gpu_gain_%",
                         "inference_%"});
@@ -61,7 +62,7 @@ int main() {
       max_share_large = std::max(max_share_large, inf_share);
     }
   }
-  bench::print_table(table);
+  rep.table("table", table);
   const double avg_gain = gain_sum / n;
 
   std::vector<bench::ShapeCheck> checks;
@@ -78,6 +79,6 @@ int main() {
                     min_share_large > 0.45 && max_share_large < 0.92,
                     "inference share range " + std::to_string(100 * min_share_large) + "%.." +
                         std::to_string(100 * max_share_large) + "%"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

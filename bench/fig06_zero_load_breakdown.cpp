@@ -17,15 +17,10 @@ using serving::PreprocDevice;
 
 int main(int argc, char** argv) {
   core::HarnessOptions harness;
-  try {
-    harness = core::parse_harness_options(argc, argv);
-  } catch (const std::invalid_argument& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 2;
-  }
   sim::TraceRecorder trace;
   std::uint64_t violations = 0;
-  bench::print_banner("Figure 6", "Zero-load latency breakdown (ViT, S/M/L, CPU vs GPU preproc)");
+  bench::Reporter rep("Figure 6", "Zero-load latency breakdown (ViT, S/M/L, CPU vs GPU preproc)");
+  if (!rep.parse_cli(argc, argv, &harness)) return 2;
 
   struct Row {
     const char* size;
@@ -74,7 +69,7 @@ int main(int argc, char** argv) {
                                                : std::to_string(static_cast<int>(
                                                      100 * row.paper_preproc_share))});
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"CPU preprocessing outperforms GPU in latency for small images",
@@ -101,6 +96,6 @@ int main(int argc, char** argv) {
                     share[0][2] > 0.93, std::to_string(100 * share[0][2]) + " %"});
   checks.push_back({"large-image preprocessing dominates on GPU too (paper: 88%)",
                     share[1][2] > 0.70, std::to_string(100 * share[1][2]) + " %"});
-  bench::print_checks(checks);
-  return core::finish_harness(harness, trace, violations) ? 0 : 1;
+  rep.checks(std::move(checks));
+  return rep.finish(core::finish_harness(harness, trace, violations));
 }

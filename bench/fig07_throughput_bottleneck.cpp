@@ -20,16 +20,11 @@ using serving::PreprocDevice;
 
 int main(int argc, char** argv) {
   core::HarnessOptions harness;
-  try {
-    harness = core::parse_harness_options(argc, argv);
-  } catch (const std::invalid_argument& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 2;
-  }
   sim::TraceRecorder trace;
   std::uint64_t violations = 0;
-  bench::print_banner("Figure 7",
+  bench::Reporter rep("Figure 7",
                       "Preprocessing-only vs inference-only vs end-to-end throughput");
+  if (!rep.parse_cli(argc, argv, &harness)) return 2;
 
   metrics::Table table({"model", "image", "preproc_only", "inference_only", "end_to_end",
                         "e2e/inf_%"});
@@ -79,7 +74,7 @@ int main(int argc, char** argv) {
       if (model == &models::resnet50() && image == hw::kMediumImage) resnet_medium_ratio = ratio;
     }
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"large images: ViT end-to-end ~19.5% of inference-only (paper)",
@@ -94,6 +89,6 @@ int main(int argc, char** argv) {
   checks.push_back({"ResNet-50 medium: end-to-end tracks inference-only (no outlier)",
                     resnet_medium_ratio > 0.85 && resnet_medium_ratio < 1.1,
                     std::to_string(100 * resnet_medium_ratio) + " %"});
-  bench::print_checks(checks);
-  return core::finish_harness(harness, trace, violations) ? 0 : 1;
+  rep.checks(std::move(checks));
+  return rep.finish(core::finish_harness(harness, trace, violations));
 }

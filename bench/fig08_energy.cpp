@@ -13,8 +13,9 @@ using namespace serve;
 using core::ExperimentSpec;
 using serving::PreprocDevice;
 
-int main() {
-  bench::print_banner("Figure 8", "Energy per image (CPU + GPU split) per model and image size");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Figure 8", "Energy per image (CPU + GPU split) per model and image size");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   metrics::Table table(
       {"model", "image", "preproc", "cpu_mJ_img", "gpu_mJ_img", "total_mJ_img"});
@@ -67,7 +68,7 @@ int main() {
       if (lrg <= med) large_raises_cpu_energy = false;
     }
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   std::vector<bench::ShapeCheck> checks;
   checks.push_back({"CPU-based preprocessing uses more energy overall (paper)",
@@ -77,6 +78,6 @@ int main() {
                     details.empty() ? "all cells" : "violations: " + details});
   checks.push_back({"medium->large image raises CPU energy in both modes (paper)",
                     large_raises_cpu_energy, "all models"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

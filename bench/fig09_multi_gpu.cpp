@@ -32,8 +32,9 @@ double run(const models::ModelDesc& model, hw::ImageSpec image, PreprocDevice de
 
 }  // namespace
 
-int main() {
-  bench::print_banner("Figure 9", "Multi-GPU scaling (medium & large image, 1..4 GPUs)");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Figure 9", "Multi-GPU scaling (medium & large image, 1..4 GPUs)");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   struct Series {
     const char* name;
@@ -59,7 +60,7 @@ int main() {
     table.add_row({std::string(s.name), s.tput[0], s.tput[1], s.tput[2], s.tput[3],
                    s.tput[3] / s.tput[0]});
   }
-  bench::print_table(table);
+  rep.table("table", table);
 
   auto speedup = [&](int i, int g) { return series[i].tput[g - 1] / series[i].tput[0]; };
   std::vector<bench::ShapeCheck> checks;
@@ -77,6 +78,6 @@ int main() {
            std::to_string(speedup(3, 3)) + "/" + std::to_string(speedup(3, 4))});
   checks.push_back({"inference-only scales linearly (inference is not the bottleneck)",
                     speedup(4, 4) > 3.3, "4-GPU speedup " + std::to_string(speedup(4, 4))});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

@@ -14,8 +14,9 @@ using namespace serve;
 using core::BrokerKind;
 using core::FacePipelineSpec;
 
-int main() {
-  bench::print_banner("Figure 11", "Multi-DNN face pipeline: Kafka vs Redis vs Fused");
+int main(int argc, char** argv) {
+  bench::Reporter rep("Figure 11", "Multi-DNN face pipeline: Kafka vs Redis vs Fused");
+  if (!rep.parse_cli(argc, argv)) return 2;
 
   const int face_counts[] = {1, 2, 3, 5, 7, 9, 12, 15, 20, 25};
   metrics::Table tput_table({"faces/frame", "kafka_fps", "redis_fps", "fused_fps", "best"});
@@ -42,7 +43,7 @@ int main() {
     }
     if (crossover < 0 && fps[1] >= fps[2]) crossover = f;
   }
-  bench::print_table(tput_table);
+  rep.table("tput_table", tput_table);
 
   // Zero-load latency breakdown at 25 faces/frame.
   metrics::Table lat_table(
@@ -65,7 +66,7 @@ int main() {
                        100 * r.breakdown.share(metrics::Stage::kQueue)});
     ++i;
   }
-  bench::print_table(lat_table);
+  rep.table("lat_table", lat_table);
 
   std::vector<bench::ShapeCheck> checks;
   const double tput_gain = redis25 / kafka25 - 1.0;
@@ -85,6 +86,6 @@ int main() {
   checks.push_back({"Fused is best at low face counts; Redis overtakes near 9 (paper)",
                     crossover >= 6 && crossover <= 12,
                     "crossover at " + std::to_string(crossover) + " faces/frame"});
-  bench::print_checks(checks);
-  return 0;
+  rep.checks(std::move(checks));
+  return rep.finish();
 }

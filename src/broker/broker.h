@@ -15,6 +15,7 @@
 #include <string>
 
 #include "hw/calibration.h"
+#include "metrics/registry.h"
 #include "sim/channel.h"
 #include "sim/fault_plan.h"
 #include "sim/resource.h"
@@ -55,12 +56,22 @@ struct BrokerProfile {
 template <typename T>
 class SimBroker {
  public:
-  SimBroker(sim::Simulator& sim, BrokerProfile profile, const sim::FaultPlan* faults = nullptr)
+  SimBroker(sim::Simulator& sim, BrokerProfile profile, const sim::FaultPlan* faults = nullptr,
+            metrics::Registry* registry = nullptr)
       : sim_(sim),
         profile_(std::move(profile)),
         faults_(faults),
         io_(sim, static_cast<std::size_t>(profile_.io_threads), profile_.name + ".io"),
-        topic_(sim, std::numeric_limits<std::size_t>::max(), profile_.name + ".topic") {}
+        topic_(sim, std::numeric_limits<std::size_t>::max(), profile_.name + ".topic") {
+    if (registry != nullptr) {
+      const metrics::Labels labels{{"broker", profile_.name}};
+      published_m_ = registry->counter("broker_published_total", labels);
+      consumed_m_ = registry->counter("broker_consumed_total", labels);
+      failures_m_ = registry->counter("broker_publish_failures_total", labels);
+      registry->gauge_fn("broker_topic_depth", labels,
+                         [this] { return static_cast<double>(topic_.size()); });
+    }
+  }
 
   /// Publishes one message: occupies an IO thread for the service time, then
   /// the message becomes visible to consumers. Returns false (message not
@@ -72,9 +83,11 @@ class SimBroker {
     io.release();
     if (outage_now()) {
       ++publish_failures_;
+      failures_m_.inc();
       co_return false;
     }
     ++published_;
+    published_m_.inc();
     topic_.try_put(std::move(msg));
     co_return true;
   }
@@ -89,6 +102,7 @@ class SimBroker {
       if (until > sim_.now()) co_await sim_.wait(until - sim_.now());
       co_await sim_.wait(sim::seconds(profile_.consume_latency_s));
       ++consumed_;
+      consumed_m_.inc();
     }
     co_return msg;
   }
@@ -121,6 +135,9 @@ class SimBroker {
   std::uint64_t published_ = 0;
   std::uint64_t consumed_ = 0;
   std::uint64_t publish_failures_ = 0;
+  metrics::Counter published_m_;  ///< no-op handles without a registry
+  metrics::Counter consumed_m_;
+  metrics::Counter failures_m_;
 };
 
 }  // namespace serve::broker

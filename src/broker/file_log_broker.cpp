@@ -60,6 +60,12 @@ std::uint32_t FileLogBroker::crc32(const void* data, std::size_t len) noexcept {
 FileLogBroker::FileLogBroker(Options opts) : opts_(std::move(opts)) {
   if (opts_.dir.empty()) throw std::invalid_argument("FileLogBroker: need a log directory");
   if (opts_.fsync_interval == 0) throw std::invalid_argument("FileLogBroker: fsync_interval >= 1");
+  if (opts_.registry != nullptr) {
+    const metrics::Labels labels{{"broker", "filelog"}};
+    appends_m_ = opts_.registry->counter("filelog_appends_total", labels);
+    fsyncs_m_ = opts_.registry->counter("filelog_fsyncs_total", labels);
+    rotations_m_ = opts_.registry->counter("filelog_segment_rotations_total", labels);
+  }
   fs::create_directories(opts_.dir);
   recover();
 }
@@ -75,6 +81,8 @@ void FileLogBroker::open_new_segment() {
   if (active_fd_ >= 0) {
     ::fsync(active_fd_);
     ++fsyncs_;
+    fsyncs_m_.inc();
+    rotations_m_.inc();
     // Rotation just made everything appended so far durable; restart the
     // fsync cadence so the new segment's first records are not synced
     // off-interval.
@@ -100,9 +108,11 @@ std::uint64_t FileLogBroker::publish(const std::string& payload) {
   write_all(active_fd_, header.data(), header.size());
   if (!payload.empty()) write_all(active_fd_, payload.data(), payload.size());
   active_bytes_ += kHeaderBytes + payload.size();
+  appends_m_.inc();
   if (++appends_since_sync_ >= opts_.fsync_interval) {
     if (::fsync(active_fd_) != 0) throw_errno("FileLogBroker: fsync");
     ++fsyncs_;
+    fsyncs_m_.inc();
     appends_since_sync_ = 0;
   }
   index_.push_back(RecordRef{segments_.size() - 1, file_offset, len});

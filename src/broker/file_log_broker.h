@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "metrics/registry.h"
+
 namespace serve::broker {
 
 class FileLogBroker {
@@ -29,6 +31,10 @@ class FileLogBroker {
     /// always throws, as does any damage outside the tail or a claimed
     /// length beyond segment_bytes (a corrupted header, not a torn write).
     bool tolerate_torn_tail = false;
+    /// Optional telemetry registry (appends / fsync cadence / segment
+    /// rotations, counted with thread-safe handles — publish() may be called
+    /// from real worker threads). Must outlive the broker.
+    metrics::Registry* registry = nullptr;
   };
 
   explicit FileLogBroker(Options opts);
@@ -77,6 +83,9 @@ class FileLogBroker {
   std::uint64_t active_bytes_ = 0;
   std::uint32_t appends_since_sync_ = 0;
   std::uint64_t fsyncs_ = 0;
+  metrics::Counter appends_m_;  ///< no-op handles without a registry
+  metrics::Counter fsyncs_m_;
+  metrics::Counter rotations_m_;
 };
 
 }  // namespace serve::broker

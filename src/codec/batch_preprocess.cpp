@@ -7,8 +7,13 @@
 
 namespace serve::codec {
 
-BatchPreprocessor::BatchPreprocessor(int threads) : threads_(threads) {
+BatchPreprocessor::BatchPreprocessor(int threads, metrics::Registry* registry)
+    : threads_(threads) {
   if (threads < 1) throw std::invalid_argument("BatchPreprocessor: threads must be >= 1");
+  if (registry != nullptr) {
+    batches_m_ = registry->counter("codec_batches_total");
+    images_m_ = registry->counter("codec_images_total");
+  }
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 0; i < threads - 1; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -100,6 +105,8 @@ std::vector<std::vector<float>> BatchPreprocessor::run(
     const Image resized = resize(img, opts.target_side, opts.target_side);
     out[i] = normalize_chw(resized, opts.mean, opts.stddev);
   });
+  batches_m_.inc();
+  images_m_.inc(static_cast<double>(jpegs.size()));
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "codec/transform.h"
+#include "metrics/registry.h"
 
 namespace serve::codec {
 
@@ -29,8 +30,11 @@ struct BatchPreprocessOptions {
 /// work, so `threads == 1` runs inline with zero synchronization.
 class BatchPreprocessor {
  public:
-  /// `threads` is the total parallelism including the calling thread.
-  explicit BatchPreprocessor(int threads);
+  /// `threads` is the total parallelism including the calling thread. An
+  /// optional registry counts processed batches/images with relaxed-atomic
+  /// counters (this is a real thread pool, not simulated work); it must
+  /// outlive the preprocessor.
+  explicit BatchPreprocessor(int threads, metrics::Registry* registry = nullptr);
   ~BatchPreprocessor();
   BatchPreprocessor(const BatchPreprocessor&) = delete;
   BatchPreprocessor& operator=(const BatchPreprocessor&) = delete;
@@ -56,6 +60,8 @@ class BatchPreprocessor {
 
   const int threads_;
   std::vector<std::thread> workers_;
+  metrics::Counter batches_m_;  ///< no-op handles without a registry
+  metrics::Counter images_m_;
 
   std::mutex mu_;
   std::condition_variable job_cv_;   ///< wakes workers for a new batch

@@ -42,6 +42,7 @@ template <typename Clients>
 ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& platform,
                                   serving::InferenceServer& server, Clients& clients) {
   auto& sim = platform.sim();
+  if (spec.recorder != nullptr) spec.recorder->start(sim);
   clients.start();
 
   // Warmup: fill queues and reach steady state, then reset all statistics.
@@ -74,6 +75,10 @@ ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& plat
   r.client_retries = clients.retries();
   r.client_timeouts = clients.timeouts();
 
+  // Stop sampling at the window edge: the drain below runs the simulator
+  // dry, and a still-armed recorder would re-schedule itself forever.
+  if (spec.recorder != nullptr) spec.recorder->stop();
+
   // Drain: stop the clients, let in-flight requests complete, close the
   // server so scheduler processes exit cleanly.
   clients.stop();
@@ -85,6 +90,10 @@ ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& plat
     r.audit_violations = audit->violation_count();
     r.audit_report = audit->report();
   }
+  // Callback instruments capture the platform/server/clients by reference;
+  // convert them to plain values while everything is still alive so the
+  // registry can be read (and exported) after this stack frame unwinds.
+  if (spec.registry != nullptr) spec.registry->freeze_callbacks();
   return r;
 }
 
@@ -105,10 +114,12 @@ struct FaultHarness {
   void install(const ExperimentSpec& spec, sim::Simulator& sim, hw::Platform& platform,
                serving::InferenceServer& server) {
     if (spec.server.broker_publish.publish_results) {
-      result_broker.emplace(sim, broker::redis_profile(spec.calib.broker), spec.faults);
+      result_broker.emplace(sim, broker::redis_profile(spec.calib.broker), spec.faults,
+                            spec.registry);
       server.set_result_broker(&*result_broker);
     }
     if (spec.faults == nullptr || spec.faults->empty()) return;
+    if (spec.trace != nullptr) spec.faults->annotate(*spec.trace);
     if (auto* audit = server.auditor()) {
       for (const auto& w : spec.faults->windows()) {
         audit->on_fault_window(sim::fault_kind_name(w.kind), w.begin, w.end);
@@ -135,7 +146,10 @@ struct FaultHarness {
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
   sim::Simulator sim;
   hw::Platform platform{sim,
-                        {.calib = spec.calib, .gpu_count = spec.gpu_count, .faults = spec.faults}};
+                        {.calib = spec.calib,
+                         .gpu_count = spec.gpu_count,
+                         .faults = spec.faults,
+                         .registry = spec.registry}};
   if (spec.trace != nullptr) hw::attach_tracer(platform, *spec.trace);
   serving::InferenceServer server{platform, spec.server};
   wire_audit_trace(spec, server);
@@ -152,7 +166,10 @@ ExperimentResult run_open_loop(const ExperimentSpec& spec,
                                serving::OpenLoopClients::Interarrival interarrival) {
   sim::Simulator sim;
   hw::Platform platform{sim,
-                        {.calib = spec.calib, .gpu_count = spec.gpu_count, .faults = spec.faults}};
+                        {.calib = spec.calib,
+                         .gpu_count = spec.gpu_count,
+                         .faults = spec.faults,
+                         .registry = spec.registry}};
   if (spec.trace != nullptr) hw::attach_tracer(platform, *spec.trace);
   serving::InferenceServer server{platform, spec.server};
   wire_audit_trace(spec, server);

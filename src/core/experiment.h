@@ -11,6 +11,8 @@
 #include "hw/devices.h"
 #include "hw/energy.h"
 #include "metrics/breakdown.h"
+#include "metrics/flight_recorder.h"
+#include "metrics/registry.h"
 #include "serving/client.h"
 #include "serving/config.h"
 #include "serving/server.h"
@@ -40,6 +42,18 @@ struct ExperimentSpec {
   /// broker (outages), and the runner (staging-budget shrink transitions,
   /// fault spans on the trace's "faults" track).
   const sim::FaultPlan* faults = nullptr;
+
+  /// Optional telemetry registry: the platform, server, brokers, and clients
+  /// register their instruments here. Cumulative from simulation start (not
+  /// window-scoped like ServerStats). The runner freezes callback
+  /// instruments before tearing the run down, so the registry may safely
+  /// outlive it.
+  metrics::Registry* registry = nullptr;
+
+  /// Optional flight recorder over `registry` (requires it). The runner
+  /// starts it when clients start and stops it at the end of the
+  /// measurement window, before the drain.
+  metrics::FlightRecorder* recorder = nullptr;
 };
 
 /// Outputs of a serving experiment (one point of a paper figure).

@@ -9,6 +9,7 @@
 #include "hw/calibration.h"
 #include "hw/gpu_memory.h"
 #include "hw/image_spec.h"
+#include "metrics/registry.h"
 #include "sim/fault_plan.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
@@ -177,12 +178,18 @@ class Platform {
     int gpu_count = 1;
     /// Optional fault-injection schedule; must outlive the platform.
     const sim::FaultPlan* faults = nullptr;
+    /// Optional telemetry registry. Device occupancy and staging-memory
+    /// state register as callback instruments sampled by the flight
+    /// recorder; call registry->freeze_callbacks() before destroying the
+    /// platform if the registry outlives it.
+    metrics::Registry* registry = nullptr;
   };
 
   Platform(sim::Simulator& sim, Config config)
       : sim_(sim),
         calib_(config.calib),
         faults_(config.faults),
+        registry_(config.registry),
         cpu_(sim, config.calib.cpu),
         host_link_(sim, 1, "pcie.host") {
     if (config.gpu_count < 1) throw std::invalid_argument("Platform: need at least one GPU");
@@ -192,6 +199,7 @@ class Platform {
       gpus_.push_back(std::make_unique<GpuModel>(sim, config.calib.gpu, config.calib.pcie, i));
       gpus_.back()->set_faults(faults_);
     }
+    if (registry_ != nullptr) register_instruments();
   }
 
   [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
@@ -214,10 +222,51 @@ class Platform {
   /// Fault schedule this platform was built with (nullptr = healthy).
   [[nodiscard]] const sim::FaultPlan* faults() const noexcept { return faults_; }
 
+  /// Telemetry registry this platform reports into (nullptr = disabled).
+  [[nodiscard]] metrics::Registry* registry() const noexcept { return registry_; }
+
  private:
+  /// Occupancy and staging state are exposed as sampled callbacks rather
+  /// than observer hooks: hw::attach_tracer already owns the single
+  /// Resource change-observer slot, and the flight recorder only needs
+  /// values at tick boundaries anyway.
+  void register_instruments() {
+    auto in_use = [](sim::Resource& r) {
+      return [&r] { return static_cast<double>(r.in_use()); };
+    };
+    registry_->gauge_fn("hw_resource_in_use", {{"device", "cpu"}, {"engine", "cores"}},
+                        in_use(cpu_.cores()));
+    registry_->gauge_fn("hw_resource_in_use", {{"device", "cpu"}, {"engine", "preproc_workers"}},
+                        in_use(cpu_.preproc_workers()));
+    registry_->gauge_fn("hw_resource_in_use", {{"device", "host"}, {"engine", "pcie"}},
+                        in_use(host_link_));
+    for (auto& gpu_ptr : gpus_) {
+      GpuModel& g = *gpu_ptr;
+      const std::string dev = "gpu" + std::to_string(g.index());
+      registry_->gauge_fn("hw_resource_in_use", {{"device", dev}, {"engine", "compute"}},
+                          in_use(g.compute()));
+      registry_->gauge_fn("hw_resource_in_use", {{"device", dev}, {"engine", "preproc"}},
+                          in_use(g.preproc()));
+      registry_->gauge_fn("hw_resource_in_use", {{"device", dev}, {"engine", "copy_h2d"}},
+                          in_use(g.copy_h2d()));
+      registry_->gauge_fn("hw_resource_in_use", {{"device", dev}, {"engine", "copy_d2h"}},
+                          in_use(g.copy_d2h()));
+      GpuMemoryStager& st = g.stager();
+      registry_->gauge_fn("gpu_staging_resident_bytes", {{"device", dev}},
+                          [&st] { return static_cast<double>(st.resident_bytes()); });
+      registry_->gauge_fn("gpu_staging_staged_buffers", {{"device", dev}},
+                          [&st] { return static_cast<double>(st.staged_count()); });
+      registry_->counter_fn("gpu_staging_evictions_total", {{"device", dev}},
+                            [&st] { return static_cast<double>(st.evictions()); });
+      registry_->counter_fn("gpu_staging_reloaded_bytes_total", {{"device", dev}},
+                            [&st] { return static_cast<double>(st.reloaded_bytes()); });
+    }
+  }
+
   sim::Simulator& sim_;
   Calibration calib_;
   const sim::FaultPlan* faults_ = nullptr;
+  metrics::Registry* registry_ = nullptr;
   CpuModel cpu_;
   sim::Resource host_link_;
   std::vector<std::unique_ptr<GpuModel>> gpus_;

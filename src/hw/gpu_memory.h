@@ -53,6 +53,7 @@ class GpuMemoryStager {
     if (it == entries_.end()) throw std::logic_error("GpuMemoryStager: unknown handle");
     const Entry e = it->second;
     remove(it);
+    if (!e.resident) reloaded_bytes_ += e.bytes;
     return e.resident ? 0 : e.bytes;
   }
 
@@ -76,6 +77,9 @@ class GpuMemoryStager {
   [[nodiscard]] std::int64_t resident_bytes() const noexcept { return resident_bytes_; }
   [[nodiscard]] std::size_t staged_count() const noexcept { return entries_.size(); }
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  /// Cumulative bytes re-uploaded because the claimed buffer had been
+  /// evicted — the PCIe tax the Fig. 5 decline hypothesis predicts.
+  [[nodiscard]] std::int64_t reloaded_bytes() const noexcept { return reloaded_bytes_; }
 
  private:
   struct Entry {
@@ -106,6 +110,7 @@ class GpuMemoryStager {
   std::int64_t resident_bytes_ = 0;
   Handle next_handle_ = 1;
   std::uint64_t evictions_ = 0;
+  std::int64_t reloaded_bytes_ = 0;
   std::list<Handle> lru_;
   std::unordered_map<Handle, Entry> entries_;
 };

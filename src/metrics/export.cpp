@@ -1,0 +1,308 @@
+#include "metrics/export.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+#include <cmath>
+#include <ostream>
+#include <system_error>
+
+#include "sim/time.h"
+
+namespace serve::metrics {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "null";  // JSON has no NaN; CSV readers cope
+  if (std::isinf(v)) return v > 0 ? "1e9999" : "-1e9999";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  assert(res.ec == std::errc());
+  return std::string(buf, res.ptr);
+}
+
+namespace {
+
+void json_escape(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out << esc;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void json_labels(std::ostream& out, const Labels& labels) {
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    json_escape(out, k);
+    out << ':';
+    json_escape(out, v);
+  }
+  out << '}';
+}
+
+/// `k=v;k2=v2` — compact single-cell form for CSV.
+std::string flat_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ';';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+/// Prometheus metric/label names: [a-zA-Z_][a-zA-Z0-9_]*.
+std::string prom_name(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+void prom_label_block(std::ostream& out, const Labels& labels, const std::string& extra_key = {},
+                      const std::string& extra_val = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << prom_name(k) << "=\"" << v << '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out << ',';
+    out << extra_key << "=\"" << extra_val << '"';
+  }
+  out << '}';
+}
+
+void json_cell(std::ostream& out, const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    json_escape(out, *s);
+  } else if (const auto* d = std::get_if<double>(&cell)) {
+    out << format_double(*d);
+  } else {
+    out << std::get<std::int64_t>(cell);
+  }
+}
+
+}  // namespace
+
+void TelemetryExport::set_context(std::string key, std::string value) {
+  for (auto& [k, v] : context_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  context_.emplace_back(std::move(key), std::move(value));
+}
+
+void TelemetryExport::add_table(std::string name, const Table& table) {
+  TableCopy copy;
+  copy.name = std::move(name);
+  copy.headers = table.headers();
+  copy.rows.reserve(table.rows());
+  for (std::size_t i = 0; i < table.rows(); ++i) copy.rows.push_back(table.row(i));
+  tables_.push_back(std::move(copy));
+}
+
+void TelemetryExport::capture_series(const FlightRecorder& recorder) {
+  series_ = recorder.series();
+  series_period_s_ = sim::to_seconds(recorder.period());
+  series_start_s_ = sim::to_seconds(recorder.start_time());
+  have_series_ = true;
+}
+
+std::size_t TelemetryExport::failed_checks() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : checks_) n += c.pass ? 0 : 1;
+  return n;
+}
+
+void TelemetryExport::write_json(std::ostream& out) const {
+  out << "{\n  \"schema\": \"servescope-telemetry-v1\",\n  \"context\": {";
+  for (std::size_t i = 0; i < context_.size(); ++i) {
+    if (i) out << ", ";
+    json_escape(out, context_[i].first);
+    out << ": ";
+    json_escape(out, context_[i].second);
+  }
+  out << "},\n  \"benchmarks\": [";
+  for (std::size_t i = 0; i < benchmarks_.size(); ++i) {
+    const auto& b = benchmarks_[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"name\": ";
+    json_escape(out, b.name);
+    out << ", \"real_time\": " << format_double(b.real_time) << ", \"time_unit\": ";
+    json_escape(out, b.time_unit);
+    for (const auto& [k, v] : b.extras) {
+      out << ", ";
+      json_escape(out, k);
+      out << ": " << format_double(v);
+    }
+    out << '}';
+  }
+  out << (benchmarks_.empty() ? "]" : "\n  ]") << ",\n  \"checks\": [";
+  for (std::size_t i = 0; i < checks_.size(); ++i) {
+    const auto& c = checks_[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"claim\": ";
+    json_escape(out, c.claim);
+    out << ", \"pass\": " << (c.pass ? "true" : "false") << ", \"detail\": ";
+    json_escape(out, c.detail);
+    out << '}';
+  }
+  out << (checks_.empty() ? "]" : "\n  ]") << ",\n  \"tables\": [";
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    const auto& t = tables_[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"name\": ";
+    json_escape(out, t.name);
+    out << ", \"headers\": [";
+    for (std::size_t j = 0; j < t.headers.size(); ++j) {
+      if (j) out << ", ";
+      json_escape(out, t.headers[j]);
+    }
+    out << "], \"rows\": [";
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      out << (r ? ", " : "") << '[';
+      for (std::size_t c = 0; c < t.rows[r].size(); ++c) {
+        if (c) out << ", ";
+        json_cell(out, t.rows[r][c]);
+      }
+      out << ']';
+    }
+    out << "]}";
+  }
+  out << (tables_.empty() ? "]" : "\n  ]") << ",\n  \"instruments\": [";
+  bool first = true;
+  for (const auto& ins : instruments_) {
+    if (ins.wall_clock) continue;  // nondeterministic; Prometheus-only
+    out << (first ? "\n    " : ",\n    ") << "{\"name\": ";
+    first = false;
+    json_escape(out, ins.name);
+    out << ", \"labels\": ";
+    json_labels(out, ins.labels);
+    out << ", \"type\": \"" << instrument_type_name(ins.type) << '"';
+    if (ins.type == InstrumentType::kHistogram) {
+      out << ", \"count\": " << ins.count << ", \"sum\": " << format_double(ins.sum)
+          << ", \"min\": " << format_double(ins.min) << ", \"max\": " << format_double(ins.max)
+          << ", \"buckets\": [";
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < ins.buckets.size(); ++i) {
+        cum += ins.buckets[i].count;
+        out << (i ? ", " : "") << "{\"le\": " << format_double(ins.buckets[i].upper)
+            << ", \"count\": " << cum << '}';
+      }
+      out << ']';
+    } else {
+      out << ", \"value\": " << format_double(ins.value);
+    }
+    out << '}';
+  }
+  out << (first ? "]" : "\n  ]");
+  if (have_series_) {
+    out << ",\n  \"series\": {\"period_s\": " << format_double(series_period_s_)
+        << ", \"start_s\": " << format_double(series_start_s_) << ", \"points\": [";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const auto& s = series_[i];
+      out << (i ? ",\n    " : "\n    ") << "{\"name\": ";
+      json_escape(out, s.name);
+      out << ", \"labels\": ";
+      json_labels(out, s.labels);
+      out << ", \"start_tick\": " << s.start_tick << ", \"total_samples\": " << s.total_samples
+          << ", \"samples\": [";
+      for (std::size_t j = 0; j < s.samples.size(); ++j) {
+        out << (j ? "," : "") << format_double(s.samples[j]);
+      }
+      out << "]}";
+    }
+    out << (series_.empty() ? "]" : "\n  ]") << '}';
+  }
+  out << "\n}\n";
+}
+
+void TelemetryExport::write_csv(std::ostream& out) const {
+  out << "record,name,labels,x,value\n";
+  for (const auto& ins : instruments_) {
+    if (ins.wall_clock) continue;
+    const std::string labels = flat_labels(ins.labels);
+    if (ins.type == InstrumentType::kHistogram) {
+      out << "histogram," << ins.name << ',' << labels << ",count," << ins.count << '\n';
+      out << "histogram," << ins.name << ',' << labels << ",sum," << format_double(ins.sum)
+          << '\n';
+      std::uint64_t cum = 0;
+      for (const auto& b : ins.buckets) {
+        cum += b.count;
+        out << "bucket," << ins.name << ',' << labels << ',' << format_double(b.upper) << ','
+            << cum << '\n';
+      }
+    } else {
+      out << instrument_type_name(ins.type) << ',' << ins.name << ',' << labels << ",,"
+          << format_double(ins.value) << '\n';
+    }
+  }
+  for (const auto& s : series_) {
+    const std::string labels = flat_labels(s.labels);
+    for (std::size_t j = 0; j < s.samples.size(); ++j) {
+      const double t =
+          series_start_s_ + static_cast<double>(s.start_tick + j) * series_period_s_;
+      out << "sample," << s.name << ',' << labels << ',' << format_double(t) << ','
+          << format_double(s.samples[j]) << '\n';
+    }
+  }
+}
+
+void TelemetryExport::write_prometheus(std::ostream& out) const {
+  std::string last_typed;  // emit one TYPE line per metric family
+  for (const auto& ins : instruments_) {
+    const std::string name = prom_name(ins.name);
+    if (name != last_typed) {
+      out << "# TYPE " << name << ' ' << instrument_type_name(ins.type) << '\n';
+      last_typed = name;
+    }
+    if (ins.type == InstrumentType::kHistogram) {
+      std::uint64_t cum = 0;
+      for (const auto& b : ins.buckets) {
+        cum += b.count;
+        out << name << "_bucket";
+        prom_label_block(out, ins.labels, "le", format_double(b.upper));
+        out << ' ' << cum << '\n';
+      }
+      out << name << "_bucket";
+      prom_label_block(out, ins.labels, "le", "+Inf");
+      out << ' ' << ins.count << '\n';
+      out << name << "_sum";
+      prom_label_block(out, ins.labels);
+      out << ' ' << format_double(ins.sum) << '\n';
+      out << name << "_count";
+      prom_label_block(out, ins.labels);
+      out << ' ' << ins.count << '\n';
+    } else {
+      out << name;
+      prom_label_block(out, ins.labels);
+      out << ' ' << format_double(ins.value) << '\n';
+    }
+  }
+}
+
+}  // namespace serve::metrics

@@ -1,0 +1,85 @@
+#include "metrics/flight_recorder.h"
+
+#include <chrono>
+
+namespace serve::metrics {
+
+FlightRecorder::FlightRecorder(Registry& registry, Options opts)
+    : registry_(registry), opts_(opts) {
+  if (opts_.period <= 0) opts_.period = sim::milliseconds(100);
+  if (opts_.capacity == 0) opts_.capacity = 1;
+  self_time_ = registry_.wall_clock_counter("telemetry_self_seconds_total");
+}
+
+void FlightRecorder::start(sim::Simulator& sim) {
+  running_ = true;
+  start_time_ = sim.now();
+  sample(sim.now());
+  ++ticks_;
+  sim.schedule_after(opts_.period, [this, &sim] { tick(sim); });
+}
+
+void FlightRecorder::tick(sim::Simulator& sim) {
+  if (!running_) return;  // stopped while this event was pending
+  sample(sim.now());
+  ++ticks_;
+  sim.schedule_after(opts_.period, [this, &sim] { tick(sim); });
+}
+
+void FlightRecorder::sample(sim::Time /*now*/) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = registry_.instrument_count();
+  if (rings_.size() < n) {
+    // Instruments registered after start() join mid-flight: their first
+    // retained sample is this tick, earlier ticks are simply absent.
+    rings_.resize(n);
+    for (auto& ring : rings_) {
+      if (ring.total == 0 && ring.buf.empty()) ring.first_tick = ticks_;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (registry_.info(i).wall_clock) continue;
+    Ring& ring = rings_[i];
+    const double v = registry_.current_value(i);
+    if (ring.buf.size() < opts_.capacity) {
+      ring.buf.push_back(v);
+    } else {
+      // Overwrite the oldest slot; the ring's logical start advances.
+      ring.buf[ring.total % opts_.capacity] = v;
+      ++ring.first_tick;
+    }
+    ++ring.total;
+  }
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  self_time_.inc(dt.count());
+}
+
+std::vector<FlightRecorder::Series> FlightRecorder::series() const {
+  std::vector<Series> out;
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    const auto info = registry_.info(i);
+    if (info.wall_clock) continue;
+    const Ring& ring = rings_[i];
+    Series s;
+    s.name = info.name;
+    s.labels = info.labels;
+    s.type = info.type;
+    s.start_tick = ring.first_tick;
+    s.total_samples = ring.total;
+    if (ring.buf.size() < opts_.capacity) {
+      s.samples = ring.buf;
+    } else {
+      // Unroll the ring: oldest retained sample sits at total % capacity.
+      const std::size_t head = static_cast<std::size_t>(ring.total % opts_.capacity);
+      s.samples.reserve(ring.buf.size());
+      s.samples.insert(s.samples.end(), ring.buf.begin() + static_cast<std::ptrdiff_t>(head),
+                       ring.buf.end());
+      s.samples.insert(s.samples.end(), ring.buf.begin(),
+                       ring.buf.begin() + static_cast<std::ptrdiff_t>(head));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace serve::metrics

@@ -34,7 +34,12 @@ double Histogram::bucket_lower(std::size_t i) const noexcept {
 }
 
 double Histogram::bucket_upper(std::size_t i) const noexcept {
-  if (i + 1 >= counts_.size()) return stats_.max();
+  if (i + 1 >= counts_.size()) {
+    // Overflow bucket: the observed max when it genuinely exceeds the
+    // layout, else one more geometric step — exported `le` edges must stay
+    // strictly ascending even when max_value itself lands here.
+    return std::max(stats_.max(), bucket_lower(i) * opts_.growth);
+  }
   return opts_.min_value * std::pow(opts_.growth, static_cast<double>(i));
 }
 
@@ -74,6 +79,15 @@ double Histogram::quantile(double q) const noexcept {
     cum += c;
   }
   return stats_.max();
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back({bucket_lower(i), bucket_upper(i), counts_[i]});
+  }
+  return out;
 }
 
 void Histogram::reset() noexcept {

@@ -38,9 +38,25 @@ class Histogram {
   [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
   [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
   [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] double p999() const noexcept { return quantile(0.999); }
+
+  /// One occupied bucket with its exact layout edges. The underflow bucket
+  /// reports lower == 0; the overflow bucket's upper is the observed max (or
+  /// one more geometric step when that is larger — edges stay strictly
+  /// ascending), so exporters can emit cumulative (`le`) form without
+  /// re-deriving layout.
+  struct Bucket {
+    double lower = 0.0;
+    double upper = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  /// Occupied buckets in ascending value order (empty buckets elided).
+  [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
 
   [[nodiscard]] std::uint64_t count() const noexcept { return stats_.count(); }
   [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
+  [[nodiscard]] double sum() const noexcept { return stats_.sum(); }
   [[nodiscard]] double min() const noexcept { return stats_.min(); }
   [[nodiscard]] double max() const noexcept { return stats_.max(); }
   [[nodiscard]] const StatAccumulator& stats() const noexcept { return stats_; }

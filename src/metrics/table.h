@@ -28,6 +28,10 @@ class Table {
   [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
   [[nodiscard]] const std::vector<std::string>& headers() const noexcept { return headers_; }
 
+  /// Raw (unformatted) cells of one row — exporters keep numbers as numbers
+  /// instead of round-tripping through the console formatting.
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const noexcept { return rows_[i]; }
+
   /// Returns the formatted string for cell (row, col).
   [[nodiscard]] std::string cell_text(std::size_t row, std::size_t col) const;
 

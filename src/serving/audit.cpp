@@ -87,6 +87,10 @@ void RequestAuditor::on_fault_window(std::string_view name, sim::Time begin, sim
   if (trace_ != nullptr && end > begin) trace_->span("faults", std::string(name), begin, end);
 }
 
+void RequestAuditor::on_breaker_transition(std::string_view to, sim::Time t) {
+  if (trace_ != nullptr) trace_->instant("policies", "breaker -> " + std::string(to), t);
+}
+
 void RequestAuditor::check_request(const Request& req, const InFlight& fl) {
   // (4) Monotonicity: arrival <= enqueue_time <= completed.
   if (req.completed < req.arrival) {

@@ -87,6 +87,10 @@ class RequestAuditor final : public ChargeObserver {
   /// track, so fault windows line up visually with request-latency spans.
   void on_fault_window(std::string_view name, sim::Time begin, sim::Time end);
 
+  /// Records a circuit-breaker state transition ("closed" / "open" /
+  /// "half-open") as an instant marker on the "policies" trace track.
+  void on_breaker_transition(std::string_view to, sim::Time t);
+
   // --- terminal checks -------------------------------------------------------
 
   /// Resource-hygiene check: `value` must be zero after drain.

@@ -35,7 +35,13 @@ using ImageSource = std::function<hw::ImageSpec(sim::Rng&)>;
 class RetryingSubmitter {
  public:
   RetryingSubmitter(InferenceServer& server, sim::Rng& rng)
-      : server_(server), rng_(rng), policy_(server.config().retry), budget_(policy_.retry_budget) {}
+      : server_(server), rng_(rng), policy_(server.config().retry), budget_(policy_.retry_budget) {
+    if (auto* reg = server_.platform().registry()) {
+      retries_m_ = reg->counter("client_retries_total");
+      timeouts_m_ = reg->counter("client_timeouts_total");
+      reg->gauge_fn("client_retry_budget", {}, [this] { return budget_; });
+    }
+  }
 
   /// Submits (and re-submits) until an attempt succeeds or the policy gives
   /// up. Every attempt is a fresh Request with its own id; a timed-out
@@ -53,7 +59,10 @@ class RetryingSubmitter {
       } else {
         co_await req->done.wait();
       }
-      if (!signalled) ++timeouts_;
+      if (!signalled) {
+        ++timeouts_;
+        timeouts_m_.inc();
+      }
       if (signalled && !req->failed && !req->dropped) {
         budget_ = std::min(policy_.retry_budget, budget_ + policy_.budget_refill_per_success);
         co_return true;
@@ -62,6 +71,7 @@ class RetryingSubmitter {
       if (budget_ < 1.0) co_return false;  // retry token budget exhausted
       budget_ -= 1.0;
       ++retries_;
+      retries_m_.inc();
       sim::Time step = policy_.backoff_base;
       for (int i = 1; i < attempt && step < policy_.backoff_cap; ++i) step *= 2;
       step = std::min(step, policy_.backoff_cap);
@@ -84,6 +94,8 @@ class RetryingSubmitter {
   double budget_;
   std::uint64_t retries_ = 0;
   std::uint64_t timeouts_ = 0;
+  metrics::Counter retries_m_;   ///< no-op without a platform registry
+  metrics::Counter timeouts_m_;
 };
 
 /// Closed-loop client pool: `concurrency` clients, each submitting the next

@@ -24,6 +24,7 @@ constexpr std::uint64_t kMinOutcomeSamples = 20;
 
 InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
     : platform_(platform), config_(config), stats_(platform.sim()) {
+  if (platform_.registry() != nullptr) init_telemetry();
   if (config_.audit) auditor_ = std::make_unique<RequestAuditor>();
   if (config_.validate_payloads) {
     // Template payload for ingest validation: corrupted requests decode a
@@ -55,8 +56,70 @@ InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
   }
 }
 
+void InferenceServer::init_telemetry() {
+  auto& reg = *platform_.registry();
+  tele_.submitted = reg.counter("serving_requests_submitted_total");
+  tele_.completed = reg.counter("serving_requests_completed_total");
+  tele_.failed = reg.counter("serving_requests_failed_total");
+  tele_.dropped = reg.counter("serving_requests_dropped_total");
+  tele_.rejected = reg.counter("serving_requests_rejected_total");
+  tele_.degraded = reg.counter("serving_requests_degraded_total");
+  tele_.handoff_lost = reg.counter("serving_handoff_lost_total");
+  tele_.broker_retries = reg.counter("serving_broker_publish_retries_total");
+  tele_.broker_failovers = reg.counter("serving_broker_failovers_total");
+  tele_.breaker_to_open = reg.counter("serving_breaker_transitions_total", {{"to", "open"}});
+  tele_.breaker_to_half_open =
+      reg.counter("serving_breaker_transitions_total", {{"to", "half-open"}});
+  tele_.breaker_to_closed = reg.counter("serving_breaker_transitions_total", {{"to", "closed"}});
+  for (std::size_t s = 0; s < metrics::kStageCount; ++s) {
+    tele_.stage_seconds[s] = reg.counter(
+        "serving_stage_seconds_total",
+        {{"stage", std::string(metrics::stage_name(static_cast<Stage>(s)))}});
+  }
+  tele_.latency = reg.histogram("serving_request_latency_seconds");
+  tele_.batch_size =
+      reg.histogram("serving_batch_size", {}, {.min_value = 1.0, .max_value = 4096.0});
+  reg.gauge_fn("serving_in_flight", {},
+               [this] { return static_cast<double>(in_flight()); });
+  // Queue depth per scheduler queue: sampled from the batchers at recorder
+  // ticks (the growth-toward-seconds trajectory behind the Fig. 5 claim).
+  for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
+    const std::string dev = "gpu" + std::to_string(g);
+    reg.gauge_fn("serving_queue_depth", {{"device", dev}, {"queue", "preproc"}}, [this, g] {
+      return g < gpus_.size() ? static_cast<double>(gpus_[g]->preproc_batcher.queued()) : 0.0;
+    });
+    reg.gauge_fn("serving_queue_depth", {{"device", dev}, {"queue", "inference"}}, [this, g] {
+      return g < gpus_.size() ? static_cast<double>(gpus_[g]->inf_batcher.queued()) : 0.0;
+    });
+  }
+}
+
+void InferenceServer::record_terminal(const Request& req) {
+  if (!tele_.latency.enabled()) return;
+  tele_.latency.observe(sim::to_seconds(req.latency()));
+  for (std::size_t s = 0; s < metrics::kStageCount; ++s) {
+    const double v = req.stages.seconds[s];
+    if (v > 0.0) tele_.stage_seconds[s].inc(v);
+  }
+}
+
+void InferenceServer::note_breaker(BreakerState to) {
+  switch (to) {
+    case BreakerState::kOpen: tele_.breaker_to_open.inc(); break;
+    case BreakerState::kHalfOpen: tele_.breaker_to_half_open.inc(); break;
+    case BreakerState::kClosed: tele_.breaker_to_closed.inc(); break;
+  }
+  if (auditor_) {
+    const std::string_view name = to == BreakerState::kOpen      ? "open"
+                                  : to == BreakerState::kHalfOpen ? "half-open"
+                                                                  : "closed";
+    auditor_->on_breaker_transition(name, platform_.sim().now());
+  }
+}
+
 void InferenceServer::submit(RequestPtr req) {
   ++submitted_;
+  tele_.submitted.inc();
   if (auditor_) auditor_->on_submit(*req);
   if (!accepting_) {
     // Post-shutdown submissions are fail-accounted (counted, done signalled)
@@ -80,6 +143,7 @@ bool InferenceServer::breaker_admit() {
     breaker_state_ = BreakerState::kHalfOpen;
     half_open_budget_ = std::max(1, config_.breaker.half_open_probes);
     half_open_successes_ = 0;
+    note_breaker(BreakerState::kHalfOpen);
   }
   switch (breaker_state_) {
     case BreakerState::kClosed: {
@@ -107,6 +171,7 @@ void InferenceServer::open_breaker() {
   breaker_state_ = BreakerState::kOpen;
   breaker_open_until_ = platform_.sim().now() + config_.breaker.open_duration;
   stats_.record_breaker_open();
+  note_breaker(BreakerState::kOpen);
 }
 
 void InferenceServer::record_outcome(bool success) {
@@ -120,6 +185,7 @@ void InferenceServer::record_outcome(bool success) {
   if (++half_open_successes_ >= std::max(1, config_.breaker.half_open_probes)) {
     breaker_state_ = BreakerState::kClosed;
     error_ewma_ = 0.0;  // fresh start; stale failure history must not re-trip
+    note_breaker(BreakerState::kClosed);
   }
 }
 
@@ -225,6 +291,7 @@ void InferenceServer::hand_off(sim::Channel<RequestPtr>& ch, std::size_t g, Requ
   }
   if (accepted) return;
   ++lost_handoffs_;
+  tele_.handoff_lost.inc();
   if (auditor_) auditor_->on_lost_handoff(*keep, where);
   drop_request(g, std::move(keep));
 }
@@ -298,6 +365,7 @@ sim::Process InferenceServer::handle_request(RequestPtr req) {
   // preprocessed tensor instead — slower, but the request survives.
   if (gpu_degraded(g)) {
     stats_.record_degraded();
+    tele_.degraded.inc();
     const Time q0 = sim.now();
     auto worker = co_await cpu.preproc_workers().acquire();
     req->charge(Stage::kQueue, sim.now() - q0);
@@ -458,6 +526,7 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
     const Time dispatch = sim.now();
     for (const auto& r : batch) r->charge(Stage::kQueue, dispatch - r->enqueue_time);
     stats_.record_batch_size(b);
+    tele_.batch_size.observe(static_cast<double>(b));
 
     if (cpu_staged_path) {
       // Ensemble hop: per-batch gap + per-image serialized staging. The
@@ -565,6 +634,9 @@ void InferenceServer::fail_request(std::size_t g, RequestPtr req, FailReason rea
   req->completed = now;
   ++finished_;
   stats_.record(*req);
+  tele_.failed.inc();
+  if (reason == FailReason::kBreakerOpen) tele_.rejected.inc();
+  record_terminal(*req);
   // Breaker rejections and post-shutdown submissions must not feed the error
   // EWMA: the breaker would hold itself open on its own rejections.
   if (reason != FailReason::kBreakerOpen && reason != FailReason::kShutdown) {
@@ -590,6 +662,8 @@ void InferenceServer::drop_request(std::size_t g, RequestPtr req) {
   req->completed = now;
   ++finished_;
   stats_.record(*req);
+  tele_.dropped.inc();
+  record_terminal(*req);
   if (auditor_) auditor_->on_complete(*req);
   req->done.set();
 }
@@ -623,11 +697,15 @@ sim::Process InferenceServer::finish_request(RequestPtr req) {
           delivered = true;
           break;
         }
+        tele_.broker_retries.inc();
         if (attempt < attempts && pol.backoff_base > 0) {
           co_await sim.wait(pol.backoff_base << (attempt - 1));
         }
       }
-      if (!delivered) stats_.record_broker_failover();  // fused in-process delivery
+      if (!delivered) {
+        stats_.record_broker_failover();  // fused in-process delivery
+        tele_.broker_failovers.inc();
+      }
     } else {
       while (!co_await result_broker_->publish(req->id)) {
         co_await sim.wait(std::max<Time>(pol.poll_interval, 1));
@@ -639,6 +717,8 @@ sim::Process InferenceServer::finish_request(RequestPtr req) {
   req->completed = sim.now();
   ++finished_;
   stats_.record(*req);
+  tele_.completed.inc();
+  record_terminal(*req);
   record_outcome(true);
   if (auditor_) auditor_->on_complete(*req);
   req->done.set();

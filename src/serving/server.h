@@ -10,6 +10,7 @@
 // paper's breakdown figures can be regenerated exactly.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -17,6 +18,7 @@
 
 #include "broker/broker.h"
 #include "hw/devices.h"
+#include "metrics/registry.h"
 #include "serving/audit.h"
 #include "serving/batcher.h"
 #include "serving/config.h"
@@ -124,9 +126,28 @@ class InferenceServer {
   /// codec rejects the corrupted stream.
   [[nodiscard]] bool corrupted_payload_decodes(std::uint64_t stream_seed) const;
 
+  /// Registry handles for the serving layer (no-ops when the platform has no
+  /// registry — every handle degrades to a null-pointer check). Unlike
+  /// ServerStats, which is window-scoped (reset at measurement start), these
+  /// are cumulative from t = 0: the flight recorder differences them into
+  /// rates over time.
+  struct Telemetry {
+    metrics::Counter submitted, completed, failed, dropped, rejected, degraded;
+    metrics::Counter handoff_lost, broker_retries, broker_failovers;
+    metrics::Counter breaker_to_open, breaker_to_half_open, breaker_to_closed;
+    std::array<metrics::Counter, metrics::kStageCount> stage_seconds{};
+    metrics::HistogramHandle latency, batch_size;
+  };
+  void init_telemetry();
+  /// Terminal accounting shared by finish/fail/drop: latency histogram and
+  /// cumulative per-stage seconds.
+  void record_terminal(const Request& req);
+  void note_breaker(BreakerState to);
+
   hw::Platform& platform_;
   ServerConfig config_;
   ServerStats stats_;
+  Telemetry tele_{};
   std::unique_ptr<RequestAuditor> auditor_;
   std::vector<std::unique_ptr<GpuState>> gpus_;
   broker::SimBroker<std::uint64_t>* result_broker_ = nullptr;

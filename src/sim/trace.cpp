@@ -15,6 +15,10 @@ void TraceRecorder::counter(std::string track, double value, Time t) {
   counters_.push_back(CounterSample{std::move(track), value, t});
 }
 
+void TraceRecorder::instant(std::string track, std::string name, Time t) {
+  instants_.push_back(Instant{std::move(track), std::move(name), t});
+}
+
 namespace {
 
 void write_escaped(std::ostream& os, const std::string& s) {
@@ -60,6 +64,13 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
     os << R"({"ph":"C","pid":1,"tid":)" << tid_of(c.track) << ",\"name\":";
     write_escaped(os, c.track);
     os << ",\"ts\":" << to_microseconds(c.t) << ",\"args\":{\"value\":" << c.value << "}}";
+  }
+  for (const auto& i : instants_) {
+    sep();
+    // "s":"t" scopes the marker to its thread (track) lane.
+    os << R"({"ph":"i","pid":1,"tid":)" << tid_of(i.track) << ",\"name\":";
+    write_escaped(os, i.name);
+    os << ",\"ts\":" << to_microseconds(i.t) << R"(,"s":"t"})";
   }
   for (const auto& [track, tid] : tids) {
     sep();

@@ -1,9 +1,11 @@
 // Virtual-time trace recording with Chrome trace-event export.
 //
-// Records two kinds of events:
+// Records three kinds of events:
 //  - spans: named intervals on a named track ("gpu0.compute: batch x64");
 //  - counters: numeric time series ("cpu.cores in_use") rendered as stacked
-//    charts by chrome://tracing / Perfetto.
+//    charts by chrome://tracing / Perfetto;
+//  - instants: zero-duration markers ("fault pcie_degrade begin", "breaker
+//    open") that line state transitions up against the per-request spans.
 //
 // Load the emitted JSON in chrome://tracing (or ui.perfetto.dev) to see the
 // serving pipeline's device occupancy over virtual time.
@@ -26,13 +28,20 @@ class TraceRecorder {
   /// Records a counter sample (step function between samples).
   void counter(std::string track, double value, Time t);
 
+  /// Records an instantaneous marker at time `t` on `track`.
+  void instant(std::string track, std::string name, Time t);
+
   [[nodiscard]] std::size_t span_count() const noexcept { return spans_.size(); }
   [[nodiscard]] std::size_t counter_count() const noexcept { return counters_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return spans_.empty() && counters_.empty(); }
+  [[nodiscard]] std::size_t instant_count() const noexcept { return instants_.size(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return spans_.empty() && counters_.empty() && instants_.empty();
+  }
 
   void clear() noexcept {
     spans_.clear();
     counters_.clear();
+    instants_.clear();
   }
 
   /// Chrome trace-event JSON ("traceEvents" array form). Tracks become
@@ -51,9 +60,15 @@ class TraceRecorder {
     double value;
     Time t;
   };
+  struct Instant {
+    std::string track;
+    std::string name;
+    Time t;
+  };
 
   std::vector<Span> spans_;
   std::vector<CounterSample> counters_;
+  std::vector<Instant> instants_;
 };
 
 }  // namespace serve::sim

@@ -1,0 +1,309 @@
+// Renders a recorded run's trajectory from a servescope-telemetry-v1 JSON
+// file (bench --json-out, typically fig05_concurrency --record).
+//
+//   report telemetry.json [--slo <seconds>] [--slo-target <attainment>]
+//
+// Sections:
+//   - timeline: unicode sparklines of throughput (differenced completion
+//     counter), queue depth, and eviction rate over the recorded window,
+//     with first-third vs last-third deltas — the temporal shape behind the
+//     paper's Fig. 5 claims (GPU-preproc decline, queue growth);
+//   - per-stage breakdown from the serving_stage_seconds_total counters;
+//   - SLO attainment from the request-latency histogram: p50/p95/p99/p99.9,
+//     fraction of requests under the objective, and the error-budget burn
+//     rate ((1 - attainment) / (1 - target));
+//   - shape-check verdicts recorded by the bench.
+//
+// Exit codes: 0 on success, 2 on unreadable/malformed/wrong-schema input.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json_mini.h"
+
+namespace {
+
+using jsonmini::Value;
+
+struct SeriesData {
+  std::string name;
+  std::string labels;  ///< flattened for display
+  std::vector<double> samples;
+};
+
+std::string flatten_labels(const Value& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels.object) {
+    if (!out.empty()) out += ',';
+    out += k + "=" + (v.is_string() ? v.str : std::to_string(v.number));
+  }
+  return out;
+}
+
+/// Element-wise sum of every series with `name` (servescope series all share
+/// the recorder cadence; shorter late-joining series align at the tail end,
+/// which is good enough for a human-facing summary).
+std::vector<double> summed(const std::vector<SeriesData>& all, std::string_view name) {
+  std::vector<double> out;
+  for (const auto& s : all) {
+    if (s.name != name) continue;
+    out.resize(std::max(out.size(), s.samples.size()), 0.0);
+    for (std::size_t i = 0; i < s.samples.size(); ++i) out[i] += s.samples[i];
+  }
+  return out;
+}
+
+std::vector<double> differenced(const std::vector<double>& cum, double period_s) {
+  std::vector<double> out;
+  if (cum.size() < 2 || period_s <= 0) return out;
+  out.reserve(cum.size() - 1);
+  for (std::size_t i = 1; i < cum.size(); ++i) out.push_back((cum[i] - cum[i - 1]) / period_s);
+  return out;
+}
+
+double mean_over(const std::vector<double>& v, std::size_t lo, std::size_t hi) {
+  if (hi <= lo) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += v[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+/// 8-level unicode sparkline, downsampled to at most `width` columns.
+std::string sparkline(const std::vector<double>& v, std::size_t width = 64) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (v.empty()) return "(no samples)";
+  std::vector<double> cols;
+  const std::size_t n = v.size();
+  if (n <= width) {
+    cols = v;
+  } else {
+    cols.resize(width);
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t lo = c * n / width;
+      const std::size_t hi = std::max(lo + 1, (c + 1) * n / width);
+      cols[c] = mean_over(v, lo, hi);
+    }
+  }
+  const auto [mn_it, mx_it] = std::minmax_element(cols.begin(), cols.end());
+  const double mn = *mn_it, mx = *mx_it;
+  std::string out;
+  for (const double x : cols) {
+    const double t = mx > mn ? (x - mn) / (mx - mn) : 0.5;
+    const int level = std::clamp(static_cast<int>(t * 7.0 + 0.5), 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+void print_timeline_row(const char* label, const std::vector<double>& v, const char* unit) {
+  if (v.size() < 3) {
+    std::printf("  %-14s (too few samples)\n", label);
+    return;
+  }
+  const std::size_t n = v.size();
+  const double first = mean_over(v, 0, n / 3);
+  const double last = mean_over(v, 2 * n / 3, n);
+  const double change = first != 0.0 ? 100.0 * (last - first) / first : 0.0;
+  std::printf("  %-14s %s\n", label, sparkline(v).c_str());
+  std::printf("  %-14s first⅓ %.1f %s, last⅓ %.1f %s (%+.1f%%)\n", "", first, unit,
+              last, unit, change);
+}
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  double sum = 0.0, min = 0.0, max = 0.0;
+  std::vector<std::pair<double, std::uint64_t>> buckets;  ///< (le, cumulative)
+};
+
+/// Quantile from cumulative buckets with linear interpolation inside the
+/// containing bucket (clamped to the observed min/max).
+double bucket_quantile(const HistogramData& h, double q) {
+  if (h.count == 0) return 0.0;
+  const double rank = q * static_cast<double>(h.count);
+  double lower = h.min;
+  std::uint64_t prev_cum = 0;
+  for (const auto& [le, cum] : h.buckets) {
+    if (static_cast<double>(cum) >= rank) {
+      const auto in_bucket = static_cast<double>(cum - prev_cum);
+      const double frac = in_bucket > 0 ? (rank - static_cast<double>(prev_cum)) / in_bucket : 1.0;
+      return std::clamp(lower + frac * (le - lower), h.min, h.max);
+    }
+    prev_cum = cum;
+    lower = le;
+  }
+  return h.max;
+}
+
+double bucket_attainment(const HistogramData& h, double slo) {
+  if (h.count == 0) return 1.0;
+  std::uint64_t prev_cum = 0;
+  double lower = h.min;
+  for (const auto& [le, cum] : h.buckets) {
+    if (le >= slo) {
+      const auto in_bucket = static_cast<double>(cum - prev_cum);
+      const double width = le - lower;
+      const double frac = width > 0 ? std::clamp((slo - lower) / width, 0.0, 1.0) : 1.0;
+      return (static_cast<double>(prev_cum) + frac * in_bucket) / static_cast<double>(h.count);
+    }
+    prev_cum = cum;
+    lower = le;
+  }
+  return 1.0;
+}
+
+int fail_input(const std::string& what) {
+  std::fprintf(stderr, "report: %s\n", what.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  double slo_s = 0.25;
+  double slo_target = 0.99;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--slo" && i + 1 < argc) {
+      slo_s = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--slo-target" && i + 1 < argc) {
+      slo_target = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: report telemetry.json [--slo <seconds>] [--slo-target <0..1>]\n");
+      return 0;
+    } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "report: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: report telemetry.json [--slo <seconds>] [--slo-target <0..1>]\n");
+    return 2;
+  }
+  if (slo_s <= 0 || slo_target <= 0 || slo_target >= 1) {
+    return fail_input("--slo must be > 0 and --slo-target in (0, 1)");
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail_input("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();  // Parser keeps a view; must outlive it
+  jsonmini::Parser parser{text};
+  const auto doc = parser.parse();
+  if (!doc) return fail_input("malformed JSON in " + path + ": " + parser.error());
+  if (doc->str_or("schema", "") != "servescope-telemetry-v1") {
+    return fail_input(path + " is not a servescope-telemetry-v1 file");
+  }
+
+  std::printf("=== servescope run report: %s ===\n", path.c_str());
+  if (const Value* ctx = doc->find("context"); ctx != nullptr && ctx->is_object()) {
+    for (const auto& [k, v] : ctx->object) {
+      if (v.is_string()) std::printf("  %-12s %s\n", k.c_str(), v.str.c_str());
+    }
+  }
+
+  // --- timeline ------------------------------------------------------------
+  const Value* series = doc->find("series");
+  if (series != nullptr && series->is_object()) {
+    const double period_s = series->num_or("period_s", 0.0);
+    std::vector<SeriesData> data;
+    if (const Value* points = series->find("points"); points != nullptr && points->is_array()) {
+      for (const Value& p : points->array) {
+        SeriesData s;
+        s.name = p.str_or("name", "");
+        if (const Value* labels = p.find("labels")) s.labels = flatten_labels(*labels);
+        if (const Value* samples = p.find("samples"); samples != nullptr && samples->is_array()) {
+          for (const Value& x : samples->array) s.samples.push_back(x.number);
+        }
+        data.push_back(std::move(s));
+      }
+    }
+    std::printf("\nTimeline (%zu series, %.0f ms cadence):\n", data.size(), period_s * 1e3);
+    print_timeline_row("tput img/s", differenced(summed(data, "serving_requests_completed_total"),
+                                                 period_s), "img/s");
+    print_timeline_row("queue depth", summed(data, "serving_queue_depth"), "reqs");
+    print_timeline_row("evictions/s", differenced(summed(data, "gpu_staging_evictions_total"),
+                                                  period_s), "ev/s");
+  } else {
+    std::printf("\nTimeline: no recorded series (run the bench with --record)\n");
+  }
+
+  // --- stage breakdown + SLO from instruments ------------------------------
+  const Value* instruments = doc->find("instruments");
+  std::vector<std::pair<std::string, double>> stages;
+  HistogramData latency;
+  bool have_latency = false;
+  if (instruments != nullptr && instruments->is_array()) {
+    for (const Value& ins : instruments->array) {
+      const std::string name = ins.str_or("name", "");
+      if (name == "serving_stage_seconds_total") {
+        std::string stage = "?";
+        if (const Value* labels = ins.find("labels")) stage = labels->str_or("stage", "?");
+        stages.emplace_back(stage, ins.num_or("value", 0.0));
+      } else if (name == "serving_request_latency_seconds") {
+        have_latency = true;
+        latency.count = static_cast<std::uint64_t>(ins.num_or("count", 0.0));
+        latency.sum = ins.num_or("sum", 0.0);
+        latency.min = ins.num_or("min", 0.0);
+        latency.max = ins.num_or("max", 0.0);
+        if (const Value* buckets = ins.find("buckets");
+            buckets != nullptr && buckets->is_array()) {
+          for (const Value& b : buckets->array) {
+            latency.buckets.emplace_back(b.num_or("le", 0.0),
+                                         static_cast<std::uint64_t>(b.num_or("count", 0.0)));
+          }
+        }
+      }
+    }
+  }
+
+  if (!stages.empty()) {
+    double total = 0.0;
+    for (const auto& [_, v] : stages) total += v;
+    std::printf("\nPer-stage time (cumulative request-seconds):\n");
+    std::printf("  %-12s %14s %8s\n", "stage", "seconds", "share");
+    for (const auto& [stage, v] : stages) {
+      std::printf("  %-12s %14.2f %7.1f%%\n", stage.c_str(), v,
+                  total > 0 ? 100.0 * v / total : 0.0);
+    }
+  }
+
+  if (have_latency && latency.count > 0) {
+    const double attainment = bucket_attainment(latency, slo_s);
+    const double burn = (1.0 - attainment) / (1.0 - slo_target);
+    std::printf("\nLatency SLO (objective %.0f ms at %.2f%% target):\n", slo_s * 1e3,
+                100.0 * slo_target);
+    std::printf("  p50 %.1f ms   p95 %.1f ms   p99 %.1f ms   p99.9 %.1f ms   (n=%llu)\n",
+                bucket_quantile(latency, 0.50) * 1e3, bucket_quantile(latency, 0.95) * 1e3,
+                bucket_quantile(latency, 0.99) * 1e3, bucket_quantile(latency, 0.999) * 1e3,
+                static_cast<unsigned long long>(latency.count));
+    std::printf("  attainment %.2f%%   error-budget burn rate %.1fx%s\n", 100.0 * attainment,
+                burn, burn > 1.0 ? "  (burning faster than budget)" : "");
+  }
+
+  // --- shape checks ---------------------------------------------------------
+  if (const Value* checks = doc->find("checks"); checks != nullptr && checks->is_array()) {
+    std::size_t pass = 0;
+    for (const Value& c : checks->array) {
+      const Value* p = c.find("pass");
+      if (p != nullptr && p->boolean) ++pass;
+    }
+    std::printf("\nShape checks: %zu/%zu passed\n", pass, checks->array.size());
+    for (const Value& c : checks->array) {
+      const Value* p = c.find("pass");
+      std::printf("  [%s] %s\n", (p != nullptr && p->boolean) ? "PASS" : "DEVIATION",
+                  c.str_or("claim", "?").c_str());
+    }
+  }
+  return 0;
+}
