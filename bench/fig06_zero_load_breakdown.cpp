@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "core/experiment.h"
 #include "models/model_zoo.h"
+#include "trace/causal.h"
 
 using namespace serve;
 using core::ExperimentSpec;
@@ -18,6 +19,7 @@ using serving::PreprocDevice;
 int main(int argc, char** argv) {
   core::HarnessOptions harness;
   sim::TraceRecorder trace;
+  trace::CausalTracer tracer;
   std::uint64_t violations = 0;
   bench::Reporter rep("Figure 6", "Zero-load latency breakdown (ViT, S/M/L, CPU vs GPU preproc)");
   if (!rep.parse_cli(argc, argv, &harness)) return 2;
@@ -43,15 +45,17 @@ int main(int argc, char** argv) {
   double share[2][3] = {};
   int size_idx = 0;
   for (const Row& row : rows) {
+    const std::string label =
+        std::string(row.size) + "/" + (row.dev == PreprocDevice::kCpu ? "cpu" : "gpu");
     ExperimentSpec spec;
     spec.server.model = models::vit_base();
     spec.server.preproc = row.dev;
+    spec.server.trace_run_label = label;
     spec.image = row.image;
     spec.warmup = sim::seconds(0.5);
-    harness.apply(spec, trace);
+    harness.apply(spec, trace, &tracer);
     const auto r = core::run_zero_load(spec);
-    violations += core::report_audit(
-        r, std::string(row.size) + "/" + (row.dev == PreprocDevice::kCpu ? "cpu" : "gpu"));
+    violations += core::report_audit(r, label);
     const double pre = r.stage_share(Stage::kPreprocess);
     const double inf = r.stage_share(Stage::kInference);
     const double xfer = r.stage_share(Stage::kTransfer);

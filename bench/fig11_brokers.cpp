@@ -7,16 +7,31 @@
 // 71% (Kafka) vs 6% (Redis) of latency; Fused wins below ~9 faces/frame,
 // Redis wins at >=9.
 #include "bench_util.h"
+#include "core/experiment.h"
 #include "core/face_pipeline.h"
 #include "metrics/table.h"
+#include "trace/causal.h"
 
 using namespace serve;
 using core::BrokerKind;
 using core::FacePipelineSpec;
 
 int main(int argc, char** argv) {
+  core::HarnessOptions harness;
+  sim::TraceRecorder trace;
+  trace::CausalTracer tracer;
   bench::Reporter rep("Figure 11", "Multi-DNN face pipeline: Kafka vs Redis vs Fused");
-  if (!rep.parse_cli(argc, argv)) return 2;
+  if (!rep.parse_cli(argc, argv, &harness)) return 2;
+  if (harness.tracing()) {
+    if (harness.trace_max_events > 0) trace.set_max_events(harness.trace_max_events);
+    tracer.set_recorder(&trace);
+  }
+  // The face pipeline has no InferenceServer/auditor; traces attach directly.
+  auto wire_trace = [&](FacePipelineSpec& spec, const std::string& label) {
+    if (!harness.tracing()) return;
+    spec.tracer = &tracer;
+    spec.trace_label = label;
+  };
 
   const int face_counts[] = {1, 2, 3, 5, 7, 9, 12, 15, 20, 25};
   metrics::Table tput_table({"faces/frame", "kafka_fps", "redis_fps", "fused_fps", "best"});
@@ -31,6 +46,7 @@ int main(int argc, char** argv) {
       spec.faces_per_frame = f;
       spec.concurrency = 16;
       spec.measure = sim::seconds(12.0);
+      wire_trace(spec, std::string(core::broker_kind_name(k)) + "/f=" + std::to_string(f));
       fps[i++] = core::run_face_pipeline(spec).frames_per_s;
     }
     const char* best = fps[2] >= fps[1] && fps[2] >= fps[0] ? "fused"
@@ -56,6 +72,7 @@ int main(int argc, char** argv) {
     spec.faces_per_frame = 25;
     spec.concurrency = 1;
     spec.measure = sim::seconds(30.0);
+    wire_trace(spec, std::string(core::broker_kind_name(k)) + "/zero-load");
     const auto r = core::run_face_pipeline(spec);
     lat[i] = r.mean_latency_s;
     broker_share[i] = r.broker_share();
@@ -87,5 +104,5 @@ int main(int argc, char** argv) {
                     crossover >= 6 && crossover <= 12,
                     "crossover at " + std::to_string(crossover) + " faces/frame"});
   rep.checks(std::move(checks));
-  return rep.finish();
+  return rep.finish(core::finish_harness(harness, trace, 0));
 }

@@ -21,6 +21,8 @@
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
+#include "trace/causal.h"
+#include "trace/span_context.h"
 
 namespace serve::broker {
 
@@ -53,9 +55,24 @@ struct BrokerProfile {
 /// Simulated publish/subscribe topic with broker-side costs. An optional
 /// FaultPlan makes the broker fail publishes and stall deliveries inside
 /// kBrokerOutage windows (deterministically, like every other fault).
+///
+/// Causal tracing: with a CausalTracer attached, `publish(msg, ctx)` records
+/// a publish span (child of `ctx`) and stores its context alongside the
+/// message; `consume_traced` records the matching delivery span (child of
+/// the publish span) covering visible-to-consumed, and hands the delivery
+/// context to the consumer so downstream spans keep the causal chain across
+/// the broker hop. Both spans are named "broker" so critical-path stage
+/// shares line up with metrics::Stage::kBroker.
 template <typename T>
 class SimBroker {
  public:
+  /// A consumed message plus the delivery span's context (zero when the
+  /// publisher attached no context or no tracer is installed).
+  struct Delivery {
+    T payload;
+    trace::SpanContext ctx{};
+  };
+
   SimBroker(sim::Simulator& sim, BrokerProfile profile, const sim::FaultPlan* faults = nullptr,
             metrics::Registry* registry = nullptr)
       : sim_(sim),
@@ -77,18 +94,34 @@ class SimBroker {
   /// the message becomes visible to consumers. Returns false (message not
   /// accepted) when a broker-outage fault window is active — the service
   /// time is still paid, as a real client pays for a timed-out round trip.
-  sim::Task<bool> publish(T msg) {
+  sim::Task<bool> publish(T msg) { return publish(std::move(msg), trace::SpanContext{}); }
+
+  /// Publish with causal context propagation: the publish span (IO queue +
+  /// service time, and the rejection verdict during an outage) is recorded
+  /// as a child of `ctx`, and its context travels with the message so the
+  /// delivery span can parent under it at consume time.
+  sim::Task<bool> publish(T msg, trace::SpanContext ctx) {
+    const sim::Time t0 = sim_.now();
     auto io = co_await io_.acquire();
     co_await sim_.wait(sim::seconds(profile_.publish_service_s));
     io.release();
     if (outage_now()) {
       ++publish_failures_;
       failures_m_.inc();
+      if (tracer_ != nullptr && ctx.valid()) {
+        tracer_->child_span(ctx, profile_.name + ".broker", "broker", t0, sim_.now(),
+                            {{"op", "publish"}, {"outcome", "rejected"}});
+      }
       co_return false;
     }
     ++published_;
     published_m_.inc();
-    topic_.try_put(std::move(msg));
+    trace::SpanContext pub_ctx = ctx;
+    if (tracer_ != nullptr && ctx.valid()) {
+      pub_ctx = tracer_->child_span(ctx, profile_.name + ".broker", "broker", t0, sim_.now(),
+                                    {{"op", "publish"}});
+    }
+    topic_.try_put(Envelope{std::move(msg), pub_ctx, sim_.now()});
     co_return true;
   }
 
@@ -96,16 +129,32 @@ class SimBroker {
   /// the consumer-side delivery latency. Messages already in the topic when
   /// an outage begins are held back until the window ends.
   sim::Task<std::optional<T>> consume() {
-    auto msg = co_await topic_.get();
-    if (msg) {
-      const sim::Time until = outage_until();
-      if (until > sim_.now()) co_await sim_.wait(until - sim_.now());
-      co_await sim_.wait(sim::seconds(profile_.consume_latency_s));
-      ++consumed_;
-      consumed_m_.inc();
-    }
-    co_return msg;
+    auto d = co_await consume_traced();
+    co_return d ? std::optional<T>(std::move(d->payload)) : std::nullopt;
   }
+
+  /// Like consume(), but also returns the delivery span's context. The
+  /// delivery span covers visible-at through consumed (topic dwell + any
+  /// outage hold + consumer fetch latency) — on the critical path it is the
+  /// broker's whole contribution to end-to-end latency.
+  sim::Task<std::optional<Delivery>> consume_traced() {
+    auto env = co_await topic_.get();
+    if (!env) co_return std::nullopt;
+    const sim::Time until = outage_until();
+    if (until > sim_.now()) co_await sim_.wait(until - sim_.now());
+    co_await sim_.wait(sim::seconds(profile_.consume_latency_s));
+    ++consumed_;
+    consumed_m_.inc();
+    Delivery d{std::move(env->payload), env->ctx};
+    if (tracer_ != nullptr && env->ctx.valid()) {
+      d.ctx = tracer_->child_span(env->ctx, profile_.name + ".broker", "broker",
+                                  env->visible_at, sim_.now(), {{"op", "deliver"}});
+    }
+    co_return d;
+  }
+
+  /// Records publish/delivery spans through `tracer` (nullptr disables).
+  void set_tracer(trace::CausalTracer* tracer) noexcept { tracer_ = tracer; }
 
   void close() { topic_.close(); }
 
@@ -117,6 +166,14 @@ class SimBroker {
   [[nodiscard]] sim::Resource& io() noexcept { return io_; }
 
  private:
+  /// What actually sits in the topic: payload + the publish span's context +
+  /// the instant the message became consumer-visible.
+  struct Envelope {
+    T payload;
+    trace::SpanContext ctx{};
+    sim::Time visible_at = 0;
+  };
+
   [[nodiscard]] bool outage_now() const noexcept {
     return faults_ != nullptr && faults_->active(sim::FaultKind::kBrokerOutage,
                                                  sim::FaultWindow::kAllTargets, sim_.now());
@@ -130,8 +187,9 @@ class SimBroker {
   sim::Simulator& sim_;
   BrokerProfile profile_;
   const sim::FaultPlan* faults_ = nullptr;
+  trace::CausalTracer* tracer_ = nullptr;
   sim::Resource io_;
-  sim::Channel<T> topic_;
+  sim::Channel<Envelope> topic_;
   std::uint64_t published_ = 0;
   std::uint64_t consumed_ = 0;
   std::uint64_t publish_failures_ = 0;

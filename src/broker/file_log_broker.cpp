@@ -119,6 +119,22 @@ std::uint64_t FileLogBroker::publish(const std::string& payload) {
   return index_.size() - 1;
 }
 
+std::uint64_t FileLogBroker::publish(const std::string& payload,
+                                     const trace::SpanContext& ctx) {
+  // In-band framing: the context header becomes part of the record's payload
+  // bytes, so CRC protection, torn-tail recovery, and cross-process readers
+  // that strip the marker all keep working unchanged.
+  return publish(trace::wrap_with_context(ctx, payload));
+}
+
+std::optional<FileLogBroker::TracedRecord> FileLogBroker::read_traced(
+    std::uint64_t offset) const {
+  auto raw = read(offset);
+  if (!raw) return std::nullopt;
+  const trace::Unwrapped u = trace::unwrap_context(*raw);
+  return TracedRecord{std::string(u.payload), u.ctx};
+}
+
 std::optional<std::string> FileLogBroker::read(std::uint64_t offset) const {
   std::lock_guard lock{mu_};
   if (offset >= index_.size()) return std::nullopt;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "metrics/registry.h"
+#include "trace/span_context.h"
 
 namespace serve::broker {
 
@@ -45,9 +46,26 @@ class FileLogBroker {
   /// Appends one record; returns its log offset (sequence number).
   std::uint64_t publish(const std::string& payload);
 
+  /// Appends one record with its causal context framed in-band (the wire
+  /// form rides inside the payload, so the record format — and therefore
+  /// crash recovery — is unchanged). Read back with read_traced().
+  std::uint64_t publish(const std::string& payload, const trace::SpanContext& ctx);
+
+  /// A record read back together with the publish-time causal context
+  /// (zero for records appended without one).
+  struct TracedRecord {
+    std::string payload;
+    trace::SpanContext ctx{};
+  };
+
   /// Reads the record at `offset` (0-based sequence number); std::nullopt
   /// past the end of the log. Thread-safe with concurrent publishes.
   [[nodiscard]] std::optional<std::string> read(std::uint64_t offset) const;
+
+  /// Like read(), but splits off the in-band causal context when present.
+  /// Context framing survives recover(): the context is part of the
+  /// CRC-protected record bytes, so a reopened log keeps its parent links.
+  [[nodiscard]] std::optional<TracedRecord> read_traced(std::uint64_t offset) const;
 
   [[nodiscard]] std::uint64_t size() const;  ///< records in the log
   [[nodiscard]] std::size_t segment_count() const;

@@ -13,7 +13,18 @@
 #include <optional>
 #include <stdexcept>
 
+#include "trace/span_context.h"
+
 namespace serve::broker {
+
+/// Message wrapper carrying a causal context across an InProcessBroker hop:
+/// instantiate the broker as InProcessBroker<Traced<Msg>> and the context
+/// rides with each message, exactly like SimBroker's envelopes.
+template <typename T>
+struct Traced {
+  T payload;
+  trace::SpanContext ctx{};
+};
 
 template <typename T>
 class InProcessBroker {

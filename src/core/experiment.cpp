@@ -98,10 +98,20 @@ ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& plat
 }
 
 /// Per-request spans come from the auditor; stream them into spec.trace
-/// alongside the device counters attach_tracer already records.
+/// alongside the device counters attach_tracer already records. With a
+/// causal tracer the auditor also originates SpanContexts and the recorder's
+/// memory-bound accounting is surfaced through the telemetry registry.
 void wire_audit_trace(const ExperimentSpec& spec, serving::InferenceServer& server) {
   if (spec.trace != nullptr && server.auditor() != nullptr) {
     server.auditor()->set_trace(spec.trace);
+    if (spec.tracer != nullptr) server.auditor()->set_causal_tracer(spec.tracer);
+  }
+  if (spec.trace != nullptr && spec.registry != nullptr) {
+    sim::TraceRecorder* rec = spec.trace;
+    spec.registry->counter_fn("trace_events_recorded_total", {},
+                              [rec] { return static_cast<double>(rec->event_count()); });
+    spec.registry->counter_fn("trace_events_dropped_total", {},
+                              [rec] { return static_cast<double>(rec->dropped_events()); });
   }
 }
 
@@ -189,9 +199,17 @@ ExperimentResult run_zero_load(ExperimentSpec spec) {
   return run_experiment(spec);
 }
 
-void HarnessOptions::apply(ExperimentSpec& spec, sim::TraceRecorder& trace) const {
+void HarnessOptions::apply(ExperimentSpec& spec, sim::TraceRecorder& trace,
+                           trace::CausalTracer* tracer) const {
   if (auditing()) spec.server.audit = true;
-  if (tracing()) spec.trace = &trace;
+  if (tracing()) {
+    spec.trace = &trace;
+    if (trace_max_events > 0) trace.set_max_events(trace_max_events);
+    if (tracer != nullptr) {
+      tracer->set_recorder(&trace);
+      spec.tracer = tracer;
+    }
+  }
 }
 
 HarnessOptions parse_harness_options(int argc, const char* const* argv) {
@@ -203,9 +221,24 @@ HarnessOptions parse_harness_options(int argc, const char* const* argv) {
     } else if (arg == "--trace-out") {
       if (i + 1 >= argc) throw std::invalid_argument("--trace-out requires a file path");
       opts.trace_out = argv[++i];
+    } else if (arg == "--trace-max-events") {
+      if (i + 1 >= argc) throw std::invalid_argument("--trace-max-events requires a count");
+      const std::string v = argv[++i];
+      std::size_t pos = 0;
+      unsigned long long n = 0;
+      try {
+        n = std::stoull(v, &pos);
+      } catch (const std::exception&) {
+        pos = 0;
+      }
+      if (pos != v.size() || n == 0) {
+        throw std::invalid_argument("--trace-max-events needs a positive integer, got '" + v + "'");
+      }
+      opts.trace_max_events = static_cast<std::size_t>(n);
     } else {
-      throw std::invalid_argument("unknown flag '" + std::string(arg) +
-                                  "' (supported: --audit, --trace-out <path>)");
+      throw std::invalid_argument(
+          "unknown flag '" + std::string(arg) +
+          "' (supported: --audit, --trace-out <path>, --trace-max-events <n>)");
     }
   }
   return opts;
@@ -226,7 +259,12 @@ bool finish_harness(const HarnessOptions& opts, const sim::TraceRecorder& trace,
     if (out) {
       trace.write_chrome_json(out);
       std::cerr << "# trace: " << opts.trace_out << " (" << trace.span_count() << " spans, "
-                << trace.counter_count() << " counter samples)\n";
+                << trace.counter_count() << " counter samples";
+      if (trace.dropped_events() > 0) {
+        std::cerr << ", " << trace.dropped_events() << " events dropped at the "
+                  << trace.max_events() << "-event cap";
+      }
+      std::cerr << ")\n";
     } else {
       // The sweep already ran; losing the trace should not look like a crash.
       std::cerr << "error: cannot open trace output " << opts.trace_out << '\n';

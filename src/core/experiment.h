@@ -19,6 +19,7 @@
 #include "sim/fault_plan.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
+#include "trace/causal.h"
 
 namespace serve::core {
 
@@ -36,6 +37,12 @@ struct ExperimentSpec {
 
   /// Optional: record device-occupancy counters for chrome://tracing.
   sim::TraceRecorder* trace = nullptr;
+
+  /// Optional causal tracer (shared across rows writing the same trace):
+  /// sampled requests then carry SpanContexts, spans get trace/span/parent
+  /// ids + blame args, and tools/trace_analyze can rebuild the trees.
+  /// Requires `trace`; its recorder should be `trace`.
+  trace::CausalTracer* tracer = nullptr;
 
   /// Optional deterministic fault-injection schedule (must outlive the run).
   /// Wired into the platform (PCIe/preproc/GPU-failure queries), the result
@@ -117,17 +124,21 @@ struct ExperimentResult {
 struct HarnessOptions {
   bool audit = false;
   std::string trace_out{};
+  std::size_t trace_max_events = 0;  ///< 0 = TraceRecorder default cap
 
   [[nodiscard]] bool tracing() const noexcept { return !trace_out.empty(); }
   [[nodiscard]] bool auditing() const noexcept { return audit || tracing(); }
 
   /// Enables ServerConfig::audit and points spec.trace at `trace` as
-  /// requested. Call once per experiment row.
-  void apply(ExperimentSpec& spec, sim::TraceRecorder& trace) const;
+  /// requested. Call once per experiment row. With a `tracer`, also binds it
+  /// to `trace` and hands it to the run (spec.tracer), turning the flat
+  /// per-request spans into causal traces.
+  void apply(ExperimentSpec& spec, sim::TraceRecorder& trace,
+             trace::CausalTracer* tracer = nullptr) const;
 };
 
-/// Parses --audit / --trace-out from argv; throws std::invalid_argument on
-/// an unknown flag or a missing path.
+/// Parses --audit / --trace-out / --trace-max-events from argv; throws
+/// std::invalid_argument on an unknown flag or a missing value.
 [[nodiscard]] HarnessOptions parse_harness_options(int argc, const char* const* argv);
 
 /// Prints `r`'s audit report to stderr (labelled) when it has violations.

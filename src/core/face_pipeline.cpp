@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "broker/broker.h"
@@ -33,6 +34,7 @@ struct Frame {
   Time publish_start = 0;   ///< detection handed faces to the broker
   Time last_delivered = 0;  ///< broker delivered the final face
   metrics::StageTimes stages{};
+  trace::SpanContext ctx{};  ///< causal root (zero when untraced/unsampled)
   sim::Event done;
 };
 
@@ -41,6 +43,8 @@ using FramePtr = std::shared_ptr<Frame>;
 struct FaceMsg {
   FramePtr frame;
   int face_index = 0;
+  trace::SpanContext ctx{};  ///< delivery span's context after the broker hop
+  Time delivered = 0;        ///< when the broker handed this face over
 };
 
 /// Whole pipeline state bundled for the coroutine bodies.
@@ -55,8 +59,11 @@ struct Pipeline {
         frames_in(sim_, std::numeric_limits<std::size_t>::max(), "frames"),
         id_batcher(sim_, {.dynamic = true, .max_batch = spec_.id_max_batch}),
         rng(spec_.seed),
+        sampler(spec_.trace_sampler),
         detection(models::faster_rcnn()),
-        identification(models::facenet()) {}
+        identification(models::facenet()) {
+    broker.set_tracer(spec_.tracer);
+  }
 
   sim::Simulator& sim;
   const FacePipelineSpec& spec;
@@ -65,6 +72,7 @@ struct Pipeline {
   sim::Channel<FramePtr> frames_in;
   serving::Batcher<FaceMsg> id_batcher;
   sim::Rng rng;
+  trace::TraceSampler sampler;
   const models::ModelDesc& detection;
   const models::ModelDesc& identification;
 
@@ -83,6 +91,17 @@ struct Pipeline {
     return n == 0 ? 1 : static_cast<int>(n);  // a frame enters only if faces exist
   }
 
+  /// Records a span under `parent` on the frame's trace track. No-op without
+  /// a tracer; the tracer itself no-ops unsampled contexts (ids still
+  /// allocated, keeping id assignment scheduling-independent).
+  void span(const trace::SpanContext& parent, std::uint64_t frame_id, std::string name,
+            Time begin, Time end, sim::SpanArgs args = {}) {
+    if (spec.tracer != nullptr && parent.valid()) {
+      spec.tracer->child_span(parent, "frame." + std::to_string(frame_id), std::move(name),
+                              begin, end, std::move(args));
+    }
+  }
+
   void finalize(Frame& frame, Time id_batch_span) {
     frame.stages[Stage::kInference] += sim::to_seconds(id_batch_span);
     if (spec.broker != BrokerKind::kFused) {
@@ -98,6 +117,14 @@ struct Pipeline {
       faces_done += static_cast<std::uint64_t>(frame.faces);
       latency.add(sim::to_seconds(latency_ns));
       breakdown.add(frame.stages);
+    }
+    if (spec.tracer != nullptr && frame.ctx.valid()) {
+      sim::SpanArgs args;
+      if (!spec.trace_label.empty()) args.emplace_back("run", spec.trace_label);
+      args.emplace_back("frame_id", std::to_string(frame.id));
+      args.emplace_back("faces", std::to_string(frame.faces));
+      spec.tracer->record(frame.ctx, "frame." + std::to_string(frame.id), "frame",
+                          frame.arrival, sim.now(), std::move(args));
     }
     frame.done.set();
   }
@@ -115,9 +142,12 @@ sim::Process frame_client(Pipeline& p) {
 }
 
 /// Publishes one face message (spawned so detection is not serialized on
-/// broker IO; ordering is preserved by the broker's FIFO IO pool).
+/// broker IO; ordering is preserved by the broker's FIFO IO pool). The
+/// frame's context rides along so the broker's publish/delivery spans hang
+/// off the frame's trace.
 sim::Process publish_face(Pipeline& p, FaceMsg msg) {
-  co_await p.broker.publish(std::move(msg));
+  const trace::SpanContext ctx = msg.frame->ctx;
+  co_await p.broker.publish(std::move(msg), ctx);
 }
 
 /// Stage 1: per-frame preprocessing + Faster R-CNN detection at batch 1,
@@ -128,16 +158,33 @@ sim::Process detection_loop(Pipeline& p) {
     auto got = co_await p.frames_in.get();
     if (!got) break;
     FramePtr frame = std::move(*got);
+    // Originate the frame's causal trace: the sampling fate is decided here,
+    // from the frame id alone, and carried by every downstream participant.
+    if (p.spec.tracer != nullptr) {
+      frame->ctx = p.spec.tracer->begin_trace(p.sampler.sample(frame->id));
+      // Time between frame arrival and detection pickup (closed-loop frames
+      // queue here); without this span it would surface as root self time.
+      if (p.sim.now() > frame->arrival) {
+        p.span(frame->ctx, frame->id, "queue", frame->arrival, p.sim.now(),
+               {{"blame", "detection-pickup"}});
+      }
+    }
 
     // Frame preprocessing through a GPU pipeline instance.
     {
       const Time t0 = p.sim.now();
       auto pipe = co_await gpu.preproc().acquire();
       charge(*frame, Stage::kQueue, p.sim.now() - t0);
+      if (p.sim.now() > t0) {
+        p.span(frame->ctx, frame->id, "queue", t0, p.sim.now(),
+               {{"blame", "preproc-pipeline"}});
+      }
       const double pre =
           gpu.preproc_batch_fixed_seconds() + gpu.preproc_image_seconds(p.spec.frame_image);
+      const Time p0 = p.sim.now();
       co_await p.sim.wait(seconds(pre));
       charge(*frame, Stage::kPreprocess, seconds(pre));
+      p.span(frame->ctx, frame->id, "preprocess", p0, p.sim.now());
     }
 
     // Detection (batch 1: frames flow through the detector one at a time).
@@ -145,9 +192,14 @@ sim::Process detection_loop(Pipeline& p) {
       const Time t0 = p.sim.now();
       auto engine = co_await gpu.compute().acquire();
       charge(*frame, Stage::kQueue, p.sim.now() - t0);
+      if (p.sim.now() > t0) {
+        p.span(frame->ctx, frame->id, "queue", t0, p.sim.now(), {{"blame", "engine-wait"}});
+      }
       const double det = gpu.inference_batch_seconds(p.detection.flops(), 1, 1.0, false);
+      const Time d0 = p.sim.now();
       co_await p.sim.wait(seconds(det));
       charge(*frame, Stage::kInference, seconds(det));
+      p.span(frame->ctx, frame->id, "inference", d0, p.sim.now(), {{"model", "detection"}});
     }
 
     if (p.spec.broker == BrokerKind::kFused) {
@@ -160,6 +212,8 @@ sim::Process detection_loop(Pipeline& p) {
         const Time t0 = p.sim.now();
         co_await p.sim.wait(seconds(idt));
         id_total += p.sim.now() - t0;
+        p.span(frame->ctx, frame->id, "inference", t0, p.sim.now(),
+               {{"model", "identification"}, {"face", std::to_string(i)}});
       }
       p.finalize(*frame, id_total);
       continue;
@@ -168,9 +222,13 @@ sim::Process detection_loop(Pipeline& p) {
     // Brokered system: producer/consumer synchronization bubble on the GPU
     // pipeline, then one message per face.
     {
+      const Time s0 = p.sim.now();
       auto engine = co_await gpu.compute().acquire();
       co_await p.sim.wait(seconds(p.spec.calib.broker.pipeline_sync_s));
       charge(*frame, Stage::kQueue, seconds(p.spec.calib.broker.pipeline_sync_s));
+      if (p.sim.now() > s0) {
+        p.span(frame->ctx, frame->id, "queue", s0, p.sim.now(), {{"blame", "pipeline-sync"}});
+      }
     }
     frame->publish_start = p.sim.now();
     for (int i = 0; i < frame->faces; ++i) {
@@ -185,10 +243,14 @@ sim::Process detection_loop(Pipeline& p) {
 /// dynamic batcher.
 sim::Process consume_pump(Pipeline& p) {
   while (true) {
-    auto msg = co_await p.broker.consume();
-    if (!msg) break;
-    msg->frame->last_delivered = p.sim.now();
-    p.id_batcher.input().try_put(std::move(*msg));
+    auto d = co_await p.broker.consume_traced();
+    if (!d) break;
+    d->payload.frame->last_delivered = p.sim.now();
+    // Downstream identification spans parent under the delivery span, so
+    // the chain detect -> publish -> deliver -> identify stays causal.
+    d->payload.ctx = d->ctx;
+    d->payload.delivered = p.sim.now();
+    p.id_batcher.input().try_put(std::move(d->payload));
   }
 }
 
@@ -210,8 +272,19 @@ sim::Process identification_loop(Pipeline& p) {
     co_await p.sim.wait(seconds(idt));
     const Time span = p.sim.now() - t0;
     engine.release();
+    const std::string id_blame = "id-batch-formation batch=" +
+                                 std::to_string(p.id_batcher.batches_formed()) +
+                                 " size=" + std::to_string(batch.size());
     for (auto& face : batch) {
       Frame& f = *face.frame;
+      // Per-face wait from broker delivery to batch dispatch (batch
+      // formation + engine wait), then the shared batch execution — both
+      // parented under the delivery span so the cross-broker chain holds.
+      if (t0 > face.delivered) {
+        p.span(face.ctx, f.id, "queue", face.delivered, t0, {{"blame", id_blame}});
+      }
+      p.span(face.ctx, f.id, "inference", t0, p.sim.now(),
+             {{"model", "identification"}, {"face", std::to_string(face.face_index)}});
       if (--f.remaining == 0) p.finalize(f, span);
     }
   }

@@ -7,11 +7,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "hw/calibration.h"
 #include "hw/image_spec.h"
 #include "metrics/breakdown.h"
 #include "sim/time.h"
+#include "trace/causal.h"
+#include "trace/span_context.h"
 
 namespace serve::core {
 
@@ -37,6 +40,14 @@ struct FacePipelineSpec {
   sim::Time warmup = sim::seconds(2.0);
   sim::Time measure = sim::seconds(20.0);
   std::uint64_t seed = 7;
+
+  /// Optional causal tracer (recorder already attached): sampled frames then
+  /// originate traces whose spans cover detection, the broker publish +
+  /// delivery hop (recorded by SimBroker with parent links across the hop),
+  /// and batched identification — the cascade is one reconstructable tree.
+  trace::CausalTracer* tracer = nullptr;
+  trace::SamplerOptions trace_sampler{};  ///< which frames get traced
+  std::string trace_label{};              ///< "run" arg on frame root spans
 };
 
 struct FacePipelineResult {

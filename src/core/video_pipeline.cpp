@@ -1,6 +1,7 @@
 #include "core/video_pipeline.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/devices.h"
@@ -25,6 +26,7 @@ struct Clip {
   int remaining;
   Time arrival;
   metrics::StageTimes stages{};
+  trace::SpanContext ctx{};  ///< causal root (zero when untraced/unsampled)
   sim::Event done;
 };
 
@@ -41,13 +43,15 @@ struct Pipeline {
         spec(spec_),
         platform(sim_, {.calib = spec_.calib, .gpu_count = 1}),
         clips_in(sim_, std::numeric_limits<std::size_t>::max(), "clips"),
-        frame_batcher(sim_, {.dynamic = true, .max_batch = spec_.model.max_batch}) {}
+        frame_batcher(sim_, {.dynamic = true, .max_batch = spec_.model.max_batch}),
+        sampler(spec_.trace_sampler) {}
 
   sim::Simulator& sim;
   const VideoPipelineSpec& spec;
   hw::Platform platform;
   sim::Channel<ClipPtr> clips_in;
   serving::Batcher<FrameJob> frame_batcher;
+  trace::TraceSampler sampler;
 
   bool measuring = false;
   std::uint64_t clips_done = 0;
@@ -68,6 +72,15 @@ struct Pipeline {
     return per_frame * 2.0 * spec.clip.sampled_frames;
   }
 
+  /// Records a span under the clip's context (no-op without a tracer; the
+  /// tracer itself skips unsampled contexts).
+  void span(const Clip& clip, std::string name, Time begin, Time end, sim::SpanArgs args = {}) {
+    if (spec.tracer != nullptr && clip.ctx.valid()) {
+      spec.tracer->child_span(clip.ctx, "clip." + std::to_string(clip.id), std::move(name),
+                              begin, end, std::move(args));
+    }
+  }
+
   void finalize(Clip& clip, Time batch_span) {
     clip.stages[Stage::kInference] += sim::to_seconds(batch_span);
     const Time lat = sim.now() - clip.arrival;
@@ -78,6 +91,13 @@ struct Pipeline {
       frames_done += static_cast<std::uint64_t>(spec.clip.sampled_frames);
       latency.add(sim::to_seconds(lat));
       breakdown.add(clip.stages);
+    }
+    if (spec.tracer != nullptr && clip.ctx.valid()) {
+      sim::SpanArgs args;
+      if (!spec.trace_label.empty()) args.emplace_back("run", spec.trace_label);
+      args.emplace_back("clip_id", std::to_string(clip.id));
+      spec.tracer->record(clip.ctx, "clip." + std::to_string(clip.id), "clip", clip.arrival,
+                          sim.now(), std::move(args));
     }
     clip.done.set();
   }
@@ -101,14 +121,27 @@ sim::Process decode_loop(Pipeline& p) {
     auto got = co_await p.clips_in.get();
     if (!got) break;
     ClipPtr clip = std::move(*got);
+    // Originate the clip's causal trace; the sampling fate derives from the
+    // clip id alone, so same-seed runs trace the same clips.
+    if (p.spec.tracer != nullptr) {
+      clip->ctx = p.spec.tracer->begin_trace(p.sampler.sample(clip->id));
+      // Closed-loop clips queue between arrival and decode pickup; cover it
+      // so the wait does not surface as unattributed root self time.
+      if (p.sim.now() > clip->arrival) {
+        p.span(*clip, "queue", clip->arrival, p.sim.now(), {{"blame", "decode-pickup"}});
+      }
+    }
 
     // Ingest the compressed clip on a host core.
     {
       const Time t0 = p.sim.now();
       auto core = co_await cpu.cores().acquire();
       clip->stages[Stage::kQueue] += sim::to_seconds(p.sim.now() - t0);
+      if (p.sim.now() > t0) p.span(*clip, "queue", t0, p.sim.now(), {{"blame", "host-core"}});
+      const Time i0 = p.sim.now();
       co_await p.sim.wait(seconds(cpu.ingest_seconds()));
       clip->stages[Stage::kIngest] += cpu.ingest_seconds();
+      p.span(*clip, "ingest", i0, p.sim.now());
     }
 
     const double pixels = p.decode_pixels();
@@ -116,9 +149,14 @@ sim::Process decode_loop(Pipeline& p) {
       const Time t0 = p.sim.now();
       auto worker = co_await cpu.preproc_workers().acquire();
       clip->stages[Stage::kQueue] += sim::to_seconds(p.sim.now() - t0);
+      if (p.sim.now() > t0) {
+        p.span(*clip, "queue", t0, p.sim.now(), {{"blame", "decode-worker"}});
+      }
       const double d = pixels / calib.cpu.video_decode_pix_per_s;
+      const Time d0 = p.sim.now();
       co_await p.sim.wait(seconds(d));
       clip->stages[Stage::kPreprocess] += d;
+      p.span(*clip, "preprocess", d0, p.sim.now(), {{"op", "cpu-decode"}});
     } else {
       // Ship the compressed stream over PCIe, then decode on NVDEC.
       {
@@ -133,13 +171,17 @@ sim::Process decode_loop(Pipeline& p) {
           co_await p.sim.wait(seconds(gpu.link_seconds(bytes)));
         }
         clip->stages[Stage::kTransfer] += sim::to_seconds(p.sim.now() - t0);
+        p.span(*clip, "transfer", t0, p.sim.now());
       }
       const Time t0 = p.sim.now();
       auto dec = co_await gpu.nvdec().acquire();
       clip->stages[Stage::kQueue] += sim::to_seconds(p.sim.now() - t0);
+      if (p.sim.now() > t0) p.span(*clip, "queue", t0, p.sim.now(), {{"blame", "nvdec"}});
       const double d = calib.gpu.nvdec_clip_init_s + pixels / calib.gpu.nvdec_pix_per_s;
+      const Time d0 = p.sim.now();
       co_await p.sim.wait(seconds(d));
       clip->stages[Stage::kPreprocess] += d;
+      p.span(*clip, "preprocess", d0, p.sim.now(), {{"op", "nvdec-decode"}});
     }
 
     for (int i = 0; i < p.spec.clip.sampled_frames; ++i) {
@@ -170,16 +212,27 @@ sim::Process classify_loop(Pipeline& p) {
       const double resize =
           static_cast<double>(p.spec.clip.frame_pixels()) / calib.gpu.gpu_resize_pix_per_s;
       const double pre = calib.gpu.dali_batch_fixed_s + b * resize;
+      const Time p0 = p.sim.now();
       co_await p.sim.wait(seconds(pre));
-      for (auto& f : batch) f.clip->stages[Stage::kPreprocess] += pre;
+      for (auto& f : batch) {
+        f.clip->stages[Stage::kPreprocess] += pre;
+        p.span(*f.clip, "preprocess", p0, p.sim.now(), {{"op", "frame-resize"}});
+      }
     }
     const Time t0 = p.sim.now();
     auto engine = co_await gpu.compute().acquire();
     const double ct = gpu.inference_batch_seconds(p.spec.model.flops(), b, 1.0, true);
+    const Time c0 = p.sim.now();
     co_await p.sim.wait(seconds(ct));
     engine.release();
     const Time span = p.sim.now() - t0;
+    const std::string batch_blame =
+        "classify-batch-formation batch=" + std::to_string(p.frame_batcher.batches_formed()) +
+        " size=" + std::to_string(b);
     for (auto& f : batch) {
+      if (c0 > t0) p.span(*f.clip, "queue", t0, c0, {{"blame", batch_blame}});
+      p.span(*f.clip, "inference", c0, p.sim.now(),
+             {{"frame", std::to_string(f.index)}});
       if (--f.clip->remaining == 0) p.finalize(*f.clip, span);
     }
   }

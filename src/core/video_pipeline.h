@@ -9,11 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "hw/calibration.h"
 #include "metrics/breakdown.h"
 #include "models/model_zoo.h"
 #include "sim/time.h"
+#include "trace/causal.h"
+#include "trace/span_context.h"
 #include "workload/video.h"
 
 namespace serve::core {
@@ -39,6 +42,12 @@ struct VideoPipelineSpec {
   hw::Calibration calib = hw::default_calibration();
   sim::Time warmup = sim::seconds(2.0);
   sim::Time measure = sim::seconds(20.0);
+
+  /// Optional causal tracer (recorder already attached): sampled clips then
+  /// originate traces covering ingest, decode, and batched classification.
+  trace::CausalTracer* tracer = nullptr;
+  trace::SamplerOptions trace_sampler{};  ///< which clips get traced
+  std::string trace_label{};              ///< "run" arg on clip root spans
 };
 
 struct VideoPipelineResult {

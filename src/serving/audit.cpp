@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "metrics/export.h"
+
 namespace serve::serving {
 
 namespace {
@@ -27,13 +29,25 @@ void RequestAuditor::on_submit(Request& req) {
   }
   InFlight& fl = inflight_[req.id];
   fl.arrival = req.arrival;
-  fl.traced = trace_ != nullptr && traced_count_ < opts_.max_traced_requests;
-  if (fl.traced) ++traced_count_;
+  // Sampling fate: adopt the incoming context when the client pre-filled one
+  // (retry chaining / cascade hops keep the original trace's decision so a
+  // trace is never truncated mid-tree); otherwise the deterministic sampler
+  // decides from the request id alone, independent of scheduling.
+  bool sampled = false;
+  if (causal_ != nullptr && req.trace_ctx.valid()) {
+    sampled = req.trace_ctx.sampled;
+    fl.ctx = causal_->child_of(req.trace_ctx);
+  } else {
+    sampled = (trace_ != nullptr || causal_ != nullptr) && sampler_.sample(req.id);
+    if (causal_ != nullptr) fl.ctx = causal_->begin_trace(sampled);
+  }
+  if (causal_ != nullptr) req.trace_ctx = fl.ctx;  // downstream spans attach here
+  fl.traced = sampled && trace_ != nullptr;
   req.observer = this;
 }
 
-void RequestAuditor::on_charge(const Request& req, metrics::Stage s, sim::Time end,
-                               sim::Time dt) noexcept {
+void RequestAuditor::on_charge(const Request& req, metrics::Stage s, sim::Time end, sim::Time dt,
+                               std::string_view blame) noexcept {
   auto it = inflight_.find(req.id);
   if (it == inflight_.end()) {
     add_violation(req.id, "charge-after-completion",
@@ -51,7 +65,15 @@ void RequestAuditor::on_charge(const Request& req, metrics::Stage s, sim::Time e
   const sim::Time begin = std::max<sim::Time>(end - dt, 0);
   if (fl.charges.size() < kMaxChargesTracked) fl.charges.push_back(Charge{s, begin, end});
   if (fl.traced && dt > 0) {
-    trace_->span("req." + std::to_string(req.id), std::string(metrics::stage_name(s)), begin, end);
+    sim::SpanArgs args;
+    if (!blame.empty()) args.emplace_back("blame", std::string(blame));
+    if (causal_ != nullptr) {
+      causal_->child_span(fl.ctx, "req." + std::to_string(req.id),
+                          std::string(metrics::stage_name(s)), begin, end, std::move(args));
+    } else {
+      trace_->span("req." + std::to_string(req.id), std::string(metrics::stage_name(s)), begin,
+                   end, std::move(args));
+    }
   }
 }
 
@@ -72,7 +94,22 @@ void RequestAuditor::on_complete(const Request& req) {
   } else {
     ++completed_;
   }
-  check_request(req, it->second);
+  breakdown_.add(req.stages);
+  last_terminal_ = std::max(last_terminal_, std::max(req.completed, req.arrival));
+  InFlight& fl = it->second;
+  if (fl.traced && causal_ != nullptr && req.completed >= req.arrival) {
+    sim::SpanArgs args;
+    if (!opts_.run_label.empty()) args.emplace_back("run", opts_.run_label);
+    args.emplace_back("request_id", std::to_string(req.id));
+    args.emplace_back("result", req.dropped ? std::string("dropped")
+                                : req.failed
+                                    ? "failed-" + std::string(fail_reason_name(req.fail_reason))
+                                    : std::string("ok"));
+    if (req.attempt > 1) args.emplace_back("attempt", std::to_string(req.attempt));
+    causal_->record(fl.ctx, "req." + std::to_string(req.id), "request", req.arrival,
+                    req.completed, std::move(args));
+  }
+  check_request(req, fl);
   done_ids_.insert(req.id);
   inflight_.erase(it);
 }
@@ -184,6 +221,21 @@ void RequestAuditor::finalize() {
                       std::to_string(completed_) + " + dropped " + std::to_string(dropped_) +
                       " + failed " + std::to_string(failed_) + " (leaked " +
                       std::to_string(inflight_.size()) + ")");
+  }
+  // Publish the full-population per-stage means into the trace itself, so
+  // tools/trace_analyze can cross-check the sampled critical paths against
+  // the exhaustive auditor accounting without a side channel.
+  if (trace_ != nullptr && breakdown_.count() > 0) {
+    sim::SpanArgs args;
+    if (!opts_.run_label.empty()) args.emplace_back("run", opts_.run_label);
+    args.emplace_back("count", std::to_string(breakdown_.count()));
+    args.emplace_back("mean_total_s", metrics::format_double(breakdown_.mean_total()));
+    for (std::size_t i = 0; i < metrics::kStageCount; ++i) {
+      const auto s = static_cast<metrics::Stage>(i);
+      args.emplace_back("stage_" + std::string(metrics::stage_name(s)),
+                        metrics::format_double(breakdown_.mean(s)));
+    }
+    trace_->instant("meta", "audit.breakdown", last_terminal_, std::move(args));
   }
 }
 

@@ -14,9 +14,16 @@
 //  4. monotonicity — arrival <= enqueue_time <= completed.
 //
 // The auditor also doubles as the per-request span source for
-// sim::TraceRecorder: each stage charge of the first `max_traced_requests`
-// requests becomes a named span on a "req.<id>" track, so latency
-// breakdowns are visually debuggable in Perfetto (chrome://tracing).
+// sim::TraceRecorder: each stage charge of a *sampled* request becomes a
+// named span on a "req.<id>" track, so latency breakdowns are visually
+// debuggable in Perfetto (chrome://tracing). Sampling is deterministic
+// (trace::TraceSampler — hash of the request id by default, stride and the
+// legacy first-N available via Options::sampler), so same-seed runs trace
+// the same requests. With a CausalTracer attached the same spans also carry
+// trace/span/parent ids and blame annotations, the request originates (or
+// adopts, for chained retries and cascade hops) a trace::SpanContext, and a
+// root "request" span is recorded at completion — the input to
+// tools/trace_analyze's critical-path extraction.
 //
 // Enable with ServerConfig::audit (or --audit / --trace-out in the bench
 // harness). One auditor belongs to one server; when several servers share a
@@ -35,6 +42,8 @@
 #include "serving/request.h"
 #include "sim/time.h"
 #include "sim/trace.h"
+#include "trace/causal.h"
+#include "trace/span_context.h"
 
 namespace serve::serving {
 
@@ -47,9 +56,14 @@ class RequestAuditor final : public ChargeObserver {
     double tolerance_s = 1e-9;
     /// Violations stored verbatim; the total count keeps growing past this.
     std::size_t max_recorded = 64;
-    /// Only the first N submitted requests get a span track in the trace
-    /// (bounds trace size; device counters are unaffected).
-    std::size_t max_traced_requests = 256;
+    /// Which submitted requests get trace spans (bounds trace size; device
+    /// counters are unaffected). Deterministic hash sampling by default;
+    /// {.mode = trace::SampleMode::kFirstN} restores the legacy
+    /// warmup-biased first-N selection.
+    trace::SamplerOptions sampler{};
+    /// Stamped on causal root spans and the finalize-time breakdown
+    /// metadata, so one trace file can hold several experiment rows.
+    std::string run_label{};
   };
 
   struct Violation {
@@ -59,21 +73,29 @@ class RequestAuditor final : public ChargeObserver {
   };
 
   RequestAuditor() : RequestAuditor(Options{}) {}
-  explicit RequestAuditor(Options opts) : opts_(opts) {}
+  explicit RequestAuditor(Options opts) : opts_(std::move(opts)), sampler_(opts_.sampler) {}
 
   /// Streams per-request stage spans into `trace` ("req.<id>" tracks).
   /// The recorder must outlive the audited simulation activity.
   void set_trace(sim::TraceRecorder* trace) noexcept { trace_ = trace; }
 
+  /// Attaches a causal tracer (usually shared with brokers/pipelines writing
+  /// the same recorder): sampled requests then originate/adopt SpanContexts,
+  /// spans carry causal ids + blame args, and completion records a root
+  /// "request" span. Must outlive the audited activity.
+  void set_causal_tracer(trace::CausalTracer* tracer) noexcept { causal_ = tracer; }
+
   // --- lifecycle hooks (called by InferenceServer) ---------------------------
 
-  /// Registers the request and installs this auditor as its charge observer.
+  /// Registers the request, decides/adopts its sampling fate (writing the
+  /// assigned SpanContext back into `req.trace_ctx`), and installs this
+  /// auditor as its charge observer.
   void on_submit(Request& req);
 
   /// ChargeObserver: records the charged interval for conservation analysis
-  /// and emits the corresponding trace span.
-  void on_charge(const Request& req, metrics::Stage s, sim::Time end,
-                 sim::Time dt) noexcept override;
+  /// and emits the corresponding trace span (with blame when given).
+  void on_charge(const Request& req, metrics::Stage s, sim::Time end, sim::Time dt,
+                 std::string_view blame) noexcept override;
 
   /// Verifies per-request invariants (conservation, monotonicity, single
   /// completion). Call after `req.completed` is set and `done` signalled.
@@ -97,7 +119,10 @@ class RequestAuditor final : public ChargeObserver {
   void check_zero(std::string_view what, std::uint64_t value);
 
   /// Request-count conservation + leak detection. Idempotent; further
-  /// terminal checks are pointless after this.
+  /// terminal checks are pointless after this. With a trace attached, also
+  /// emits an "audit.breakdown" metadata instant (per-stage mean seconds
+  /// over every terminal request) that trace_analyze cross-checks against
+  /// the aggregate critical-path attribution.
   void finalize();
 
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
@@ -114,6 +139,12 @@ class RequestAuditor final : public ChargeObserver {
   [[nodiscard]] std::uint64_t violation_count() const noexcept { return violation_count_; }
   [[nodiscard]] const std::vector<Violation>& violations() const noexcept { return violations_; }
 
+  /// Per-stage aggregation over every terminal request (completed, failed,
+  /// dropped) across the whole run — the reference the causal traces'
+  /// critical-path shares are validated against.
+  [[nodiscard]] const metrics::Breakdown& breakdown() const noexcept { return breakdown_; }
+  [[nodiscard]] std::uint64_t traced_requests() const noexcept { return sampler_.sampled_count(); }
+
   /// Formatted violation lines ("check (request N): detail"), capped at
   /// Options::max_recorded with a trailing "... and N more" marker.
   [[nodiscard]] std::vector<std::string> report() const;
@@ -127,6 +158,7 @@ class RequestAuditor final : public ChargeObserver {
   struct InFlight {
     sim::Time arrival = 0;
     bool traced = false;
+    trace::SpanContext ctx{};  ///< causal identity (zero without a tracer)
     std::vector<Charge> charges;
   };
 
@@ -142,11 +174,14 @@ class RequestAuditor final : public ChargeObserver {
 
   Options opts_;
   sim::TraceRecorder* trace_ = nullptr;
+  trace::CausalTracer* causal_ = nullptr;
+  trace::TraceSampler sampler_{};
+  metrics::Breakdown breakdown_{};
+  sim::Time last_terminal_ = 0;  ///< timestamp for the finalize metadata event
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t failed_ = 0;
-  std::size_t traced_count_ = 0;
   bool finalized_ = false;
   std::unordered_map<std::uint64_t, InFlight> inflight_;
   std::unordered_set<std::uint64_t> done_ids_;

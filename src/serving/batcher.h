@@ -1,6 +1,7 @@
 // Dynamic batch formation (Triton-style scheduler core).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/channel.h"
@@ -36,6 +37,10 @@ class Batcher {
   [[nodiscard]] std::size_t queued() const noexcept { return in_.size(); }
   [[nodiscard]] const Options& options() const noexcept { return opts_; }
 
+  /// Non-empty batches shipped so far — a stable per-batcher sequence number
+  /// (used to name batches in trace blame annotations).
+  [[nodiscard]] std::uint64_t batches_formed() const noexcept { return batches_formed_; }
+
   /// Coroutine: assembles the next batch (see class comment).
   sim::Process collect_into(std::vector<T>& out, sim::Event& ready) {
     out.clear();
@@ -67,6 +72,7 @@ class Batcher {
         }
       }
     }
+    if (!out.empty()) ++batches_formed_;
     ready.set();
   }
 
@@ -74,6 +80,7 @@ class Batcher {
   sim::Simulator& sim_;
   Options opts_;
   sim::Channel<T> in_;
+  std::uint64_t batches_formed_ = 0;
 };
 
 }  // namespace serve::serving

@@ -49,10 +49,16 @@ class RetryingSubmitter {
   sim::Task<bool> run(hw::ImageSpec image, std::uint64_t& next_id) {
     auto& sim = server_.platform().sim();
     const int attempts = policy_.enabled ? std::max(1, policy_.max_attempts) : 1;
+    trace::SpanContext prev_ctx{};
     for (int attempt = 1;; ++attempt) {
       auto req = std::make_shared<Request>(sim, next_id++, image);
       req->attempt = attempt;
+      // Retry chaining: hand the previous attempt's context to the server so
+      // the auditor parents this attempt under the same causal trace instead
+      // of starting a fresh one — the whole logical request is one tree.
+      if (attempt > 1 && prev_ctx.valid()) req->trace_ctx = prev_ctx;
       server_.submit(req);
+      prev_ctx = req->trace_ctx;  // assigned by the auditor during submit
       bool signalled = true;
       if (policy_.enabled && policy_.timeout > 0) {
         signalled = co_await req->done.wait_until(sim.now() + policy_.timeout);

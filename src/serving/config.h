@@ -3,8 +3,11 @@
 
 #include <stdexcept>
 
+#include <string>
+
 #include "models/model_zoo.h"
 #include "sim/time.h"
+#include "trace/span_context.h"
 
 namespace serve::serving {
 
@@ -100,6 +103,15 @@ struct ServerConfig {
   /// resource hygiene at drain, and timestamp monotonicity. Off by default:
   /// auditing tracks every in-flight request.
   bool audit = false;
+
+  /// Which audited requests get trace spans / causal traces (forwarded to
+  /// RequestAuditor::Options::sampler). Deterministic hash sampling by
+  /// default; ignored unless a trace recorder is attached.
+  trace::SamplerOptions trace_sampler{};
+
+  /// Label stamped on causal root spans and the audit-breakdown trace
+  /// metadata (e.g. "small/cpu"), so one trace file can hold several rows.
+  std::string trace_run_label{};
 
   /// Validate request payloads at ingest by actually decoding them (real
   /// codec error paths); corrupted payloads fail the request. Off by

@@ -10,6 +10,7 @@
 #include "metrics/breakdown.h"
 #include "sim/sync.h"
 #include "sim/time.h"
+#include "trace/span_context.h"
 
 namespace serve::serving {
 
@@ -40,10 +41,12 @@ enum class FailReason : std::uint8_t {
 /// Hook invoked on every stage charge (request auditing / per-request
 /// tracing). `end` is the virtual time the charge was recorded at and `dt`
 /// the charged duration, so the charged interval is [end - dt, end].
+/// `blame` names what a *wait* charge was waiting on (batch formation, an
+/// eviction reload, a fault hold, the open breaker); empty for work charges.
 class ChargeObserver {
  public:
-  virtual void on_charge(const Request& req, metrics::Stage s, sim::Time end,
-                         sim::Time dt) noexcept = 0;
+  virtual void on_charge(const Request& req, metrics::Stage s, sim::Time end, sim::Time dt,
+                         std::string_view blame) noexcept = 0;
 
  protected:
   ~ChargeObserver() = default;
@@ -70,12 +73,17 @@ struct Request {
   FailReason fail_reason = FailReason::kNone;
   int attempt = 1;                         ///< 1-based client retry attempt
   ChargeObserver* observer = nullptr;      ///< optional audit/trace hook
+  /// Causal trace identity. Zero (no trace) unless the auditor originates a
+  /// trace at submit, or the client pre-fills it to chain a retry attempt
+  /// into the previous attempt's trace.
+  trace::SpanContext trace_ctx{};
   sim::Event done;                         ///< set exactly once at completion
 
-  /// Adds `dt` (virtual ns) to a lifecycle stage.
-  void charge(metrics::Stage s, sim::Time dt) noexcept {
+  /// Adds `dt` (virtual ns) to a lifecycle stage. `blame` annotates wait
+  /// charges with their cause (see ChargeObserver).
+  void charge(metrics::Stage s, sim::Time dt, std::string_view blame = {}) noexcept {
     stages[s] += sim::to_seconds(dt);
-    if (observer != nullptr) observer->on_charge(*this, s, sim->now(), dt);
+    if (observer != nullptr) observer->on_charge(*this, s, sim->now(), dt, blame);
   }
 
   [[nodiscard]] sim::Time latency() const noexcept { return completed - arrival; }

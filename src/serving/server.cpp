@@ -25,7 +25,10 @@ constexpr std::uint64_t kMinOutcomeSamples = 20;
 InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
     : platform_(platform), config_(config), stats_(platform.sim()) {
   if (platform_.registry() != nullptr) init_telemetry();
-  if (config_.audit) auditor_ = std::make_unique<RequestAuditor>();
+  if (config_.audit) {
+    auditor_ = std::make_unique<RequestAuditor>(RequestAuditor::Options{
+        .sampler = config_.trace_sampler, .run_label = config_.trace_run_label});
+  }
   if (config_.validate_payloads) {
     // Template payload for ingest validation: corrupted requests decode a
     // seeded byte-mutated copy of this stream through the real JPEG decoder.
@@ -306,7 +309,7 @@ sim::Process InferenceServer::handle_request(RequestPtr req) {
   {
     const Time t0 = sim.now();
     auto core = co_await cpu.cores().acquire();
-    req->charge(Stage::kQueue, sim.now() - t0);
+    req->charge(Stage::kQueue, sim.now() - t0, "host-core");
     co_await sim.wait(seconds(cpu.ingest_seconds()));
     req->charge(Stage::kIngest, seconds(cpu.ingest_seconds()));
   }
@@ -347,7 +350,7 @@ sim::Process InferenceServer::handle_request(RequestPtr req) {
     // "CPU preprocessing benefits from a larger main memory" observation).
     const Time t0 = sim.now();
     auto worker = co_await cpu.preproc_workers().acquire();
-    req->charge(Stage::kQueue, sim.now() - t0);
+    req->charge(Stage::kQueue, sim.now() - t0, "preproc-worker");
     const double p = cpu.preprocess_seconds(req->image, config_.model.input_side);
     co_await sim.wait(seconds(p));
     worker.release();
@@ -368,7 +371,7 @@ sim::Process InferenceServer::handle_request(RequestPtr req) {
     tele_.degraded.inc();
     const Time q0 = sim.now();
     auto worker = co_await cpu.preproc_workers().acquire();
-    req->charge(Stage::kQueue, sim.now() - q0);
+    req->charge(Stage::kQueue, sim.now() - q0, "preproc-worker;degraded");
     const double p = cpu.preprocess_seconds(req->image, config_.model.input_side);
     co_await sim.wait(seconds(p));
     worker.release();
@@ -436,20 +439,24 @@ sim::Process InferenceServer::run_gpu_preproc_batch(std::size_t g, std::vector<R
   // pipeline token stays taken, modelling a wedged pipeline) until recovery;
   // without one it fails outright. The wait is charged as queue residue when
   // requests are next charged, since `start` is taken after the hold.
+  bool fault_held = false;
   while (gpu.failed_now()) {
     if (!resilient_hold()) {
       pipeline.release();
       for (auto& r : batch) fail_request(g, std::move(r), FailReason::kGpuFault);
       co_return;
     }
+    fault_held = true;
     const Time until =
         gpu.faults()->active_until(sim::FaultKind::kGpuFailure, gpu.index(), sim.now());
     co_await sim.wait(std::max<Time>(until - sim.now(), 1));
   }
   const Time start = sim.now();
+  const std::string_view preproc_blame =
+      fault_held ? "preproc-batch-formation;gpu-fault-hold" : "preproc-batch-formation";
   double total = gpu.preproc_batch_fixed_seconds();
   for (const auto& r : batch) {
-    r->charge(Stage::kQueue, start - r->enqueue_time);
+    r->charge(Stage::kQueue, start - r->enqueue_time, preproc_blame);
     total += gpu.preproc_image_seconds(r->image);
   }
   co_await sim.wait(seconds(total));
@@ -496,12 +503,14 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
     // (resilience policy on — the wait lands in the queue stage because
     // dispatch accounting happens below) or fail it (no policy).
     bool batch_failed = false;
+    bool fault_held = false;
     while (gpu.failed_now()) {
       if (!resilient_hold()) {
         for (auto& r : batch) fail_request(g, std::move(r), FailReason::kGpuFault);
         batch_failed = true;
         break;
       }
+      fault_held = true;
       const Time until =
           gpu.faults()->active_until(sim::FaultKind::kGpuFailure, gpu.index(), sim.now());
       co_await sim.wait(std::max<Time>(until - sim.now(), 1));
@@ -524,7 +533,16 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
     }
     const auto b = static_cast<int>(batch.size());
     const Time dispatch = sim.now();
-    for (const auto& r : batch) r->charge(Stage::kQueue, dispatch - r->enqueue_time);
+    // Blame names the batch this request waited to join: which formation
+    // window held it, how full the batch got, and whether a GPU fault window
+    // extended the hold.
+    std::string dispatch_blame = "batch-formation batch=" +
+                                 std::to_string(st.inf_batcher.batches_formed()) +
+                                 " size=" + std::to_string(b);
+    if (fault_held) dispatch_blame += ";gpu-fault-hold";
+    for (const auto& r : batch) {
+      r->charge(Stage::kQueue, dispatch - r->enqueue_time, dispatch_blame);
+    }
     stats_.record_batch_size(b);
     tele_.batch_size.observe(static_cast<double>(b));
 
@@ -537,13 +555,17 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
       auto stall = co_await gpu.stall().acquire();
       const Time stall_wait = sim.now() - s0;  // instance groups contend here
       co_await sim.wait(seconds(scal.cpu_path_batch_gap_s));
+      // Charge each wait when it ends, not after the following work: the
+      // charge timestamp is what anchors the trace span, so a late charge
+      // would overlap the transfer span and leave the real stall uncovered.
+      for (const auto& r : batch) {
+        r->charge(Stage::kQueue, stall_wait + seconds(scal.cpu_path_batch_gap_s),
+                  "cpu-staging-stall");
+      }
       const double staging = static_cast<double>(b) * cpu.staging_seconds_per_image();
       co_await sim.wait(seconds(staging));
       stall.release();
-      for (const auto& r : batch) {
-        r->charge(Stage::kQueue, stall_wait + seconds(scal.cpu_path_batch_gap_s));
-        r->charge(Stage::kTransfer, seconds(staging));
-      }
+      for (const auto& r : batch) r->charge(Stage::kTransfer, seconds(staging));
     } else {
       // On-device handoff; claim staged buffers and pay reloads for any that
       // were evicted under memory pressure (paper Sec. 4.3 hypothesis).
@@ -565,7 +587,8 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
         }
       }
       for (const auto& r : batch) {
-        r->charge(Stage::kQueue, stall_wait + seconds(scal.gpu_path_batch_gap_s));
+        r->charge(Stage::kQueue, stall_wait + seconds(scal.gpu_path_batch_gap_s),
+                  "dispatch-gap");
       }
       if (reload_bytes > 0) {
         const Time t0 = sim.now();
@@ -581,10 +604,15 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
         // Evicted members pay the reload as transfer time; the rest of the
         // batch waits on them, so they are charged the same interval as
         // queueing (stage conservation: the whole batch stalls together).
+        const std::string reload_blame =
+            "eviction-reload bytes=" + std::to_string(reload_bytes);
+        const std::string stall_blame =
+            "eviction-stall bytes=" + std::to_string(reload_bytes);
         for (const auto& r : batch) {
           const bool was_evicted =
               std::find(evicted.begin(), evicted.end(), r.get()) != evicted.end();
-          r->charge(was_evicted ? Stage::kTransfer : Stage::kQueue, dt);
+          r->charge(was_evicted ? Stage::kTransfer : Stage::kQueue, dt,
+                    was_evicted ? reload_blame : stall_blame);
         }
       }
     }
@@ -594,13 +622,11 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
       const Time t0 = sim.now();
       auto engine = co_await gpu.compute().acquire();
       const Time waited = sim.now() - t0;
+      for (const auto& r : batch) r->charge(Stage::kQueue, waited, "engine-wait");
       const double ct = gpu.inference_batch_seconds(config_.model.flops(), b, backend, contended);
       co_await sim.wait(seconds(ct));
       engine.release();
-      for (const auto& r : batch) {
-        r->charge(Stage::kQueue, waited);
-        r->charge(Stage::kInference, seconds(ct));
-      }
+      for (const auto& r : batch) r->charge(Stage::kInference, seconds(ct));
     }
 
     // Return results to the host.
@@ -627,7 +653,7 @@ void InferenceServer::fail_request(std::size_t g, RequestPtr req, FailReason rea
   // entry so failed requests conserve stage time too.
   const Time now = platform_.sim().now();
   if (req->enqueue_time >= req->arrival && now > req->enqueue_time) {
-    req->charge(Stage::kQueue, now - req->enqueue_time);
+    req->charge(Stage::kQueue, now - req->enqueue_time, fail_reason_name(reason));
   }
   req->failed = true;
   req->fail_reason = reason;
@@ -656,7 +682,7 @@ void InferenceServer::drop_request(std::size_t g, RequestPtr req) {
   // stage time like completed ones.
   const Time now = platform_.sim().now();
   if (req->enqueue_time >= req->arrival && now > req->enqueue_time) {
-    req->charge(Stage::kQueue, now - req->enqueue_time);
+    req->charge(Stage::kQueue, now - req->enqueue_time, "shed-deadline");
   }
   req->dropped = true;
   req->completed = now;
@@ -674,7 +700,7 @@ sim::Process InferenceServer::finish_request(RequestPtr req) {
   const Time t0 = sim.now();
   {
     auto core = co_await cpu.cores().acquire();
-    req->charge(Stage::kQueue, sim.now() - t0);
+    req->charge(Stage::kQueue, sim.now() - t0, "host-core");
     const double post = std::max(cpu.postprocess_seconds(), config_.model.postprocess_cpu_s);
     co_await sim.wait(seconds(post));
     core.release();
@@ -711,7 +737,7 @@ sim::Process InferenceServer::finish_request(RequestPtr req) {
         co_await sim.wait(std::max<Time>(pol.poll_interval, 1));
       }
     }
-    if (sim.now() > p0) req->charge(Stage::kPostprocess, sim.now() - p0);
+    if (sim.now() > p0) req->charge(Stage::kPostprocess, sim.now() - p0, "broker-publish");
   }
 
   req->completed = sim.now();

@@ -1,0 +1,117 @@
+#include "trace/critical_path.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace serve::trace {
+
+namespace {
+
+struct Node {
+  const SpanRecord* span = nullptr;
+  std::vector<Node*> children;
+  sim::Time subtree_end = 0;  ///< max end over this span and all descendants
+  bool visiting = false;      ///< cycle guard for corrupt input
+};
+
+sim::Time compute_subtree_end(Node& n) {
+  if (n.visiting) return n.span->end;  // parent cycle: stop the recursion
+  n.visiting = true;
+  sim::Time e = n.span->end;
+  for (Node* c : n.children) e = std::max(e, compute_subtree_end(*c));
+  n.visiting = false;
+  n.subtree_end = e;
+  return e;
+}
+
+/// Backward walk from `hi` down to n.begin (see header). Appends one
+/// PathStep per visited span; a span is visited at most once because each
+/// node has a single parent.
+void walk(Node& n, sim::Time hi, std::vector<PathStep>& steps) {
+  if (n.visiting) return;
+  n.visiting = true;
+  sim::Time t = std::min(n.subtree_end, hi);
+  const sim::Time floor = n.span->begin;
+  sim::Time self = 0;
+  // Latest-finishing subtree first: that child is what the parent's
+  // completion was actually waiting on at the cursor.
+  std::sort(n.children.begin(), n.children.end(), [](const Node* a, const Node* b) {
+    if (a->subtree_end != b->subtree_end) return a->subtree_end > b->subtree_end;
+    if (a->span->begin != b->span->begin) return a->span->begin > b->span->begin;
+    return a->span->span_id < b->span->span_id;
+  });
+  for (Node* c : n.children) {
+    if (t <= floor) break;
+    const sim::Time ce = std::min(c->subtree_end, t);
+    if (ce <= floor || c->span->begin >= t) continue;  // not blocking at the cursor
+    if (ce < t) self += t - ce;  // gap no child covers: the parent's own time
+    walk(*c, ce, steps);
+    t = std::max(std::min(c->span->begin, t), floor);
+  }
+  if (t > floor) self += t - floor;
+  steps.push_back(PathStep{n.span, self});
+  n.visiting = false;
+}
+
+}  // namespace
+
+std::vector<CriticalPath> extract_critical_paths(const std::vector<SpanRecord>& spans) {
+  // Group spans by trace, preserving first-seen order of ids for the final
+  // ordering (sorted below for a stable, scheduling-independent result).
+  std::unordered_map<std::uint64_t, std::vector<const SpanRecord*>> by_trace;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id != 0) by_trace[s.trace_id].push_back(&s);
+  }
+  std::vector<std::uint64_t> trace_ids;
+  trace_ids.reserve(by_trace.size());
+  for (const auto& [id, _] : by_trace) trace_ids.push_back(id);
+  std::sort(trace_ids.begin(), trace_ids.end());
+
+  std::vector<CriticalPath> out;
+  out.reserve(trace_ids.size());
+  for (const std::uint64_t tid : trace_ids) {
+    const auto& members = by_trace[tid];
+    CriticalPath path;
+    path.span_count = members.size();
+
+    std::unordered_map<std::uint64_t, Node> nodes;
+    nodes.reserve(members.size());
+    for (const SpanRecord* s : members) {
+      // Duplicate span ids: keep the first occurrence, count the rest as
+      // orphans (they cannot be placed in the tree unambiguously).
+      if (!nodes.emplace(s->span_id, Node{s, {}, s->end, false}).second) ++path.orphan_count;
+    }
+    Node* root = nullptr;
+    for (auto& [id, node] : nodes) {
+      if (node.span->parent_span_id == 0) {
+        ++path.root_count;
+        // Several parentless spans (malformed): keep the earliest-starting.
+        if (root == nullptr || node.span->begin < root->span->begin) root = &node;
+        continue;
+      }
+      auto parent = nodes.find(node.span->parent_span_id);
+      if (parent == nodes.end() || parent->first == id) {
+        ++path.orphan_count;
+      } else {
+        parent->second.children.push_back(&node);
+      }
+    }
+    if (root != nullptr) {
+      compute_subtree_end(*root);
+      path.root = root->span;
+      path.total = root->subtree_end - root->span->begin;
+      walk(*root, root->subtree_end, path.steps);
+      std::sort(path.steps.begin(), path.steps.end(), [](const PathStep& a, const PathStep& b) {
+        if (a.span->begin != b.span->begin) return a.span->begin < b.span->begin;
+        return a.span->span_id < b.span->span_id;
+      });
+      for (const PathStep& st : path.steps) {
+        if (st.attributed > 0) path.by_name[st.span->name] += st.attributed;
+      }
+    }
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace serve::trace

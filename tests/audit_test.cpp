@@ -245,7 +245,7 @@ TEST(RequestAuditor, FinalizeIsIdempotent) {
 TEST(RequestAuditor, StreamsStageSpansPerRequest) {
   sim::Simulator sim;
   sim::TraceRecorder trace;
-  RequestAuditor audit;
+  RequestAuditor audit{RequestAuditor::Options{.sampler = {.rate = 1.0}}};
   audit.set_trace(&trace);
   serving::Request req{sim, 11, hw::kMediumImage};
   audit.on_submit(req);
@@ -263,7 +263,8 @@ TEST(RequestAuditor, StreamsStageSpansPerRequest) {
 TEST(RequestAuditor, TracedRequestCountIsCapped) {
   sim::Simulator sim;
   sim::TraceRecorder trace;
-  RequestAuditor audit{RequestAuditor::Options{.max_traced_requests = 2}};
+  RequestAuditor audit{RequestAuditor::Options{
+      .sampler = {.mode = trace::SampleMode::kFirstN, .max_sampled = 2}}};
   audit.set_trace(&trace);
   for (std::uint64_t id = 1; id <= 5; ++id) {
     serving::Request req{sim, id, hw::kMediumImage};
