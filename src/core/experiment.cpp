@@ -50,6 +50,8 @@ ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& plat
   server.stats().begin();
   reset_platform_stats(platform);
   const std::uint64_t evictions_before = total_evictions(platform);
+  const auto* cache = server.ingress_cache();
+  const std::uint64_t cache_evictions_before = cache != nullptr ? cache->evictions() : 0;
   const sim::Time window_start = sim.now();
 
   sim.run_until(spec.warmup + spec.measure);
@@ -66,6 +68,10 @@ ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& plat
   r.breakdown = stats.breakdown();
   r.energy = hw::measure_energy(platform, window_start, window_end);
   r.gpu_evictions = total_evictions(platform) - evictions_before;
+  r.cache_tensor_hits = stats.cache_tensor_hits();
+  r.cache_image_hits = stats.cache_image_hits();
+  r.cache_hit_rate = stats.cache_hit_rate();
+  if (cache != nullptr) r.cache_evictions = cache->evictions() - cache_evictions_before;
   r.dropped = stats.dropped();
   r.failed = stats.failed();
   r.rejected = stats.rejected();
@@ -135,19 +141,25 @@ struct FaultHarness {
         audit->on_fault_window(sim::fault_kind_name(w.kind), w.begin, w.end);
       }
     }
-    spec.faults->schedule_transitions(sim, [&platform](const sim::FaultWindow& w, bool begin) {
-      if (w.kind != sim::FaultKind::kGpuMemoryShrink) return;
-      for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
-        if (w.target != sim::FaultWindow::kAllTargets && static_cast<int>(g) != w.target) {
-          continue;
-        }
-        auto& gpu = platform.gpu(g);
-        const std::int64_t full = gpu.calib().staging_budget_bytes;
-        const auto shrunk = std::max<std::int64_t>(
-            1, static_cast<std::int64_t>(static_cast<double>(full) * w.magnitude));
-        gpu.stager().set_budget(begin ? shrunk : full);
-      }
-    });
+    spec.faults->schedule_transitions(
+        sim, [&platform, &server](const sim::FaultWindow& w, bool begin) {
+          if (w.kind != sim::FaultKind::kGpuMemoryShrink) return;
+          for (std::size_t g = 0; g < platform.gpu_count(); ++g) {
+            if (w.target != sim::FaultWindow::kAllTargets && static_cast<int>(g) != w.target) {
+              continue;
+            }
+            auto& gpu = platform.gpu(g);
+            const std::int64_t full = gpu.calib().staging_budget_bytes;
+            const auto shrunk = std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(static_cast<double>(full) * w.magnitude));
+            gpu.stager().set_budget(begin ? shrunk : full);
+          }
+          // Host memory pressure hits the ingress cache too: the same shrink
+          // window scales its byte budgets, evicting LRU entries immediately.
+          if (auto* cache = server.ingress_cache()) {
+            cache->set_budget_scale(begin ? w.magnitude : 1.0);
+          }
+        });
   }
 };
 
@@ -165,10 +177,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   wire_audit_trace(spec, server);
   FaultHarness harness;
   harness.install(spec, sim, platform, server);
-  serving::ClosedLoopClients clients{server,
-                                     {.concurrency = spec.concurrency,
-                                      .image_source = serving::fixed_image(spec.image),
-                                      .seed = spec.seed}};
+  serving::ClosedLoopClients clients{
+      server,
+      {.concurrency = spec.concurrency,
+       .image_source = spec.image_source ? spec.image_source : serving::fixed_image(spec.image),
+       .seed = spec.seed}};
   return run_with_clients(spec, platform, server, clients);
 }
 
@@ -185,10 +198,11 @@ ExperimentResult run_open_loop(const ExperimentSpec& spec,
   wire_audit_trace(spec, server);
   FaultHarness harness;
   harness.install(spec, sim, platform, server);
-  serving::OpenLoopClients clients{server,
-                                   {.interarrival = std::move(interarrival),
-                                    .image_source = serving::fixed_image(spec.image),
-                                    .seed = spec.seed}};
+  serving::OpenLoopClients clients{
+      server,
+      {.interarrival = std::move(interarrival),
+       .image_source = spec.image_source ? spec.image_source : serving::fixed_image(spec.image),
+       .seed = spec.seed}};
   return run_with_clients(spec, platform, server, clients);
 }
 

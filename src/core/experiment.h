@@ -31,6 +31,10 @@ struct ExperimentSpec {
 
   int concurrency = 256;                 ///< closed-loop clients
   hw::ImageSpec image = hw::kMediumImage;
+  /// Optional request source for the clients (e.g. a Zipf-popular corpus via
+  /// workload::popular_corpus_source). When empty, every request carries
+  /// `image` with no content identity (the classic fixed-size harness).
+  serving::ImageSource image_source{};
   sim::Time warmup = sim::seconds(2.0);
   sim::Time measure = sim::seconds(10.0);
   std::uint64_t seed = 42;
@@ -74,6 +78,14 @@ struct ExperimentResult {
   metrics::Breakdown breakdown{};  ///< per-stage latency decomposition
   hw::EnergyReport energy{};       ///< over the measurement window
   std::uint64_t gpu_evictions = 0; ///< staging-memory evictions observed
+
+  // Ingress-cache accounting (all zero unless ServerConfig::ingress_cache is
+  // enabled). Hits are window-scoped completed requests by satisfied level;
+  // evictions are window-scoped across both cache levels.
+  std::uint64_t cache_tensor_hits = 0;
+  std::uint64_t cache_image_hits = 0;
+  std::uint64_t cache_evictions = 0;
+  double cache_hit_rate = 0.0;  ///< (tensor + image hits) / completed
 
   // Resilience accounting (window-scoped like completed, except the client
   // counters, which cover the whole run including warmup).

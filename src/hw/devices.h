@@ -37,19 +37,23 @@ class CpuModel {
 
   /// Seconds one worker takes to decode+resize+normalize one image down to a
   /// `target_side`^2 network input using the raw image library (the Fig. 3
-  /// "python loop" path).
-  [[nodiscard]] double raw_preprocess_seconds(const ImageSpec& img, int target_side) const noexcept {
+  /// "python loop" path). `skip_decode` models an ingress-cache image-level
+  /// hit: the decoded RGB buffer is already in host memory, so only resize +
+  /// normalize run.
+  [[nodiscard]] double raw_preprocess_seconds(const ImageSpec& img, int target_side,
+                                              bool skip_decode = false) const noexcept {
     const auto src_pix = static_cast<double>(img.pixels());
     const auto dst_pix = static_cast<double>(target_side) * target_side;
-    return calib_.preproc_fixed_s + src_pix / calib_.decode_mpix_per_s +
+    return calib_.preproc_fixed_s + (skip_decode ? 0.0 : src_pix / calib_.decode_mpix_per_s) +
            src_pix / calib_.resize_mpix_per_s + dst_pix / calib_.normalize_mpix_per_s;
   }
 
   /// Same work performed inside the serving framework's preprocessing
   /// backend (per-request packaging and interpreter overhead included).
   /// Active kPreprocSlowdown fault windows stretch the service time.
-  [[nodiscard]] double preprocess_seconds(const ImageSpec& img, int target_side) const noexcept {
-    double t = calib_.server_preproc_factor * raw_preprocess_seconds(img, target_side);
+  [[nodiscard]] double preprocess_seconds(const ImageSpec& img, int target_side,
+                                          bool skip_decode = false) const noexcept {
+    double t = calib_.server_preproc_factor * raw_preprocess_seconds(img, target_side, skip_decode);
     if (faults_ != nullptr) {
       t *= faults_->multiplier(sim::FaultKind::kPreprocSlowdown,
                                sim::FaultWindow::kAllTargets, sim_.now());
@@ -131,13 +135,17 @@ class GpuModel {
 
   /// Per-image GPU preprocessing cost (decode + resize) excluding the
   /// per-batch fixed pipeline cost. Images beyond the hardware JPEG
-  /// decoder's limits fall back to the slower SM decode path.
-  [[nodiscard]] double preproc_image_seconds(const ImageSpec& img) const noexcept {
+  /// decoder's limits fall back to the slower SM decode path. `skip_decode`
+  /// models an ingress-cache image-level hit (host already holds the decoded
+  /// RGB buffer: only the resize kernel runs on the device).
+  [[nodiscard]] double preproc_image_seconds(const ImageSpec& img,
+                                             bool skip_decode = false) const noexcept {
     const auto pix = static_cast<double>(img.pixels());
     const double decode_rate = img.pixels() <= calib_.hw_decoder_max_pixels
                                    ? calib_.gpu_hw_decode_pix_per_s
                                    : calib_.gpu_sm_decode_pix_per_s;
-    return calib_.dali_image_fixed_s + pix / decode_rate + pix / calib_.gpu_resize_pix_per_s;
+    return calib_.dali_image_fixed_s + (skip_decode ? 0.0 : pix / decode_rate) +
+           pix / calib_.gpu_resize_pix_per_s;
   }
 
   [[nodiscard]] double preproc_batch_fixed_seconds() const noexcept {

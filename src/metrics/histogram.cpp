@@ -72,8 +72,13 @@ double Histogram::quantile(double q) const noexcept {
       // Interpolate within the bucket; clamp to observed extrema so that
       // quantile(0) >= min and quantile(1) <= max exactly.
       const double frac = (target - static_cast<double>(cum)) / static_cast<double>(c);
-      const double lo = std::max(bucket_lower(i), stats_.min());
       const double hi = std::min(bucket_upper(i), stats_.max());
+      // The overflow bucket's lower edge is min_value * growth^ceil(span),
+      // which can exceed max_value: a value in [max_value, that edge) then
+      // yields lo > hi, making the interpolation *decreasing* in q and the
+      // result overshoot the observed max. Clamp lo to hi so the bucket
+      // degenerates to its (correct) upper bound instead.
+      const double lo = std::min(std::max(bucket_lower(i), stats_.min()), hi);
       return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
     }
     cum += c;

@@ -12,18 +12,36 @@
 #include <functional>
 
 #include "hw/image_spec.h"
+#include "serving/ingress.h"
 #include "serving/server.h"
 #include "sim/rng.h"
 #include "sim/task.h"
 
 namespace serve::serving {
 
-/// Produces the image attached to each generated request.
-using ImageSource = std::function<hw::ImageSpec(sim::Rng&)>;
+/// What a client attaches to one generated request: the image geometry, an
+/// optional stable content identity (zero = unique payload, never matched by
+/// the ingress cache), and an optional per-request wire-format override.
+/// Implicitly constructible from a bare hw::ImageSpec so plain image sources
+/// keep working unchanged.
+struct RequestDesc {
+  hw::ImageSpec image{};
+  std::uint64_t content_hash = 0;
+  RequestIngress ingress = RequestIngress::kServerDefault;
+
+  RequestDesc() = default;
+  RequestDesc(hw::ImageSpec img) : image(img) {}  // NOLINT(google-explicit-constructor)
+  RequestDesc(hw::ImageSpec img, std::uint64_t hash,
+              RequestIngress ing = RequestIngress::kServerDefault)
+      : image(img), content_hash(hash), ingress(ing) {}
+};
+
+/// Produces the payload description attached to each generated request.
+using ImageSource = std::function<RequestDesc(sim::Rng&)>;
 
 /// Fixed-size image source (the paper's S/M/L experiments).
 [[nodiscard]] inline ImageSource fixed_image(hw::ImageSpec spec) {
-  return [spec](sim::Rng&) { return spec; };
+  return [spec](sim::Rng&) { return RequestDesc{spec}; };
 }
 
 /// Client-side resilience engine shared by both client pools. Each run()
@@ -46,12 +64,14 @@ class RetryingSubmitter {
   /// Submits (and re-submits) until an attempt succeeds or the policy gives
   /// up. Every attempt is a fresh Request with its own id; a timed-out
   /// attempt is abandoned, not cancelled — the server still completes it.
-  sim::Task<bool> run(hw::ImageSpec image, std::uint64_t& next_id) {
+  sim::Task<bool> run(RequestDesc desc, std::uint64_t& next_id) {
     auto& sim = server_.platform().sim();
     const int attempts = policy_.enabled ? std::max(1, policy_.max_attempts) : 1;
     trace::SpanContext prev_ctx{};
     for (int attempt = 1;; ++attempt) {
-      auto req = std::make_shared<Request>(sim, next_id++, image);
+      auto req = std::make_shared<Request>(sim, next_id++, desc.image);
+      req->content_hash = desc.content_hash;
+      req->ingress = desc.ingress;
       req->attempt = attempt;
       // Retry chaining: hand the previous attempt's context to the server so
       // the auditor parents this attempt under the same causal trace instead
@@ -139,9 +159,9 @@ class ClosedLoopClients {
   sim::Process client_loop() {
     auto& sim = server_.platform().sim();
     while (!stopping_) {
-      const hw::ImageSpec image = opts_.image_source(rng_);
+      const RequestDesc desc = opts_.image_source(rng_);
       ++issued_;
-      co_await retrier_.run(image, next_id_);
+      co_await retrier_.run(desc, next_id_);
       if (opts_.think_time > 0) co_await sim.wait(opts_.think_time);
     }
   }
@@ -196,7 +216,7 @@ class OpenLoopClients {
 
   /// One detached per-arrival process: open-loop arrivals never block on
   /// completion, but each logical request still runs the retry policy.
-  sim::Process submit_one(hw::ImageSpec image) { co_await retrier_.run(image, next_id_); }
+  sim::Process submit_one(RequestDesc desc) { co_await retrier_.run(desc, next_id_); }
 
   InferenceServer& server_;
   Options opts_;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "models/model_zoo.h"
+#include "serving/ingress.h"
 #include "sim/time.h"
 #include "trace/span_context.h"
 
@@ -69,12 +70,32 @@ struct BrokerPublishPolicy {
   sim::Time poll_interval = 10'000'000;  ///< blind re-poll cadence (10 ms)
 };
 
+/// Content-addressed preprocess cache over the ingress tier (Kang et al.:
+/// preprocessing is skippable on a hit over a skewed corpus). Budgets are
+/// per-level; requests whose `content_hash` is zero always bypass.
+struct IngressCachePolicy {
+  bool enabled = false;
+  std::int64_t image_budget_bytes = 64LL << 20;   ///< decoded-image level
+  std::int64_t tensor_budget_bytes = 64LL << 20;  ///< preprocessed-tensor level
+  double lookup_s = 20e-6;  ///< host-side probe cost charged per request
+};
+
 /// One deployed model endpoint.
 struct ServerConfig {
   models::ModelDesc model{};
   models::Backend backend = models::Backend::kTensorRT;
   PreprocDevice preproc = PreprocDevice::kGpu;
   PipelineMode mode = PipelineMode::kEndToEnd;
+
+  /// Default wire format for requests that don't pick one themselves
+  /// (RequestIngress::kServerDefault). kRawTensor means clients preprocess
+  /// on their side and ship the fp32 network input: no server preprocess,
+  /// but PCIe/host-fabric cost scales with tensor bytes (224² fp32 is ~5x a
+  /// medium JPEG — the paper's F7 crossover).
+  IngressFormat ingress = IngressFormat::kCompressedImage;
+
+  /// Ingress-format cache (only consulted on the compressed-image path).
+  IngressCachePolicy ingress_cache{};
 
   /// Dynamic batching (Triton-style): an idle instance takes everything
   /// queued up to max_batch. With `max_queue_delay > 0` the scheduler also

@@ -116,6 +116,24 @@ ServerConfig parse_server_config(const std::string& text) {
       } else {
         fail(line_no, "unknown pipeline mode '" + value + "'");
       }
+    } else if (key == "ingress") {
+      if (value == "jpeg") {
+        cfg.ingress = IngressFormat::kCompressedImage;
+      } else if (value == "tensor") {
+        cfg.ingress = IngressFormat::kRawTensor;
+      } else {
+        fail(line_no, "unknown ingress format '" + value + "'");
+      }
+    } else if (key == "ingress_cache") {
+      cfg.ingress_cache.enabled = parse_bool(line_no, key, value);
+    } else if (key == "ingress_cache_image_mb") {
+      cfg.ingress_cache.image_budget_bytes =
+          static_cast<std::int64_t>(parse_int(line_no, key, value, 0)) << 20;
+    } else if (key == "ingress_cache_tensor_mb") {
+      cfg.ingress_cache.tensor_budget_bytes =
+          static_cast<std::int64_t>(parse_int(line_no, key, value, 0)) << 20;
+    } else if (key == "ingress_cache_lookup_us") {
+      cfg.ingress_cache.lookup_s = parse_double(line_no, key, value, 0.0, 1e6) * 1e-6;
     } else if (key == "dynamic_batching") {
       cfg.dynamic_batching = parse_bool(line_no, key, value);
     } else if (key == "max_batch") {
@@ -198,6 +216,11 @@ std::string format_server_config(const ServerConfig& config) {
               : config.mode == PipelineMode::kPreprocessOnly ? "preprocess_only"
                                                              : "inference_only")
       << "\n";
+  out << "ingress = " << ingress_format_name(config.ingress) << "\n";
+  out << "ingress_cache = " << (config.ingress_cache.enabled ? "true" : "false") << "\n";
+  out << "ingress_cache_image_mb = " << (config.ingress_cache.image_budget_bytes >> 20) << "\n";
+  out << "ingress_cache_tensor_mb = " << (config.ingress_cache.tensor_budget_bytes >> 20) << "\n";
+  out << "ingress_cache_lookup_us = " << config.ingress_cache.lookup_s * 1e6 << "\n";
   out << "dynamic_batching = " << (config.dynamic_batching ? "true" : "false") << "\n";
   out << "max_batch = " << config.effective_max_batch() << "\n";
   out << "instance_count = " << config.instance_count << "\n";

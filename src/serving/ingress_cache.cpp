@@ -1,0 +1,85 @@
+#include "serving/ingress_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace serve::serving {
+
+IngressCache::IngressCache(Options opts) : opts_(opts) {
+  if (opts_.image_budget_bytes < 0 || opts_.tensor_budget_bytes < 0) {
+    throw std::invalid_argument("IngressCache: budgets must be non-negative");
+  }
+  if (opts_.lookup_s < 0.0) {
+    throw std::invalid_argument("IngressCache: lookup_s must be non-negative");
+  }
+  image_level_.budget = opts_.image_budget_bytes;
+  tensor_level_.budget = opts_.tensor_budget_bytes;
+}
+
+bool IngressCache::Level::touch(std::uint64_t key) {
+  auto it = entries.find(key);
+  if (it == entries.end()) return false;
+  lru.splice(lru.end(), lru, it->second.lru_pos);
+  return true;
+}
+
+void IngressCache::Level::put(std::uint64_t key, std::int64_t bytes) {
+  if (bytes <= 0 || bytes > budget) return;  // oversized artifacts are never admitted
+  auto it = entries.find(key);
+  if (it != entries.end()) {
+    lru.splice(lru.end(), lru, it->second.lru_pos);
+    return;
+  }
+  evict_to_fit(bytes);
+  lru.push_back(key);
+  entries.emplace(key, Entry{bytes, std::prev(lru.end())});
+  resident_bytes += bytes;
+}
+
+void IngressCache::Level::evict_to_fit(std::int64_t incoming_bytes) {
+  while (!lru.empty() && resident_bytes + incoming_bytes > budget) {
+    const std::uint64_t victim = lru.front();
+    auto it = entries.find(victim);
+    resident_bytes -= it->second.bytes;
+    entries.erase(it);
+    lru.pop_front();
+    ++evictions;
+  }
+}
+
+void IngressCache::Level::set_budget(std::int64_t b) {
+  budget = b;
+  evict_to_fit(0);
+}
+
+CacheLevel IngressCache::lookup(std::uint64_t content_hash, int target_side) {
+  if (tensor_level_.touch(tensor_key(content_hash, target_side))) {
+    ++tensor_hits_;
+    return CacheLevel::kTensor;
+  }
+  if (image_level_.touch(content_hash)) {
+    ++image_hits_;
+    return CacheLevel::kImage;
+  }
+  ++misses_;
+  return CacheLevel::kNone;
+}
+
+void IngressCache::insert(std::uint64_t content_hash, std::int64_t decoded_bytes,
+                          int target_side) {
+  image_level_.put(content_hash, decoded_bytes);
+  tensor_level_.put(tensor_key(content_hash, target_side), hw::tensor_bytes(target_side));
+}
+
+void IngressCache::set_budget_scale(double fraction) {
+  if (!(fraction >= 0.0) || !std::isfinite(fraction)) {
+    throw std::invalid_argument("IngressCache::set_budget_scale: fraction must be finite >= 0");
+  }
+  image_level_.set_budget(static_cast<std::int64_t>(
+      std::floor(static_cast<double>(opts_.image_budget_bytes) * fraction)));
+  tensor_level_.set_budget(static_cast<std::int64_t>(
+      std::floor(static_cast<double>(opts_.tensor_budget_bytes) * fraction)));
+}
+
+}  // namespace serve::serving

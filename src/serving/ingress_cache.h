@@ -1,0 +1,131 @@
+// Content-addressed preprocess cache for the ingress tier.
+//
+// Kang et al. ("Jointly Optimizing Preprocessing and Inference for DNN-based
+// Visual Analytics") observe that over a skewed corpus the whole preprocess
+// stage is skippable on a cache hit. This cache models the two useful
+// artifact levels of the serving preprocess pipeline, both held in host
+// memory and keyed on a stable content hash of the request payload
+// (workload::CorpusEntry::content_hash — never the image geometry, which two
+// different payloads can share):
+//
+//   - tensor level: the normalized fp32 network input for a given target
+//     side. A hit skips decode + resize + normalize entirely.
+//   - image level: the decoded RGB image. A hit skips JPEG decode only
+//     (resize + normalize still run).
+//
+// Each level is an independently byte-budgeted LRU with deterministic
+// eviction order (least recently touched first), so same-seed simulations
+// produce byte-identical hit/miss/eviction counters. Budgets can shrink
+// mid-run (sim::FaultPlan kGpuMemoryShrink staging machinery reuses this),
+// which evicts immediately until residency fits.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "hw/image_spec.h"
+#include "serving/ingress.h"
+
+namespace serve::serving {
+
+class IngressCache {
+ public:
+  struct Options {
+    std::int64_t image_budget_bytes = 64LL << 20;   ///< decoded-image level
+    std::int64_t tensor_budget_bytes = 64LL << 20;  ///< preprocessed-tensor level
+    /// Host-side lookup + bookkeeping cost charged per probed request (the
+    /// hash lookup is cheap but not free; charging it keeps cache-hit
+    /// requests' preprocess stage present — skipped, not dropped — so the
+    /// auditor's stage-conservation invariant and the critical-path analyzer
+    /// both still see the stage).
+    double lookup_s = 20e-6;
+  };
+
+  explicit IngressCache(Options opts);
+
+  /// Probes tensor level first (content + target side), then image level.
+  /// Touches the hit entry's LRU position and counts the outcome.
+  [[nodiscard]] CacheLevel lookup(std::uint64_t content_hash, int target_side);
+
+  /// Records the artifacts a completed preprocess produced: the decoded
+  /// image (`decoded_bytes` at the payload's native geometry) and the fp32
+  /// tensor for `target_side`. Re-inserting refreshes LRU position; an
+  /// artifact larger than its level's whole budget is not admitted.
+  void insert(std::uint64_t content_hash, std::int64_t decoded_bytes, int target_side);
+
+  /// Scales both byte budgets to `fraction` of their configured size
+  /// (fraction 1.0 restores). Shrinking evicts least-recently-used entries
+  /// until residency fits — the eviction storm the fault plan's
+  /// staging-shrink windows drive.
+  void set_budget_scale(double fraction);
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+  // --- deterministic counters (cumulative from construction) ---------------
+  [[nodiscard]] std::uint64_t tensor_hits() const noexcept { return tensor_hits_; }
+  [[nodiscard]] std::uint64_t image_hits() const noexcept { return image_hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t lookups() const noexcept {
+    return tensor_hits_ + image_hits_ + misses_;
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return image_level_.evictions + tensor_level_.evictions;
+  }
+  [[nodiscard]] std::uint64_t image_evictions() const noexcept { return image_level_.evictions; }
+  [[nodiscard]] std::uint64_t tensor_evictions() const noexcept { return tensor_level_.evictions; }
+  [[nodiscard]] std::int64_t image_resident_bytes() const noexcept {
+    return image_level_.resident_bytes;
+  }
+  [[nodiscard]] std::int64_t tensor_resident_bytes() const noexcept {
+    return tensor_level_.resident_bytes;
+  }
+  [[nodiscard]] std::size_t image_entries() const noexcept { return image_level_.entries.size(); }
+  [[nodiscard]] std::size_t tensor_entries() const noexcept {
+    return tensor_level_.entries.size();
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t n = lookups();
+    return n ? static_cast<double>(tensor_hits_ + image_hits_) / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  /// One byte-budgeted LRU level. Keys are opaque 64-bit ids; the map gives
+  /// O(1) probes while the list fixes the (deterministic) eviction order.
+  struct Level {
+    struct Entry {
+      std::int64_t bytes = 0;
+      std::list<std::uint64_t>::iterator lru_pos;
+    };
+    std::int64_t budget = 0;
+    std::int64_t resident_bytes = 0;
+    std::uint64_t evictions = 0;
+    std::list<std::uint64_t> lru;  ///< front = least recently used
+    std::unordered_map<std::uint64_t, Entry> entries;
+
+    [[nodiscard]] bool touch(std::uint64_t key);
+    void put(std::uint64_t key, std::int64_t bytes);
+    void evict_to_fit(std::int64_t incoming_bytes);
+    void set_budget(std::int64_t b);
+  };
+
+  /// Mixes the target side into the content hash for the tensor level, so
+  /// the same payload preprocessed for two models caches independently.
+  [[nodiscard]] static std::uint64_t tensor_key(std::uint64_t content_hash,
+                                                int target_side) noexcept {
+    constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+    constexpr std::uint64_t kMix = 0xbf58476d1ce4e5b9ULL;
+    std::uint64_t z = content_hash ^ (kGamma * (static_cast<std::uint64_t>(target_side) + 1));
+    z = (z ^ (z >> 30)) * kMix;
+    return z ^ (z >> 31);
+  }
+
+  Options opts_;
+  Level image_level_;
+  Level tensor_level_;
+  std::uint64_t tensor_hits_ = 0;
+  std::uint64_t image_hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace serve::serving

@@ -8,6 +8,7 @@
 #include "hw/gpu_memory.h"
 #include "hw/image_spec.h"
 #include "metrics/breakdown.h"
+#include "serving/ingress.h"
 #include "sim/sync.h"
 #include "sim/time.h"
 #include "trace/span_context.h"
@@ -62,6 +63,13 @@ struct Request {
   sim::Simulator* sim;  ///< owning simulator (timestamps for charge hooks)
   std::uint64_t id;
   hw::ImageSpec image;
+  /// Stable hash of the payload bytes (workload::CorpusEntry::content_hash).
+  /// Zero means "unique payload": the ingress cache never matches it.
+  std::uint64_t content_hash = 0;
+  /// Wire format for this request; kServerDefault defers to ServerConfig.
+  RequestIngress ingress = RequestIngress::kServerDefault;
+  /// Which ingress-cache level satisfied this request (kNone = miss/bypass).
+  CacheLevel cache_hit = CacheLevel::kNone;
   sim::Time arrival;
   sim::Time completed = -1;
   metrics::StageTimes stages{};

@@ -22,6 +22,7 @@
 #include "serving/audit.h"
 #include "serving/batcher.h"
 #include "serving/config.h"
+#include "serving/ingress_cache.h"
 #include "serving/request.h"
 #include "serving/stats.h"
 #include "sim/process.h"
@@ -69,6 +70,11 @@ class InferenceServer {
   /// Requests that failed a scheduler-queue hand-off and were drop-accounted
   /// instead of lost (always 0 in a healthy configuration).
   [[nodiscard]] std::uint64_t lost_handoffs() const noexcept { return lost_handoffs_; }
+
+  /// Content-addressed preprocess cache (nullptr unless
+  /// ServerConfig::ingress_cache.enabled). Exposed so harnesses can read its
+  /// counters and drive budget shrinks from a fault plan.
+  [[nodiscard]] IngressCache* ingress_cache() noexcept { return ingress_cache_.get(); }
 
   [[nodiscard]] BreakerState breaker_state() const noexcept { return breaker_state_; }
 
@@ -126,6 +132,13 @@ class InferenceServer {
   /// codec rejects the corrupted stream.
   [[nodiscard]] bool corrupted_payload_decodes(std::uint64_t stream_seed) const;
 
+  /// Wire format for one request: its own choice, or the server default.
+  [[nodiscard]] IngressFormat resolve_ingress(const Request& req) const noexcept {
+    if (req.ingress == RequestIngress::kServerDefault) return config_.ingress;
+    return req.ingress == RequestIngress::kRawTensor ? IngressFormat::kRawTensor
+                                                     : IngressFormat::kCompressedImage;
+  }
+
   /// Registry handles for the serving layer (no-ops when the platform has no
   /// registry — every handle degrades to a null-pointer check). Unlike
   /// ServerStats, which is window-scoped (reset at measurement start), these
@@ -148,6 +161,7 @@ class InferenceServer {
   ServerConfig config_;
   ServerStats stats_;
   Telemetry tele_{};
+  std::unique_ptr<IngressCache> ingress_cache_;
   std::unique_ptr<RequestAuditor> auditor_;
   std::vector<std::unique_ptr<GpuState>> gpus_;
   broker::SimBroker<std::uint64_t>* result_broker_ = nullptr;

@@ -27,6 +27,8 @@ class ServerStats {
     degraded_ = 0;
     breaker_opens_ = 0;
     broker_failovers_ = 0;
+    cache_tensor_hits_ = 0;
+    cache_image_hits_ = 0;
     latency_.reset();
     breakdown_.reset();
     batch_sizes_.reset();
@@ -45,6 +47,8 @@ class ServerStats {
       return;
     }
     ++completed_;
+    if (req.cache_hit == CacheLevel::kTensor) ++cache_tensor_hits_;
+    if (req.cache_hit == CacheLevel::kImage) ++cache_image_hits_;
     latency_.add(sim::to_seconds(req.latency()));
     breakdown_.add(req.stages);
   }
@@ -70,6 +74,15 @@ class ServerStats {
   /// Failed specifically by the open circuit breaker (subset of failed()).
   [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
   [[nodiscard]] std::uint64_t degraded() const noexcept { return degraded_; }
+  /// Completed requests satisfied from the ingress cache, by level.
+  [[nodiscard]] std::uint64_t cache_tensor_hits() const noexcept { return cache_tensor_hits_; }
+  [[nodiscard]] std::uint64_t cache_image_hits() const noexcept { return cache_image_hits_; }
+  /// Fraction of completed requests satisfied from either cache level.
+  [[nodiscard]] double cache_hit_rate() const noexcept {
+    return completed_ ? static_cast<double>(cache_tensor_hits_ + cache_image_hits_) /
+                            static_cast<double>(completed_)
+                      : 0.0;
+  }
   [[nodiscard]] std::uint64_t breaker_opens() const noexcept { return breaker_opens_; }
   [[nodiscard]] std::uint64_t broker_failovers() const noexcept { return broker_failovers_; }
   /// Fraction of finished requests that were shed.
@@ -101,6 +114,8 @@ class ServerStats {
   std::uint64_t degraded_ = 0;
   std::uint64_t breaker_opens_ = 0;
   std::uint64_t broker_failovers_ = 0;
+  std::uint64_t cache_tensor_hits_ = 0;
+  std::uint64_t cache_image_hits_ = 0;
   metrics::Histogram latency_;
   metrics::Breakdown breakdown_;
   metrics::StatAccumulator batch_sizes_;

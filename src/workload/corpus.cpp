@@ -9,6 +9,17 @@
 
 namespace serve::workload {
 
+std::uint64_t content_hash_bytes(const std::uint8_t* data, std::size_t n) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  // A zero digest means "unique payload" to the ingress cache; remap the
+  // (astronomically unlikely) real zero so hashed content always matches.
+  return h == 0 ? 1 : h;
+}
+
 std::vector<CorpusEntry> make_corpus(hw::ImageSpec target, int count, std::uint64_t seed,
                                      int threads) {
   if (count <= 0) throw std::invalid_argument("make_corpus: count must be positive");
@@ -22,7 +33,24 @@ std::vector<CorpusEntry> make_corpus(hw::ImageSpec target, int count, std::uint6
     entry.jpeg = codec::encode_jpeg(img, {.quality = 85});
     entry.spec = hw::ImageSpec{target.width, target.height,
                                static_cast<std::int64_t>(entry.jpeg.size())};
+    entry.content_hash = content_hash_bytes(entry.jpeg.data(), entry.jpeg.size());
   });
+  return corpus;
+}
+
+std::vector<CorpusEntry> make_spec_corpus(hw::ImageSpec spec, int distinct, std::uint64_t seed) {
+  if (distinct <= 0) throw std::invalid_argument("make_spec_corpus: distinct must be positive");
+  std::vector<CorpusEntry> corpus(static_cast<std::size_t>(distinct));
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    corpus[i].spec = spec;
+    // splitmix64 over (seed, i): stable, well-mixed identities with no
+    // payload bytes to digest.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    corpus[i].content_hash = z == 0 ? 1 : z;
+  }
   return corpus;
 }
 

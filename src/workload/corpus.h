@@ -18,7 +18,15 @@ namespace serve::workload {
 struct CorpusEntry {
   hw::ImageSpec spec;                ///< geometry + actual encoded size
   std::vector<std::uint8_t> jpeg;    ///< real JFIF byte stream
+  /// Stable content identity: FNV-1a over the encoded payload bytes. Cache
+  /// keys and PCIe byte accounting key on this, never on the spec — two
+  /// entries can share identical geometry (and even encoded size) while
+  /// holding different pixels. Zero means "unique payload, never cached".
+  std::uint64_t content_hash = 0;
 };
+
+/// FNV-1a (64-bit) over a byte stream — the corpus' content identity.
+[[nodiscard]] std::uint64_t content_hash_bytes(const std::uint8_t* data, std::size_t n) noexcept;
 
 /// Builds `count` real JPEGs at roughly the geometry of `target` (encoded
 /// size will differ from the paper's byte counts — content differs — but the
@@ -27,6 +35,14 @@ struct CorpusEntry {
 /// out over a codec::BatchPreprocessor worker pool when `threads > 1`.
 [[nodiscard]] std::vector<CorpusEntry> make_corpus(hw::ImageSpec target, int count,
                                                    std::uint64_t seed = 1, int threads = 1);
+
+/// Cheap corpus of `distinct` content identities sharing one geometry: no
+/// bytes are encoded — entries carry only the spec and a seeded stable hash.
+/// For cache-key / popularity studies where payload bytes don't matter
+/// (e.g. the fig07 ingress-format sweep), where encoding thousands of real
+/// JPEGs would dominate the harness.
+[[nodiscard]] std::vector<CorpusEntry> make_spec_corpus(hw::ImageSpec spec, int distinct,
+                                                        std::uint64_t seed = 1);
 
 /// Decodes + resizes + normalizes one entry with the real pipeline and
 /// returns the wall-clock cost in seconds (used to ground CpuCalib rates).

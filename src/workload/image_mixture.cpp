@@ -13,6 +13,12 @@ hw::ImageSpec ImageMixture::mean_weighted_spec() const {
     h_sum += w * spec.height;
     b_sum += w * static_cast<double>(spec.compressed_bytes);
   }
+  // add() rejects non-finite and non-positive weights, but the sum can still
+  // overflow to infinity; a division by a non-finite (or, defensively,
+  // non-positive) total would return garbage specs silently.
+  if (!std::isfinite(total) || total <= 0.0) {
+    throw std::logic_error("ImageMixture: weights must sum to a finite positive total");
+  }
   return hw::ImageSpec{static_cast<int>(std::lround(w_sum / total)),
                        static_cast<int>(std::lround(h_sum / total)),
                        static_cast<std::int64_t>(b_sum / total)};

@@ -6,6 +6,8 @@
 // letting experiments run fixed sizes or realistic mixes.
 #pragma once
 
+#include <cmath>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -19,7 +21,11 @@ class ImageMixture {
   ImageMixture() = default;
 
   ImageMixture& add(hw::ImageSpec spec, double weight) {
-    if (weight <= 0.0) throw std::invalid_argument("ImageMixture: weight must be positive");
+    // `weight <= 0.0` alone would let NaN through (every comparison against
+    // NaN is false) and poison both sampling and mean_weighted_spec.
+    if (!std::isfinite(weight) || weight <= 0.0) {
+      throw std::invalid_argument("ImageMixture: weight must be finite and positive");
+    }
     entries_.emplace_back(spec, weight);
     return *this;
   }

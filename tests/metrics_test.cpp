@@ -129,6 +129,50 @@ TEST(Histogram, MergeAddsCounts) {
   EXPECT_EQ(a.count(), 3u);
 }
 
+TEST(Histogram, OverflowBucketQuantileStaysWithinObservedRange) {
+  // Regression: with growth 2 over [1, 10] the overflow bucket's nominal
+  // lower edge (16) exceeds an observed max of 12, so lo > hi and
+  // quantile() was *decreasing* in q and overshot max(). Both bounds must
+  // clamp to the observed range.
+  Histogram h{Histogram::Options{.min_value = 1.0, .max_value = 10.0, .growth = 2.0}};
+  h.add(12.0);
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, h.min()) << "q=" << q;
+    EXPECT_LE(v, h.max()) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 12.0);
+}
+
+// Property test: quantiles are monotone in q and bounded by the observed
+// min/max — for in-range, underflow, and overflow values, and after merge.
+void check_quantile_properties(const Histogram& h) {
+  double prev = h.quantile(0.0);
+  for (double q = 0.0; q <= 1.0 + 1e-9; q += 0.01) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, h.min()) << "q=" << q;
+    EXPECT_LE(v, h.max()) << "q=" << q;
+    EXPECT_GE(v, prev - 1e-12) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, QuantilePropertiesHoldAcrossRangeAndMerge) {
+  const Histogram::Options opts{.min_value = 1e-3, .max_value = 1.0, .growth = 1.7};
+  Histogram a{opts}, b{opts};
+  sim::Rng rng{17};
+  for (int i = 0; i < 4000; ++i) {
+    // Spread across 6 decades so both edge buckets and the interior fill.
+    a.add(rng.lognormal(std::log(0.05), 2.0));
+    b.add(rng.lognormal(std::log(2.0), 2.0));  // mostly overflow
+  }
+  check_quantile_properties(a);
+  check_quantile_properties(b);
+  a.merge(b);
+  check_quantile_properties(a);
+  EXPECT_EQ(a.count(), 8000u);
+}
+
 TEST(Histogram, MergeIncompatibleThrows) {
   Histogram a;
   Histogram b{Histogram::Options{.min_value = 1e-3, .max_value = 10.0, .growth = 2.0}};

@@ -406,6 +406,35 @@ TEST(ConfigFile, FormatParsesBackIdentically) {
   EXPECT_EQ(round.shed_deadline, cfg.shed_deadline);
 }
 
+TEST(ConfigFile, IngressKeysRoundTrip) {
+  serving::ServerConfig cfg;
+  cfg.model = models::tiny_vit();
+  cfg.ingress = serving::IngressFormat::kRawTensor;
+  cfg.ingress_cache.enabled = true;
+  cfg.ingress_cache.image_budget_bytes = 48LL << 20;
+  cfg.ingress_cache.tensor_budget_bytes = 96LL << 20;
+  cfg.ingress_cache.lookup_s = 35e-6;
+  const auto round = serving::parse_server_config(serving::format_server_config(cfg));
+  EXPECT_EQ(round.ingress, serving::IngressFormat::kRawTensor);
+  EXPECT_TRUE(round.ingress_cache.enabled);
+  EXPECT_EQ(round.ingress_cache.image_budget_bytes, 48LL << 20);
+  EXPECT_EQ(round.ingress_cache.tensor_budget_bytes, 96LL << 20);
+  EXPECT_DOUBLE_EQ(round.ingress_cache.lookup_s, 35e-6);
+}
+
+TEST(ConfigFile, IngressKeysRejectBadValues) {
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\ningress = png\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)serving::parse_server_config("model = vit-base\ningress_cache_image_mb = -1\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)serving::parse_server_config("model = vit-base\ningress_cache_lookup_us = -5\n"),
+      std::invalid_argument);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\ningress_cache = maybe\n"),
+               std::invalid_argument);
+}
+
 TEST(ConfigFile, ErrorsCarryLineNumbers) {
   try {
     (void)serving::parse_server_config("model = vit-base\n\nmax_batch = banana\n");

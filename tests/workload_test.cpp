@@ -1,10 +1,14 @@
 // Tests for the workload module: image mixtures and the real JPEG corpus.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <set>
+
 #include "codec/jpeg.h"
 #include "sim/rng.h"
 #include "workload/corpus.h"
 #include "workload/image_mixture.h"
+#include "workload/popularity.h"
 
 namespace serve::workload {
 namespace {
@@ -97,6 +101,93 @@ TEST(Corpus, RealPreprocessTimingIsPositiveAndDecodeHeavy) {
   // Decode dominates the preprocessing pipeline (paper Fig. 6 mechanism).
   EXPECT_GT(t.decode_s, t.normalize_s);
   EXPECT_NEAR(t.total(), t.decode_s + t.resize_s + t.normalize_s, 1e-12);
+}
+
+TEST(ImageMixture, RejectsNonFiniteAndNonPositiveWeights) {
+  // Regression: a NaN weight used to slip past the `weight <= 0` guard (NaN
+  // comparisons are false), poisoning the total and making
+  // mean_weighted_spec divide by garbage.
+  ImageMixture m;
+  EXPECT_THROW(m.add(hw::kSmallImage, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(m.add(hw::kSmallImage, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(m.add(hw::kSmallImage, -1.0), std::invalid_argument);
+  EXPECT_THROW(m.add(hw::kSmallImage, 0.0), std::invalid_argument);
+  // Rejected weights leave the mixture untouched and usable.
+  m.add(hw::kMediumImage, 2.0);
+  EXPECT_EQ(m.mean_weighted_spec(), hw::kMediumImage);
+}
+
+TEST(SpecCorpus, DistinctStableNonZeroIdentities) {
+  const auto corpus = make_spec_corpus(hw::kMediumImage, 100, 7);
+  ASSERT_EQ(corpus.size(), 100u);
+  std::set<std::uint64_t> hashes;
+  for (const auto& e : corpus) {
+    EXPECT_EQ(e.spec, hw::kMediumImage);
+    EXPECT_NE(e.content_hash, 0u);
+    hashes.insert(e.content_hash);
+  }
+  EXPECT_EQ(hashes.size(), 100u);  // all distinct despite identical geometry
+  const auto again = make_spec_corpus(hw::kMediumImage, 100, 7);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(corpus[i].content_hash, again[i].content_hash);
+  const auto reseeded = make_spec_corpus(hw::kMediumImage, 100, 8);
+  EXPECT_NE(corpus[0].content_hash, reseeded[0].content_hash);
+  EXPECT_THROW((void)make_spec_corpus(hw::kMediumImage, 0), std::invalid_argument);
+}
+
+TEST(Popularity, ZipfMassIsHeadHeavyAndNormalized) {
+  const auto p = PopularityModel::zipf(100, 1.0);
+  EXPECT_EQ(p.size(), 100u);
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) total += p.mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(p.mass(0), p.mass(1));
+  EXPECT_GT(p.mass(1), p.mass(99));
+}
+
+TEST(Popularity, UniformIsFlat) {
+  const auto p = PopularityModel::uniform(8);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(p.mass(i), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Popularity, SamplingIsDeterministicAndMatchesMass) {
+  const auto p = PopularityModel::zipf(50, 1.2);
+  sim::Rng a{99}, b{99};
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto ia = p.sample(a);
+    ASSERT_EQ(ia, p.sample(b));  // same seed, same draw sequence
+    ASSERT_LT(ia, p.size());
+    head += ia == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(head) / n, p.mass(0), 0.02);
+}
+
+TEST(Popularity, RejectsBadParameters) {
+  EXPECT_THROW((void)PopularityModel::zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)PopularityModel::zipf(10, -0.5), std::invalid_argument);
+  EXPECT_THROW((void)PopularityModel::zipf(10, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(Popularity, CorpusSourceCarriesIdentityAndIngress) {
+  auto corpus = make_spec_corpus(hw::kMediumImage, 4, 21);
+  const auto expected = corpus;  // the source moves its copy
+  const auto source = popular_corpus_source(std::move(corpus), PopularityModel::uniform(4),
+                                            serving::RequestIngress::kRawTensor);
+  sim::Rng rng{5};
+  for (int i = 0; i < 32; ++i) {
+    const auto desc = source(rng);
+    EXPECT_EQ(desc.ingress, serving::RequestIngress::kRawTensor);
+    bool found = false;
+    for (const auto& e : expected) found |= e.content_hash == desc.content_hash;
+    EXPECT_TRUE(found);
+    EXPECT_EQ(desc.image, hw::kMediumImage);
+  }
+  EXPECT_THROW((void)popular_corpus_source(expected, PopularityModel::uniform(3)),
+               std::invalid_argument);
 }
 
 }  // namespace
