@@ -70,6 +70,14 @@ class Reporter {
     print_banner(figure, title);
     export_.set_context("figure", std::move(figure));
     export_.set_context("title", std::move(title));
+    // Recorded so tools/bench_check can refuse debug-build baselines: a
+    // debug number sneaking into a committed BENCH_*.json makes every later
+    // Release run look like a huge improvement and masks real regressions.
+#ifdef NDEBUG
+    export_.set_context("build_type", "release");
+#else
+    export_.set_context("build_type", "debug");
+#endif
   }
 
   /// Removes --json-out/--csv-out/--prom-out (each takes a path) from an

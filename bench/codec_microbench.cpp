@@ -223,6 +223,36 @@ void BM_Idct8x8(benchmark::State& state) {
 }
 BENCHMARK(BM_Idct8x8);
 
+void BM_Idct8x8Scaled(benchmark::State& state) {
+  // The decoder's actual inner transform: prescale already folded into the
+  // quant tables, SIMD-dispatched (scalar under SERVESCOPE_FORCE_SCALAR).
+  float in[64], out[64];
+  const auto& scale = codec::jpeg::idct_prescale();
+  for (int i = 0; i < 64; ++i) {
+    in[i] = static_cast<float>((i * 17) % 101) * scale[static_cast<std::size_t>(i)];
+  }
+  for (auto _ : state) {
+    codec::jpeg::idct8x8_scaled(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Idct8x8Scaled);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): the app-level build type goes into the JSON context
+// so tools/bench_check can refuse debug-build numbers (google-benchmark's own
+// "library_build_type" describes the system library, not this binary).
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("build_type", "release");
+#else
+  benchmark::AddCustomContext("build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <string_view>
 
 #include "bench_util.h"
@@ -150,12 +151,124 @@ int run_record_mode(bench::Reporter& rep, int concurrency) {
   return rep.finish();
 }
 
+/// Bitwise fingerprint of a run's externally visible outputs. Doubles go in
+/// as raw bit patterns, so two runs match only if they are byte-identical —
+/// the determinism contract the simulator core promises.
+std::string result_digest(const core::ExperimentResult& r) {
+  std::string d;
+  char buf[17];
+  const auto add_u64 = [&](std::uint64_t v) {
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    d += buf;
+  };
+  const auto add_f64 = [&](double x) {
+    std::uint64_t v;
+    std::memcpy(&v, &x, sizeof v);
+    add_u64(v);
+  };
+  add_u64(r.completed);
+  add_f64(r.throughput_rps);
+  add_f64(r.mean_latency_s);
+  add_f64(r.p50_latency_s);
+  add_f64(r.p99_latency_s);
+  add_f64(r.mean_batch);
+  add_u64(r.gpu_evictions);
+  add_u64(r.dropped);
+  add_u64(r.failed);
+  add_u64(r.audit_violations);
+  return d;
+}
+
+int run_extended_mode(bench::Reporter& rep) {
+  // 100k-way closed-loop sweep (CPU preprocessing: the scale question, not
+  // the GPU staging-thrash one). Exercises the simulator core far beyond the
+  // paper's 4096 clients: 100k coroutine client processes, a 100k-deep
+  // admission queue, and the lifecycle auditor on for every request. Short
+  // windows keep the sweep inside a CI budget.
+  std::printf("\nExtended mode: 100k-way concurrency sweep, audit on\n");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const int concurrencies[] = {16384, 65536, 100000};
+  metrics::Table table(
+      {"concurrency", "tput_img_s", "avg_lat_ms", "p99_lat_ms", "queue_%", "audit_violations"});
+
+  double tput_first = 0, tput_last = 0;
+  double lat_first = 0, lat_last = 0;
+  bool audit_clean = true;
+  std::string violation_note;
+  std::string digest_100k;
+
+  // A closed-loop client's steady-state latency is one full queue rotation
+  // (~concurrency / service rate), so warmup must cover at least one rotation
+  // before the window opens or the measurement only sees the cold prefix.
+  const auto scaled_spec = [](int c) {
+    ExperimentSpec spec = gpu_spec(c);
+    spec.server.preproc = PreprocDevice::kCpu;
+    spec.server.audit = true;
+    const double rotation_s = static_cast<double>(c) / 1500.0;
+    spec.warmup = sim::seconds(1.25 * rotation_s + 2.0);
+    spec.measure = sim::seconds(20.0);
+    return spec;
+  };
+
+  for (int c : concurrencies) {
+    const auto r = core::run_experiment(scaled_spec(c));
+    const double qshare = r.stage_share(Stage::kQueue);
+    table.add_row({static_cast<std::int64_t>(c), r.throughput_rps, r.mean_latency_s * 1e3,
+                   r.p99_latency_s * 1e3, 100 * qshare,
+                   static_cast<std::int64_t>(r.audit_violations)});
+    rep.benchmark("fig05/extended/cpu/" + std::to_string(c), r.mean_latency_s * 1e3,
+                  {{"tput_img_s", r.throughput_rps},
+                   {"p99_ms", r.p99_latency_s * 1e3},
+                   {"queue_share", qshare}});
+    if (c == concurrencies[0]) {
+      tput_first = r.throughput_rps;
+      lat_first = r.mean_latency_s;
+    }
+    if (c == 100000) {
+      tput_last = r.throughput_rps;
+      lat_last = r.mean_latency_s;
+      digest_100k = result_digest(r);
+    }
+    if (r.audit_violations != 0) {
+      audit_clean = false;
+      violation_note = std::to_string(r.audit_violations) + " violations at concurrency " +
+                       std::to_string(c) +
+                       (r.audit_report.empty() ? "" : ": " + r.audit_report.front());
+    }
+  }
+  rep.table("extended_sweep", table);
+
+  // Same-seed repeat of the 100k point: every output must be byte-identical.
+  const std::string digest_repeat = result_digest(core::run_experiment(scaled_spec(100000)));
+
+  const double wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::printf("extended sweep wall time: %.1f s\n", wall_s);
+
+  rep.check("lifecycle audit is clean at every extended concurrency",
+            audit_clean, audit_clean ? "0 violations across sweep" : violation_note);
+  rep.check("100k-client run is byte-identical across same-seed repeats",
+            digest_100k == digest_repeat, digest_100k + " vs " + digest_repeat);
+  rep.check("saturated CPU throughput holds from 16k to 100k clients",
+            tput_last > 0.90 * tput_first,
+            "16384 -> " + std::to_string(tput_first) + " img/s, 100000 -> " +
+                std::to_string(tput_last) + " img/s");
+  rep.check("steady-state latency tracks one queue rotation (~concurrency / rate)",
+            lat_last > 4.0 * lat_first && lat_last > 0.8 * (100000.0 / tput_last),
+            "16384 -> " + std::to_string(lat_first) + " s, 100000 -> " +
+                std::to_string(lat_last) + " s");
+  rep.check("100k-way sweep completes inside the CI budget (240 s)",
+            wall_s < 240.0, std::to_string(wall_s) + " s");
+  return rep.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Reporter rep("Figure 5",
                       "Throughput / latency / queuing vs concurrency (ViT, medium image)");
   bool record = false;
+  bool extended = false;
   int record_concurrency = 4096;
   std::vector<const char*> rest;
   rest.push_back(argv[0]);
@@ -163,6 +276,8 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--record") {
       record = true;
+    } else if (arg == "--extended") {
+      extended = true;
     } else if (arg == "--record-concurrency") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --record-concurrency requires a value\n");
@@ -176,6 +291,7 @@ int main(int argc, char** argv) {
   }
   if (!rep.parse_cli(static_cast<int>(rest.size()), rest.data())) return 2;
   if (record) return run_record_mode(rep, record_concurrency);
+  if (extended) return run_extended_mode(rep);
 
   const int concurrencies[] = {1, 4, 16, 64, 128, 256, 512, 1024, 2048, 4096};
   metrics::Table table({"preproc", "concurrency", "tput_img_s", "avg_lat_ms", "p99_lat_ms",

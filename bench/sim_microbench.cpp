@@ -1,13 +1,18 @@
 // google-benchmark micro-benchmarks of the discrete-event simulation kernel:
-// raw event throughput, channel hand-offs, resource cycles, and whole-server
-// simulation speed (virtual seconds per wall second).
+// raw event throughput, channel hand-offs, task spawn/switch churn, resource
+// cycles, and whole-server simulation speed. Rate counters (events/s,
+// channel_ops/s, task_switches/s) plus allocation counters from the sim
+// frame pool (allocs per simulated request) make regressions in the
+// per-request hot path visible at a glance.
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.h"
 #include "models/model_zoo.h"
 #include "sim/channel.h"
+#include "sim/pool.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
+#include "sim/task.h"
 
 using namespace serve;
 
@@ -20,6 +25,8 @@ void BM_EventDispatch(benchmark::State& state) {
     benchmark::DoNotOptimize(sim.run());
   }
   state.SetItemsProcessed(state.iterations() * 10000);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 10000), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventDispatch);
 
@@ -29,22 +36,68 @@ sim::Process pingpong_producer(sim::Simulator&, sim::Channel<int>& ch, int n) {
 }
 
 sim::Process pingpong_consumer(sim::Simulator&, sim::Channel<int>& ch) {
-  while (co_await ch.get()) {
+  // NOTE: deliberately not `while (co_await ch.get())` — GCC 12 miscompiles
+  // a co_await in a while-condition here (the coroutine frame is mislaid and
+  // the process silently never runs), which made an earlier version of this
+  // benchmark measure an empty simulation.
+  while (true) {
+    auto v = co_await ch.get();
+    if (!v) break;
   }
 }
 
 void BM_ChannelHandoff(benchmark::State& state) {
   const int n = 10000;
+  std::uint64_t steps = 0;
   for (auto _ : state) {
     sim::Simulator sim;
     sim::Channel<int> ch{sim, 8};
     sim.spawn(pingpong_producer(sim, ch, n));
     sim.spawn(pingpong_consumer(sim, ch));
-    benchmark::DoNotOptimize(sim.run());
+    steps += sim.run();
+    if (sim.live_processes() != 0) {
+      state.SkipWithError("handoff deadlocked: processes still live");
+      return;
+    }
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["channel_ops/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * n), benchmark::Counter::kIsRate);
+  state.counters["steps_per_item"] =
+      static_cast<double>(steps) / static_cast<double>(state.iterations() * n);
 }
 BENCHMARK(BM_ChannelHandoff);
+
+sim::Task<int> leaf_task(int i) { co_return i; }
+
+sim::Task<int> mid_task(int i) {
+  int acc = 0;
+  for (int k = 0; k < 4; ++k) acc += co_await leaf_task(i + k);
+  co_return acc;
+}
+
+sim::Process task_churn(sim::Simulator&, int n, std::uint64_t& sink) {
+  for (int i = 0; i < n; ++i) sink += static_cast<std::uint64_t>(co_await mid_task(i));
+}
+
+void BM_TaskSwitch(benchmark::State& state) {
+  // Spawn/await churn through nested Task coroutines: every iteration is
+  // n * (1 mid + 4 leaf) frame allocations plus symmetric-transfer switches,
+  // i.e. the shape of one pipeline fragment per simulated request.
+  const int n = 2000;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.spawn(task_churn(sim, n, sink));
+    benchmark::DoNotOptimize(sim.run());
+  }
+  benchmark::DoNotOptimize(sink);
+  const auto switches = state.iterations() * n * 5;  // 5 task frames per loop
+  state.SetItemsProcessed(switches);
+  state.counters["task_switches/s"] = benchmark::Counter(
+      static_cast<double>(switches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TaskSwitch);
 
 sim::Process resource_cycler(sim::Simulator& sim, sim::Resource& res, int n) {
   for (int i = 0; i < n; ++i) {
@@ -66,9 +119,12 @@ void BM_ResourceCycle(benchmark::State& state) {
 BENCHMARK(BM_ResourceCycle);
 
 void BM_FullServerSimulation(benchmark::State& state) {
-  // Virtual-time speed of the complete Fig. 5-style experiment; the counter
-  // reports simulated requests per wall second.
+  // Virtual-time speed of the complete Fig. 5-style experiment; the counters
+  // report simulated requests per wall second and how many allocations the
+  // per-request hot path costs (pool hits are recycled frames, heap allocs
+  // actually reached operator new).
   std::uint64_t requests = 0;
+  const sim::AllocStats before = sim::alloc_stats();
   for (auto _ : state) {
     core::ExperimentSpec spec;
     spec.server.model = models::vit_base();
@@ -79,11 +135,38 @@ void BM_FullServerSimulation(benchmark::State& state) {
     requests += r.completed;
     benchmark::DoNotOptimize(r);
   }
+  const sim::AllocStats after = sim::alloc_stats();
   state.counters["sim_requests/s"] =
       benchmark::Counter(static_cast<double>(requests), benchmark::Counter::kIsRate);
+  if (requests > 0) {
+    const auto per = [&](std::uint64_t a, std::uint64_t b) {
+      return static_cast<double>(a - b) / static_cast<double>(requests);
+    };
+    state.counters["frame_allocs_per_req"] = per(after.frame_allocs, before.frame_allocs);
+    state.counters["heap_allocs_per_req"] =
+        per(after.frame_heap_allocs, before.frame_heap_allocs) +
+        per(after.action_heap_allocs, before.action_heap_allocs);
+    state.counters["pool_hit_rate"] =
+        static_cast<double>(after.frame_pool_hits - before.frame_pool_hits) /
+        static_cast<double>(after.frame_allocs - before.frame_allocs);
+  }
 }
 BENCHMARK(BM_FullServerSimulation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): the app-level build type goes into the JSON context
+// so tools/bench_check can refuse debug-build numbers (google-benchmark's own
+// "library_build_type" describes the system library, not this binary).
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("build_type", "release");
+#else
+  benchmark::AddCustomContext("build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

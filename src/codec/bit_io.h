@@ -8,6 +8,7 @@
 // accumulator and spills whole bytes.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
@@ -55,8 +56,10 @@ class BitWriter {
 /// MSB-first bit reader over an entropy-coded segment. Unstuffs 0xFF00 and
 /// stops at any real marker (reporting it to the caller).
 ///
-/// Refill is bulk: up to eight bytes enter the accumulator at once. Past the
-/// end of the segment (or once a real marker is reached) the accumulator is
+/// The accumulator is left-justified (the next bit to read is bit 63), which
+/// lets refill top up with a single unaligned 8-byte load whenever the next
+/// eight bytes contain no 0xFF — the overwhelmingly common case. Past the end
+/// of the segment (or once a real marker is reached) the accumulator is
 /// topped up with zero padding so that `peek` stays cheap and branch-free;
 /// the error is raised only when `consume` actually eats into the padding,
 /// which is exactly when the old bit-at-a-time reader would have thrown.
@@ -68,12 +71,14 @@ class BitReader {
   /// `count` in [0, 32]. Bits past the end of the segment read as zero.
   [[nodiscard]] std::uint32_t peek(int count) {
     if (bits_ < count) refill();
-    return static_cast<std::uint32_t>((acc_ >> (bits_ - count)) & ((1ull << count) - 1u));
+    // Double shift instead of `>> (64 - count)` so count == 0 is defined.
+    return static_cast<std::uint32_t>((acc_ >> 1) >> (63 - count));
   }
 
   /// Discards `count` previously peeked bits; throws CodecError if that
   /// crosses the end of the real data.
   void consume(int count) {
+    acc_ <<= count;
     bits_ -= count;
     if (bits_ < pad_bits_) throw_end_error();
   }
@@ -113,6 +118,29 @@ class BitReader {
   enum class End : std::uint8_t { kNone, kExhausted, kDanglingFf, kMarker };
 
   void refill() {
+    // Fast path: whole-byte top-up from one unaligned 8-byte load when none
+    // of the bytes is 0xFF (no unstuffing, no marker). The zero-detect trick
+    // finds any 0xFF byte by checking (w ^ ~0) for a zero byte.
+    if (end_ == End::kNone && pos_ + 8 <= size_) {
+      std::uint64_t w;
+      __builtin_memcpy(&w, data_ + pos_, 8);
+      const std::uint64_t t = w ^ ~0ull;
+      if ((((t - 0x0101010101010101ull) & ~t) & 0x8080808080808080ull) == 0) {
+        if constexpr (std::endian::native == std::endian::little) {
+          w = __builtin_bswap64(w);
+        }
+        const int added = (64 - bits_) & ~7;  // whole bytes only
+        const int total = bits_ + added;      // 57..64
+        std::uint64_t chunk = w >> bits_;
+        // Mask off loaded bits beyond the credited whole bytes, or the next
+        // refill would OR fresh data over stale content.
+        if (total < 64) chunk &= ~0ull << (64 - total);
+        acc_ |= chunk;
+        pos_ += static_cast<std::size_t>(added >> 3);
+        bits_ = total;
+        return;
+      }
+    }
     while (bits_ <= 56) {
       if (end_ == End::kNone) {
         if (pos_ >= size_) {
@@ -121,7 +149,7 @@ class BitReader {
           const std::uint8_t b = data_[pos_];
           if (b != 0xFF) {
             ++pos_;
-            acc_ = (acc_ << 8) | b;
+            acc_ |= static_cast<std::uint64_t>(b) << (56 - bits_);
             bits_ += 8;
             continue;
           }
@@ -129,7 +157,7 @@ class BitReader {
             end_ = End::kDanglingFf;
           } else if (data_[pos_ + 1] == 0x00) {
             pos_ += 2;  // stuffed byte
-            acc_ = (acc_ << 8) | 0xFFu;
+            acc_ |= 0xFFull << (56 - bits_);
             bits_ += 8;
             continue;
           } else {
@@ -138,8 +166,7 @@ class BitReader {
           }
         }
       }
-      acc_ <<= 8;  // zero padding past the end; consuming it throws
-      bits_ += 8;
+      bits_ += 8;  // zero padding past the end; consuming it throws
       pad_bits_ += 8;
     }
   }
@@ -159,7 +186,7 @@ class BitReader {
   std::size_t size_;
   std::size_t pos_ = 0;
   std::uint64_t acc_ = 0;
-  int bits_ = 0;      ///< buffered bits (low `bits_` of acc_), including padding
+  int bits_ = 0;      ///< buffered bits (top `bits_` of acc_), including padding
   int pad_bits_ = 0;  ///< zero-padding bits at the bottom of the buffer
   End end_ = End::kNone;
 };

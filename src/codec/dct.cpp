@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "codec/simd_kernels.h"
+
 namespace serve::codec::jpeg {
 
 namespace {
@@ -157,12 +159,16 @@ void idct8x8(const float in[64], float out[64]) noexcept {
   for (int i = 0; i < 64; ++i) out[i] = work[i];
 }
 
-void idct8x8_scaled(const float in[64], float out[64]) noexcept {
+void idct8x8_scaled_scalar(const float in[64], float out[64]) noexcept {
   float work[64];
   for (int i = 0; i < 64; ++i) work[i] = in[i];
   for (int x = 0; x < 8; ++x) idct_pass1d(&work[x], 8);
   for (int y = 0; y < 8; ++y) idct_pass1d(&work[y * 8], 1);
   for (int i = 0; i < 64; ++i) out[i] = work[i];
+}
+
+void idct8x8_scaled(const float in[64], float out[64]) noexcept {
+  simd::kernels().idct8x8_scaled(in, out);
 }
 
 const std::array<float, 64>& idct_prescale() noexcept { return aan_scales().idct; }

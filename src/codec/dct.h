@@ -32,7 +32,10 @@ void idct8x8_ref(const float in[64], float out[64]) noexcept;
 [[nodiscard]] const std::array<float, 64>& idct_prescale() noexcept;
 
 /// Fast IDCT over coefficients already multiplied by `idct_prescale()`
-/// (e.g. via a folded dequantization table).
+/// (e.g. via a folded dequantization table). Dispatches to the best SIMD tier
+/// (codec/cpu_features.h); `idct8x8_scaled_scalar` is the portable
+/// implementation the vector tiers are tested against.
 void idct8x8_scaled(const float in[64], float out[64]) noexcept;
+void idct8x8_scaled_scalar(const float in[64], float out[64]) noexcept;
 
 }  // namespace serve::codec::jpeg

@@ -6,6 +6,7 @@
 
 #include "codec/dct.h"
 #include "codec/jpeg.h"
+#include "codec/simd_kernels.h"
 #include "codec/jpeg_huffman.h"
 #include "codec/jpeg_tables.h"
 
@@ -221,20 +222,61 @@ DecoderState parse_headers(std::span<const std::uint8_t> data) {
 /// letting the caller skip the IDCT entirely.
 inline bool decode_block(BitReader& br, Component& c, const DecodeTable& dc,
                          const DecodeTable& ac, float coeffs[64]) {
-  const int ssss = dc.decode(br);
-  // Baseline DC magnitudes are at most 11 bits (T.81 table F.1); a
-  // corrupted table can hand back any byte, which would overflow
-  // the shifts in extend().
-  if (ssss > 15) throw CodecError("DC magnitude category out of range");
-  if (ssss > 0) c.dc_pred += extend(static_cast<int>(br.get_bits(ssss)), ssss);
+  // Fused symbol+magnitude window: one peek covers the Huffman code (lookup
+  // hits are <= kHuffLookupBits bits) and the magnitude bits that follow, so
+  // the common case pays one refill check and one consume per coefficient.
+  constexpr int kWindow = kHuffLookupBits + 11;  // longest baseline magnitude
+  {
+    const std::uint32_t w = br.peek(kWindow);
+    const std::uint16_t entry = dc.lookup[w >> (kWindow - kHuffLookupBits)];
+    int ssss;
+    if (entry != 0 && (entry >> 8) <= 11) {  // baseline DC magnitude bound
+      const int len = entry & 0xFF;
+      ssss = entry >> 8;
+      if (ssss > 0) {
+        const auto v = static_cast<int>((w >> (kWindow - len - ssss)) &
+                                        ((1u << ssss) - 1u));
+        br.consume(len + ssss);
+        c.dc_pred += extend(v, ssss);
+      } else {
+        br.consume(len);
+      }
+    } else {
+      ssss = entry != 0 ? dc.decode(br) : dc.decode_slow(br);
+      // Baseline DC magnitudes are at most 11 bits (T.81 table F.1); a
+      // corrupted table can hand back any byte, which would overflow
+      // the shifts in extend().
+      if (ssss > 15) throw CodecError("DC magnitude category out of range");
+      if (ssss > 0) c.dc_pred += extend(static_cast<int>(br.get_bits(ssss)), ssss);
+    }
+  }
   coeffs[0] = static_cast<float>(c.dc_pred) * c.dequant[0];
 
   int k = 1;
   bool dc_only = true;
   while (k < 64) {
-    const std::uint8_t rs = ac.decode(br);
-    const int run = rs >> 4;
-    const int size = rs & 0x0F;
+    const std::uint32_t w = br.peek(kWindow);
+    const std::uint16_t entry = ac.lookup[w >> (kWindow - kHuffLookupBits)];
+    int run, size, v = 0;
+    if (entry != 0 && (entry & 0xFF) + ((entry >> 8) & 0x0F) <= kWindow) {
+      const int len = entry & 0xFF;
+      const int rs = entry >> 8;
+      run = rs >> 4;
+      size = rs & 0x0F;
+      if (size > 0) {
+        v = extend(static_cast<int>((w >> (kWindow - len - size)) &
+                                    ((1u << size) - 1u)),
+                   size);
+        br.consume(len + size);
+      } else {
+        br.consume(len);
+      }
+    } else {
+      const std::uint8_t rs = entry != 0 ? ac.decode(br) : ac.decode_slow(br);
+      run = rs >> 4;
+      size = rs & 0x0F;
+      if (size > 0) v = extend(static_cast<int>(br.get_bits(size)), size);
+    }
     if (size == 0) {
       if (run == 15) {
         k += 16;  // ZRL
@@ -251,7 +293,6 @@ inline bool decode_block(BitReader& br, Component& c, const DecodeTable& dc,
     k += run;
     if (k > 63) throw CodecError("AC run past end of block");
     const int nat = kZigZag[static_cast<std::size_t>(k)];
-    const int v = extend(static_cast<int>(br.get_bits(size)), size);
     coeffs[nat] = static_cast<float>(v) * c.dequant[static_cast<std::size_t>(nat)];
     ++k;
   }
@@ -308,9 +349,10 @@ Image decode_jpeg(std::span<const std::uint8_t> data, const JpegDecodeOptions& o
     }
   }
 
+  const auto& K = simd::kernels();
   BitReader br{data.data() + st.scan_start, data.size() - st.scan_start};
-  alignas(16) float coeffs[64];
-  alignas(16) float samples[64];
+  alignas(32) float coeffs[64];
+  alignas(32) float samples[64];
   int mcu_count = 0;
   for (int my = 0; my < mcus_y; ++my) {
     for (int mx = 0; mx < mcus_x; ++mx) {
@@ -343,13 +385,21 @@ Image decode_jpeg(std::span<const std::uint8_t> data, const JpegDecodeOptions& o
             }
             if (dc_only) std::memset(coeffs + 1, 0, 63 * sizeof(float));
             if (fast_idct) {
-              idct8x8_scaled(coeffs, samples);
+              // The IDCT is linear and a pure-DC input is flat (see above), so
+              // the +128 level shift folds into the DC coefficient and the
+              // writeback becomes a plain row copy.
+              coeffs[0] += 128.0f;
+              K.idct8x8_scaled(coeffs, samples);
+              for (int y = 0; y < 8; ++y) {
+                std::memcpy(dst0 + static_cast<std::size_t>(y) * static_cast<std::size_t>(stride),
+                            samples + y * 8, 8 * sizeof(float));
+              }
             } else {
               idct8x8_ref(coeffs, samples);
-            }
-            for (int y = 0; y < 8; ++y) {
-              float* row = dst0 + static_cast<std::size_t>(y) * static_cast<std::size_t>(stride);
-              for (int x = 0; x < 8; ++x) row[x] = samples[y * 8 + x] + 128.0f;
+              for (int y = 0; y < 8; ++y) {
+                float* row = dst0 + static_cast<std::size_t>(y) * static_cast<std::size_t>(stride);
+                for (int x = 0; x < 8; ++x) row[x] = samples[y * 8 + x] + 128.0f;
+              }
             }
           }
         }
@@ -362,13 +412,6 @@ Image decode_jpeg(std::span<const std::uint8_t> data, const JpegDecodeOptions& o
   // the YCbCr matrix — no divisions.
   const bool gray = st.comps.size() == 1;
   Image img{st.width, st.height, gray ? 1 : 3};
-  // Round-half-up + clamp without the libm lround call (which is a PLT call
-  // per sample — three per pixel). Agrees with lround on every non-negative
-  // value except those within one float ulp below a .5 boundary.
-  auto clamp255 = [](float v) {
-    v += 0.5f;
-    return static_cast<std::uint8_t>(v < 0.0f ? 0 : (v > 255.0f ? 255 : static_cast<int>(v)));
-  };
   std::array<std::vector<int>, 3> xmap;
   for (std::size_t ci = 0; ci < st.comps.size(); ++ci) {
     const auto& c = st.comps[ci];
@@ -381,28 +424,41 @@ Image decode_jpeg(std::span<const std::uint8_t> data, const JpegDecodeOptions& o
     const int sy = std::min(y * c.v / vmax, c.plane_h - 1);
     return &c.plane[static_cast<std::size_t>(sy) * static_cast<std::size_t>(c.blocks_w) * 8u];
   };
+  // Color conversion runs on full-resolution rows through the dispatched row
+  // kernels (codec/cpu_features.h). Components at full horizontal sampling
+  // (xmap is identity) feed their plane row straight in; subsampled chroma is
+  // gathered into a scratch row first.
+  std::array<bool, 3> identity{};
+  for (std::size_t ci = 0; ci < st.comps.size(); ++ci) {
+    identity[ci] = st.comps[ci].h == hmax && st.comps[ci].plane_w >= st.width;
+  }
+  std::vector<float> gather_buf(static_cast<std::size_t>(st.width) *
+                                st.comps.size());
+  auto full_row = [&](std::size_t ci, int y) -> const float* {
+    const float* src = comp_row(st.comps[ci], y);
+    if (identity[ci]) return src;
+    float* dst = gather_buf.data() + ci * static_cast<std::size_t>(st.width);
+    if (st.comps[ci].h * 2 == hmax) {
+      // The only supported sampling factors are 1 and 2, so every
+      // non-identity horizontal map is exactly dst[x] = src[x >> 1].
+      K.upsample2_row(src, dst, st.width);
+    } else {
+      const int* xm = xmap[ci].data();
+      for (int x = 0; x < st.width; ++x) dst[x] = src[xm[x]];
+    }
+    return dst;
+  };
   std::uint8_t* out = img.data().data();
   for (int y = 0; y < st.height; ++y) {
     if (gray) {
-      const float* yrow = comp_row(st.comps[0], y);
-      const int* xm = xmap[0].data();
-      for (int x = 0; x < st.width; ++x) *out++ = clamp255(yrow[xm[x]]);
+      K.gray_to_u8_row(full_row(0, y), out, st.width);
+      out += st.width;
     } else {
-      const float* yrow = comp_row(st.comps[0], y);
-      const float* cbrow = comp_row(st.comps[1], y);
-      const float* crrow = comp_row(st.comps[2], y);
-      const int* xmy = xmap[0].data();
-      const int* xmcb = xmap[1].data();
-      const int* xmcr = xmap[2].data();
-      for (int x = 0; x < st.width; ++x) {
-        const float Y = yrow[xmy[x]];
-        const float Cb = cbrow[xmcb[x]] - 128.0f;
-        const float Cr = crrow[xmcr[x]] - 128.0f;
-        out[0] = clamp255(Y + 1.402f * Cr);
-        out[1] = clamp255(Y - 0.344136f * Cb - 0.714136f * Cr);
-        out[2] = clamp255(Y + 1.772f * Cb);
-        out += 3;
-      }
+      const float* yrow = full_row(0, y);
+      const float* cbrow = full_row(1, y);
+      const float* crrow = full_row(2, y);
+      K.ycbcr_to_rgb_row(yrow, cbrow, crrow, out, st.width);
+      out += static_cast<std::size_t>(st.width) * 3;
     }
   }
   return img;

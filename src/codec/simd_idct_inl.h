@@ -1,0 +1,122 @@
+// Shared AAN inverse-DCT butterfly for the vector tiers.
+//
+// `aan_idct_pass` is the exact vector transliteration of the scalar
+// `idct_pass1d` in dct.cpp: same expressions, same association, mul/add kept
+// separate (no FMA), so every lane computes bit-identically to the scalar
+// pass. Each tier instantiates it with its vector-of-8-floats type (native
+// arithmetic operators) and a splat callable, and provides its own 8x8
+// transpose:
+//
+//   load rows -> pass (columns, vertical) -> transpose -> pass (rows)
+//   -> transpose -> store
+#pragma once
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace serve::codec::simd::detail {
+
+template <typename V, typename SplatFn>
+inline void aan_idct_pass(V d[8], SplatFn splat) noexcept {
+  // Even part.
+  const V e0 = d[0], e1 = d[2], e2 = d[4], e3 = d[6];
+  const V t10 = e0 + e2;
+  const V t11 = e0 - e2;
+  const V t13 = e1 + e3;
+  const V t12 = (e1 - e3) * splat(1.414213562f) - t13;  // 2*c4
+
+  const V p0 = t10 + t13;
+  const V p3 = t10 - t13;
+  const V p1 = t11 + t12;
+  const V p2 = t11 - t12;
+
+  // Odd part.
+  const V o4 = d[1], o5 = d[3], o6 = d[5], o7 = d[7];
+  const V z13 = o6 + o5;
+  const V z10 = o6 - o5;
+  const V z11 = o4 + o7;
+  const V z12 = o4 - o7;
+
+  const V q7 = z11 + z13;
+  const V w11 = (z11 - z13) * splat(1.414213562f);  // 2*c4
+  const V z5 = (z10 + z12) * splat(1.847759065f);   // 2*c2
+  const V w10 = splat(1.082392200f) * z12 - z5;     // 2*(c2-c6)
+  const V w12 = z5 - splat(2.613125930f) * z10;     // -2*(c2+c6)
+
+  const V q6 = w12 - q7;
+  const V q5 = w11 - q6;
+  const V q4 = w10 + q5;
+
+  d[0] = p0 + q7;
+  d[7] = p0 - q7;
+  d[1] = p1 + q6;
+  d[6] = p1 - q6;
+  d[2] = p2 + q5;
+  d[5] = p2 - q5;
+  d[4] = p3 + q4;
+  d[3] = p3 - q4;
+}
+
+#if defined(__SSE2__)
+
+// 8 floats as two __m128, so the butterfly above spans a whole DCT row per
+// op. The 8x8 transpose decomposes into four 4x4 quadrant transposes, which
+// need only `shufps` — cheaper on most cores than the cross-lane permutes an
+// 8-wide AVX2 transpose requires, which is why the AVX2 tier also uses this
+// kernel (each TU compiles its own copy with its own ISA flags).
+struct V8 {
+  __m128 lo, hi;
+};
+inline V8 operator+(V8 a, V8 b) noexcept {
+  return {_mm_add_ps(a.lo, b.lo), _mm_add_ps(a.hi, b.hi)};
+}
+inline V8 operator-(V8 a, V8 b) noexcept {
+  return {_mm_sub_ps(a.lo, b.lo), _mm_sub_ps(a.hi, b.hi)};
+}
+inline V8 operator*(V8 a, V8 b) noexcept {
+  return {_mm_mul_ps(a.lo, b.lo), _mm_mul_ps(a.hi, b.hi)};
+}
+inline V8 splat_v8(float f) noexcept {
+  const __m128 v = _mm_set1_ps(f);
+  return {v, v};
+}
+
+inline void transpose8(V8 r[8]) noexcept {
+  __m128 a0 = r[0].lo, a1 = r[1].lo, a2 = r[2].lo, a3 = r[3].lo;  // quadrant A
+  __m128 b0 = r[0].hi, b1 = r[1].hi, b2 = r[2].hi, b3 = r[3].hi;  // quadrant B
+  __m128 c0 = r[4].lo, c1 = r[5].lo, c2 = r[6].lo, c3 = r[7].lo;  // quadrant C
+  __m128 d0 = r[4].hi, d1 = r[5].hi, d2 = r[6].hi, d3 = r[7].hi;  // quadrant D
+  _MM_TRANSPOSE4_PS(a0, a1, a2, a3);
+  _MM_TRANSPOSE4_PS(b0, b1, b2, b3);
+  _MM_TRANSPOSE4_PS(c0, c1, c2, c3);
+  _MM_TRANSPOSE4_PS(d0, d1, d2, d3);
+  // [A B; C D]^T = [A^T C^T; B^T D^T]
+  r[0] = {a0, c0};
+  r[1] = {a1, c1};
+  r[2] = {a2, c2};
+  r[3] = {a3, c3};
+  r[4] = {b0, d0};
+  r[5] = {b1, d1};
+  r[6] = {b2, d2};
+  r[7] = {b3, d3};
+}
+
+inline void idct8x8_scaled_4wide(const float in[64], float out[64]) noexcept {
+  V8 r[8];
+  for (int i = 0; i < 8; ++i) {
+    r[i] = {_mm_loadu_ps(in + 8 * i), _mm_loadu_ps(in + 8 * i + 4)};
+  }
+  aan_idct_pass(r, splat_v8);  // column pass (vertical, stride-8)
+  transpose8(r);
+  aan_idct_pass(r, splat_v8);  // row pass
+  transpose8(r);
+  for (int i = 0; i < 8; ++i) {
+    _mm_storeu_ps(out + 8 * i, r[i].lo);
+    _mm_storeu_ps(out + 8 * i + 4, r[i].hi);
+  }
+}
+
+#endif  // defined(__SSE2__)
+
+}  // namespace serve::codec::simd::detail

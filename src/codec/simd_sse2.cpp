@@ -1,0 +1,195 @@
+// SSE2 kernel tier: 4-wide float math, baseline for every x86-64 CPU.
+//
+// Arithmetic mirrors the scalar tier expression-for-expression (same
+// association, separate mul/add, no FMA), so lanes compute bit-identically to
+// scalar floats; u8 rounding goes through cvttps(v + 0.5) + saturating packs,
+// which equals the scalar round_clamp255 for every in-range value.
+#include "codec/simd_kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "codec/simd_idct_inl.h"
+
+namespace serve::codec::simd {
+namespace detail {
+const bool kSse2Compiled = true;
+}  // namespace detail
+
+namespace {
+
+void sse2_idct8x8_scaled(const float in[64], float out[64]) noexcept {
+  detail::idct8x8_scaled_4wide(in, out);
+}
+
+// 4 floats (already + 0.5f) -> 4 saturated u8 bytes at dst.
+inline void store4_u8(__m128 v, std::uint8_t* dst) noexcept {
+  const __m128i i32 = _mm_cvttps_epi32(v);
+  const __m128i i16 = _mm_packs_epi32(i32, i32);
+  const __m128i u8 = _mm_packus_epi16(i16, i16);
+  const int packed = _mm_cvtsi128_si32(u8);
+  std::memcpy(dst, &packed, 4);
+}
+
+void sse2_ycbcr_to_rgb_row(const float* y, const float* cb, const float* cr,
+                           std::uint8_t* out, int n) noexcept {
+  const __m128 k128 = _mm_set1_ps(128.0f);
+  const __m128 k1402 = _mm_set1_ps(1.402f);
+  const __m128 k0344 = _mm_set1_ps(0.344136f);
+  const __m128 k0714 = _mm_set1_ps(0.714136f);
+  const __m128 k1772 = _mm_set1_ps(1.772f);
+  const __m128 half = _mm_set1_ps(0.5f);
+  int x = 0;
+  for (; x + 4 <= n; x += 4) {
+    const __m128 Y = _mm_loadu_ps(y + x);
+    const __m128 Cb = _mm_sub_ps(_mm_loadu_ps(cb + x), k128);
+    const __m128 Cr = _mm_sub_ps(_mm_loadu_ps(cr + x), k128);
+    const __m128 R = _mm_add_ps(Y, _mm_mul_ps(k1402, Cr));
+    const __m128 G =
+        _mm_sub_ps(_mm_sub_ps(Y, _mm_mul_ps(k0344, Cb)), _mm_mul_ps(k0714, Cr));
+    const __m128 B = _mm_add_ps(Y, _mm_mul_ps(k1772, Cb));
+    const __m128i ri = _mm_cvttps_epi32(_mm_add_ps(R, half));
+    const __m128i gi = _mm_cvttps_epi32(_mm_add_ps(G, half));
+    const __m128i bi = _mm_cvttps_epi32(_mm_add_ps(B, half));
+    const __m128i rg16 = _mm_packs_epi32(ri, gi);  // r0..3 g0..3 as i16
+    const __m128i bb16 = _mm_packs_epi32(bi, bi);
+    const __m128i rgb8 = _mm_packus_epi16(rg16, bb16);  // r0..3 g0..3 b0..3 b0..3
+    alignas(16) std::uint8_t tmp[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), rgb8);
+    for (int k = 0; k < 4; ++k) {
+      out[0] = tmp[k];
+      out[1] = tmp[4 + k];
+      out[2] = tmp[8 + k];
+      out += 3;
+    }
+  }
+  if (x < n) kScalarKernels.ycbcr_to_rgb_row(y + x, cb + x, cr + x, out, n - x);
+}
+
+void sse2_gray_to_u8_row(const float* y, std::uint8_t* out, int n) noexcept {
+  const __m128 half = _mm_set1_ps(0.5f);
+  int x = 0;
+  for (; x + 4 <= n; x += 4) {
+    store4_u8(_mm_add_ps(_mm_loadu_ps(y + x), half), out + x);
+  }
+  if (x < n) kScalarKernels.gray_to_u8_row(y + x, out + x, n - x);
+}
+
+inline __m128i load_u32(const std::uint8_t* p) noexcept {
+  std::int32_t bits;
+  std::memcpy(&bits, p, 4);
+  return _mm_cvtsi32_si128(bits);
+}
+
+// u8x4 in the low dword -> 4 floats.
+inline __m128 u8x4_to_ps(__m128i v) noexcept {
+  const __m128i zero = _mm_setzero_si128();
+  return _mm_cvtepi32_ps(_mm_unpacklo_epi16(_mm_unpacklo_epi8(v, zero), zero));
+}
+
+void sse2_resize_hpass_row(const std::uint8_t* srow, float* mrow, const int* i0,
+                           const int* i1, const float* w1, int dst_w, int ch,
+                           std::size_t srow_avail) noexcept {
+  if (ch != 3 || dst_w < 2) {
+    kScalarKernels.resize_hpass_row(srow, mrow, i0, i1, w1, dst_w, ch, srow_avail);
+    return;
+  }
+  // Vector path: one dst pixel per iteration via two 4-byte taps; the store
+  // writes 4 floats (one lane of slack, overwritten by the next pixel), so the
+  // last pixel always goes scalar. Taps near the row end where a 4-byte load
+  // would leave `srow_avail` also fall back to scalar.
+  const int last = dst_w - 1;
+  int x = 0;
+  for (; x < last; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    const std::size_t off0 = static_cast<std::size_t>(i0[xi]) * 3;
+    const std::size_t off1 = static_cast<std::size_t>(i1[xi]) * 3;
+    if (off1 + 4 > srow_avail) break;  // i1 is monotone; tail goes scalar
+    const float w = w1[xi];
+    const __m128 wv = _mm_set1_ps(w);
+    const __m128 w0v = _mm_set1_ps(1.0f - w);
+    const __m128 p0 = u8x4_to_ps(load_u32(srow + off0));
+    const __m128 p1 = u8x4_to_ps(load_u32(srow + off1));
+    const __m128 m = _mm_add_ps(_mm_mul_ps(p0, w0v), _mm_mul_ps(p1, wv));
+    _mm_storeu_ps(mrow + xi * 3, m);
+  }
+  if (x < dst_w) {
+    kScalarKernels.resize_hpass_row(srow, mrow + static_cast<std::size_t>(x) * 3,
+                                    i0 + x, i1 + x, w1 + x, dst_w - x, ch,
+                                    srow_avail);
+  }
+}
+
+void sse2_resize_vpass_row(const float* r0, const float* r1, float w,
+                           std::uint8_t* out, std::size_t n) noexcept {
+  const __m128 wv = _mm_set1_ps(w);
+  const __m128 w0v = _mm_set1_ps(1.0f - w);
+  const __m128 half = _mm_set1_ps(0.5f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 a = _mm_loadu_ps(r0 + i);
+    const __m128 b = _mm_loadu_ps(r1 + i);
+    const __m128 v = _mm_add_ps(_mm_mul_ps(a, w0v), _mm_mul_ps(b, wv));
+    store4_u8(_mm_add_ps(v, half), out + i);
+  }
+  if (i < n) kScalarKernels.resize_vpass_row(r0 + i, r1 + i, w, out + i, n - i);
+}
+
+void sse2_upsample2_row(const float* src, float* dst, int dst_n) noexcept {
+  int i = 0;
+  for (; i + 8 <= dst_n; i += 8) {
+    const __m128 v = _mm_loadu_ps(src + (i >> 1));
+    _mm_storeu_ps(dst + i, _mm_unpacklo_ps(v, v));
+    _mm_storeu_ps(dst + i + 4, _mm_unpackhi_ps(v, v));
+  }
+  for (; i < dst_n; ++i) dst[i] = src[i >> 1];
+}
+
+void sse2_normalize_rgb_row(const std::uint8_t* p, float* r, float* g, float* b,
+                            std::size_t n, const float* mean,
+                            const float* inv_std) noexcept {
+  const __m128 k255 = _mm_set1_ps(255.0f);
+  const __m128 mr = _mm_set1_ps(mean[0]), ir = _mm_set1_ps(inv_std[0]);
+  const __m128 mg = _mm_set1_ps(mean[1]), ig = _mm_set1_ps(inv_std[1]);
+  const __m128 mb = _mm_set1_ps(mean[2]), ib = _mm_set1_ps(inv_std[2]);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint8_t* q = p + 3 * i;
+    const __m128 fr = _mm_cvtepi32_ps(_mm_setr_epi32(q[0], q[3], q[6], q[9]));
+    const __m128 fg = _mm_cvtepi32_ps(_mm_setr_epi32(q[1], q[4], q[7], q[10]));
+    const __m128 fb = _mm_cvtepi32_ps(_mm_setr_epi32(q[2], q[5], q[8], q[11]));
+    _mm_storeu_ps(r + i, _mm_mul_ps(_mm_sub_ps(_mm_div_ps(fr, k255), mr), ir));
+    _mm_storeu_ps(g + i, _mm_mul_ps(_mm_sub_ps(_mm_div_ps(fg, k255), mg), ig));
+    _mm_storeu_ps(b + i, _mm_mul_ps(_mm_sub_ps(_mm_div_ps(fb, k255), mb), ib));
+  }
+  if (i < n) {
+    kScalarKernels.normalize_rgb_row(p + 3 * i, r + i, g + i, b + i, n - i, mean,
+                                     inv_std);
+  }
+}
+
+}  // namespace
+
+const KernelTable kSse2Kernels{
+    sse2_idct8x8_scaled,   sse2_ycbcr_to_rgb_row, sse2_gray_to_u8_row,
+    sse2_resize_hpass_row, sse2_resize_vpass_row, sse2_upsample2_row,
+    sse2_normalize_rgb_row,
+};
+
+}  // namespace serve::codec::simd
+
+#else  // !defined(__SSE2__): alias scalar so the table stays valid.
+
+namespace serve::codec::simd {
+namespace detail {
+const bool kSse2Compiled = false;
+}  // namespace detail
+
+const KernelTable kSse2Kernels = kScalarKernels;
+
+}  // namespace serve::codec::simd
+
+#endif

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "codec/simd_kernels.h"
+
 namespace serve::codec {
 
 namespace {
@@ -48,12 +50,6 @@ std::vector<int> make_nearest_plan(int src, int dst) {
   return idx;
 }
 
-// Round-half-up + clamp without the per-sample libm lround call.
-inline std::uint8_t round_clamp255(float v) noexcept {
-  v += 0.5f;
-  return static_cast<std::uint8_t>(v < 0.0f ? 0 : (v > 255.0f ? 255 : static_cast<int>(v)));
-}
-
 Image resize_nearest(const Image& src, int dst_w, int dst_h) {
   Image dst{dst_w, dst_h, src.channels()};
   const auto xs = make_nearest_plan(src.width(), dst_w);
@@ -94,22 +90,18 @@ Image resize_bilinear_two_pass(const Image& src, int dst_w, int dst_h) {
   const std::size_t mid_row = static_cast<std::size_t>(dst_w) * static_cast<std::size_t>(ch);
   std::vector<float> mid(static_cast<std::size_t>(n_slots) * mid_row);
   const std::uint8_t* sdata = src.data().data();
+  const std::size_t src_size = src.data().size();
   const std::size_t src_row = static_cast<std::size_t>(src.width()) * static_cast<std::size_t>(ch);
+  const auto& K = simd::kernels();
   for (int sy = 0; sy < src.height(); ++sy) {
     const int slot = row_slot[static_cast<std::size_t>(sy)];
     if (slot < 0) continue;
-    const std::uint8_t* srow = sdata + static_cast<std::size_t>(sy) * src_row;
-    float* mrow = mid.data() + static_cast<std::size_t>(slot) * mid_row;
-    for (int x = 0; x < dst_w; ++x) {
-      const auto xi = static_cast<std::size_t>(x);
-      const std::uint8_t* p0 = srow + static_cast<std::size_t>(xp.i0[xi]) * static_cast<std::size_t>(ch);
-      const std::uint8_t* p1 = srow + static_cast<std::size_t>(xp.i1[xi]) * static_cast<std::size_t>(ch);
-      const float w = xp.w1[xi];
-      const float w0 = 1.0f - w;
-      for (int c = 0; c < ch; ++c) {
-        *mrow++ = static_cast<float>(p0[c]) * w0 + static_cast<float>(p1[c]) * w;
-      }
-    }
+    const std::size_t row_off = static_cast<std::size_t>(sy) * src_row;
+    // Bytes readable from the row start: the rest of the image buffer, so a
+    // vector load may legally run past the row end into the next row.
+    K.resize_hpass_row(sdata + row_off, mid.data() + static_cast<std::size_t>(slot) * mid_row,
+                       xp.i0.data(), xp.i1.data(), xp.w1.data(), dst_w, ch,
+                       src_size - row_off);
   }
 
   std::uint8_t* out = dst.data().data();
@@ -119,11 +111,8 @@ Image resize_bilinear_two_pass(const Image& src, int dst_w, int dst_h) {
         static_cast<std::size_t>(row_slot[static_cast<std::size_t>(yp.i0[yi])]) * mid_row;
     const float* r1 = mid.data() +
         static_cast<std::size_t>(row_slot[static_cast<std::size_t>(yp.i1[yi])]) * mid_row;
-    const float w = yp.w1[yi];
-    const float w0 = 1.0f - w;
-    for (std::size_t i = 0; i < mid_row; ++i) {
-      *out++ = round_clamp255(r0[i] * w0 + r1[i] * w);
-    }
+    K.resize_vpass_row(r0, r1, yp.w1[yi], out, mid_row);
+    out += mid_row;
   }
   return dst;
 }
@@ -178,28 +167,14 @@ std::vector<float> normalize_chw(const Image& img, const std::array<float, 3>& m
   for (float s : stddev) {
     if (s <= 0.0f) throw std::invalid_argument("normalize_chw: stddev must be positive");
   }
-  // 256-entry per-channel lookup tables; each entry applies exactly the
-  // per-pixel formula, so the output is bit-identical to computing it inline.
-  float lut[3][256];
-  for (int c = 0; c < 3; ++c) {
-    const float m = mean[static_cast<std::size_t>(c)];
-    const float inv = 1.0f / stddev[static_cast<std::size_t>(c)];
-    for (int v = 0; v < 256; ++v) {
-      lut[c][v] = (static_cast<float>(v) / 255.0f - m) * inv;
-    }
-  }
+  const float inv_std[3] = {1.0f / stddev[0], 1.0f / stddev[1], 1.0f / stddev[2]};
   const auto plane = static_cast<std::size_t>(img.width()) * static_cast<std::size_t>(img.height());
   std::vector<float> out(plane * 3);
-  float* r = out.data();
-  float* g = out.data() + plane;
-  float* b = out.data() + 2 * plane;
-  const std::uint8_t* p = img.data().data();
-  for (std::size_t i = 0; i < plane; ++i) {
-    r[i] = lut[0][p[0]];
-    g[i] = lut[1][p[1]];
-    b[i] = lut[2][p[2]];
-    p += 3;
-  }
+  // The whole interleaved image is one long "row" for the kernel; every tier
+  // applies exactly (v/255 - mean) * inv_std, so output is bit-identical
+  // across tiers (and to the pre-SIMD LUT implementation).
+  simd::kernels().normalize_rgb_row(img.data().data(), out.data(), out.data() + plane,
+                                    out.data() + 2 * plane, plane, mean.data(), inv_std);
   return out;
 }
 

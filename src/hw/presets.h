@@ -61,4 +61,21 @@ namespace serve::hw {
   return c;
 }
 
+/// This repository's own codec substrate, as measured by the last
+/// `calibrate --substrate` run (2026-08, AVX2 dispatch active). Unlike the
+/// paper-testbed defaults these rates describe *our* SIMD JPEG/resize/
+/// normalize implementations, so experiments can be replayed against the
+/// machine that built them. Re-run `calibrate --substrate` after kernel
+/// work and refresh the three rates below from its suggestion block.
+/// The resize rate is quoted in source pixels and is dominated by the
+/// large-image downscale (few output rows per source row), hence the high
+/// number; the decode rate is the probe's mean across S/M/L JPEGs.
+[[nodiscard]] inline Calibration local_substrate_preset() {
+  Calibration c = default_calibration();
+  c.cpu.decode_mpix_per_s = 172e6;
+  c.cpu.resize_mpix_per_s = 4634e6;
+  c.cpu.normalize_mpix_per_s = 1077e6;
+  return c;
+}
+
 }  // namespace serve::hw

@@ -3,11 +3,11 @@
 #pragma once
 
 #include <coroutine>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <optional>
 #include <stdexcept>
-#include <memory>
 #include <string>
 #include <utility>
 
@@ -58,10 +58,10 @@ class Channel {
     std::optional<T> result{};
     bool done = false;             ///< result delivered or timeout/close decided
     std::coroutine_handle<> handle{};
-    // Timeout lambdas may fire after this awaiter object is gone (the result
-    // arrived first and the coroutine moved on); they hold a weak_ptr to this
-    // guard and no-op once it expires.
-    std::shared_ptr<GetAwaiter*> alive{};
+    // Cancelable deadline timer (simulator-owned cell, no allocation). The
+    // channel cancels it whenever it retires this waiter, so the fire
+    // callback only ever runs while the awaiter is still suspended here.
+    Simulator::TimerToken timer{};
 
     bool await_ready() {
       if (auto v = ch.try_get()) {
@@ -79,16 +79,16 @@ class Channel {
       handle = h;
       ch.getters_.push_back(this);
       if (deadline != kInfiniteTime) {
-        alive = std::make_shared<GetAwaiter*>(this);
-        ch.sim_.schedule_at(deadline, [weak = std::weak_ptr<GetAwaiter*>(alive)] {
-          auto guard = weak.lock();
-          if (!guard) return;      // awaiter already destroyed
-          GetAwaiter* self = *guard;
-          if (self->done) return;  // result or close already delivered
-          self->ch.remove_getter(self);
-          self->done = true;
-          self->handle.resume();
-        });
+        timer = ch.sim_.schedule_timeout(
+            deadline,
+            [](void* self_v) {
+              auto* self = static_cast<GetAwaiter*>(self_v);
+              self->timer = {};
+              self->ch.remove_getter(self);
+              self->done = true;
+              self->handle.resume();
+            },
+            this);
       }
     }
     std::optional<T> await_resume() noexcept { return std::move(result); }
@@ -159,6 +159,7 @@ class Channel {
     if (closed_) return;
     closed_ = true;
     for (GetAwaiter* g : getters_) {
+      sim_.cancel_timeout(g->timer);
       g->done = true;
       sim_.post([h = g->handle] { h.resume(); });
     }
@@ -179,6 +180,7 @@ class Channel {
     while (!getters_.empty()) {
       GetAwaiter* g = getters_.front();
       getters_.pop_front();
+      sim_.cancel_timeout(g->timer);
       g->result = std::move(value);
       g->done = true;
       sim_.post([h = g->handle] { h.resume(); });

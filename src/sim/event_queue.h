@@ -1,54 +1,239 @@
 // Pending-event set for the discrete-event simulator.
+//
+// Two tiers, both ordered by (time, seq) so the simulation stays fully
+// deterministic:
+//
+//   - Near window: a calendar of kBuckets time buckets covering
+//     [base, base + kBuckets << shift) ns. Pops in a discrete-event
+//     simulation are monotone in time, so the window is re-anchored at the
+//     last popped timestamp whenever it drains, and its bucket width adapts
+//     to the push horizon actually observed (wait(1us) workloads get
+//     narrow buckets, wait(5ms) workloads get wide ones). A push inside the
+//     window is an O(1) append; buckets are sorted lazily when the pop
+//     cursor reaches them (they are small), and a bitmap of non-empty
+//     buckets makes cursor advance a find-first-set, not a scan.
+//
+//   - Far tier: a 4-ary implicit min-heap for events beyond the window
+//     (request timeouts, experiment-end markers). pop() serves whichever
+//     tier holds the smaller (time, seq) key, so a mis-sized window only
+//     costs heap time — never correctness.
+//
+// Actions are SmallAction (captures inline, memcpy-relocatable), so neither
+// tier allocates per event. Heap sifts use the hole technique (shift, then
+// place): one item move per level rather than three.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "sim/action.h"
 #include "sim/time.h"
 
 namespace serve::sim {
 
-/// Min-heap of timestamped callbacks. Ties break by insertion order so the
+/// Min-queue of timestamped callbacks. Ties break by insertion order so the
 /// simulation is fully deterministic.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallAction;
+
+  EventQueue() : buckets_(kBuckets) {}
 
   void push(Time t, Action action) {
-    heap_.push(Item{t, next_seq_++, std::move(action)});
+    Item item{t, next_seq_++, std::move(action)};
+    ++count_;
+    if (window_items_ == 0 && (t >= window_end() || cursor_ > 0)) {
+      // Window drained (or never started): re-anchor at the last popped
+      // time and adapt the bucket width to the horizon the last window saw.
+      rewindow();
+    }
+    const Time delta = t - last_pop_t_;
+    if (delta > max_delta_) max_delta_ = delta;
+    if (t < window_end()) {
+      std::size_t b = static_cast<std::size_t>((t - base_) >> shift_);
+      // Far pops can move last_pop_t_ into a gap behind the cursor; events
+      // land in the cursor bucket instead of a bucket already passed.
+      if (b < cursor_) b = cursor_;
+      std::vector<Item>& bucket = buckets_[b];
+      const std::uint64_t bit = 1ull << (b & 63);
+      if (bucket.empty()) {
+        sorted_[b >> 6] |= bit;  // a one-element bucket is sorted
+        bucket.push_back(std::move(item));
+      } else if (!before(item, bucket.back())) {
+        // In-order append (the common case: monotone schedule times, and
+        // same-time events arrive in seq order) — sortedness is preserved.
+        bucket.push_back(std::move(item));
+      } else if (b == cursor_ && (sorted_[b >> 6] & bit) != 0) {
+        // Live, partially consumed bucket: insert before the first larger
+        // key so already-popped items stay behind consume_idx_.
+        const auto pos = std::upper_bound(
+            bucket.begin() + static_cast<std::ptrdiff_t>(consume_idx_), bucket.end(), item,
+            [](const Item& a, const Item& o) { return before(a, o); });
+        bucket.insert(pos, std::move(item));
+        nonempty_[b >> 6] |= bit;
+        ++window_items_;
+        return;
+      } else {
+        bucket.push_back(std::move(item));
+        sorted_[b >> 6] &= ~bit;  // out of order; sort lazily at the cursor
+      }
+      nonempty_[b >> 6] |= bit;
+      ++window_items_;
+      return;
+    }
+    far_push(std::move(item));
   }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
-  [[nodiscard]] Time next_time() const noexcept {
-    return heap_.empty() ? kInfiniteTime : heap_.top().t;
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  /// Earliest pending timestamp (kInfiniteTime when empty). Non-const: may
+  /// lazily sort the bucket under the cursor.
+  [[nodiscard]] Time next_time() {
+    if (count_ == 0) return kInfiniteTime;
+    const Item* near = near_front();
+    if (near == nullptr) return far_.front().t;
+    if (far_.empty()) return near->t;
+    return before(*near, far_.front()) ? near->t : far_.front().t;
   }
 
   /// Removes and returns the earliest action; UB if empty (guarded by caller).
   std::pair<Time, Action> pop() {
-    // std::priority_queue::top is const; the move is safe because we pop
-    // immediately after — the const_cast touches an element being removed.
-    auto& top = const_cast<Item&>(heap_.top());
-    std::pair<Time, Action> out{top.t, std::move(top.action)};
-    heap_.pop();
+    Item* near = near_front();
+    if (near != nullptr && (far_.empty() || before(*near, far_.front()))) {
+      std::pair<Time, Action> out{near->t, std::move(near->action)};
+      last_pop_t_ = near->t;
+      --count_;
+      --window_items_;
+      ++consume_idx_;
+      std::vector<Item>& bucket = buckets_[cursor_];
+      if (consume_idx_ == bucket.size()) {
+        bucket.clear();
+        consume_idx_ = 0;
+        nonempty_[cursor_ >> 6] &= ~(1ull << (cursor_ & 63));
+      }
+      return out;
+    }
+    std::pair<Time, Action> out = far_pop();
+    last_pop_t_ = out.first;
+    --count_;
     return out;
   }
 
  private:
   struct Item {
-    Time t;
-    std::uint64_t seq;
-    Action action;
-    bool operator>(const Item& other) const noexcept {
-      return t != other.t ? t > other.t : seq > other.seq;
-    }
+    Time t = 0;
+    std::uint64_t seq = 0;
+    Action action{};
   };
 
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  static constexpr std::size_t kBuckets = 512;
+  static constexpr int kInitialShift = 7;  ///< 128 ns buckets, ~65 us window
+  static constexpr int kMaxShift = 16;     ///< caps the window at ~33.5 ms
+
+  static bool before(const Item& a, const Item& b) noexcept {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  [[nodiscard]] Time window_end() const noexcept {
+    return base_ + (static_cast<Time>(kBuckets) << shift_);
+  }
+
+  /// Starts a fresh window at the last popped time, sizing buckets so the
+  /// previously observed push horizon fits with room to spare.
+  void rewindow() noexcept {
+    base_ = last_pop_t_;
+    cursor_ = 0;
+    consume_idx_ = 0;
+    if (max_delta_ > 0) {
+      const auto spread =
+          static_cast<std::uint64_t>(max_delta_ / static_cast<Time>(kBuckets / 4) + 1);
+      int s = 64 - std::countl_zero(spread);  // ceil(log2(spread)) + adjust
+      if (s > kMaxShift) s = kMaxShift;
+      shift_ = s;
+    }
+    max_delta_ = 0;
+  }
+
+  /// Positions the cursor on the next bucketed item (lazily sorting its
+  /// bucket) and returns it; nullptr when the window holds nothing.
+  [[nodiscard]] Item* near_front() {
+    if (window_items_ == 0) return nullptr;
+    std::vector<Item>& current = buckets_[cursor_];
+    if (consume_idx_ >= current.size()) {
+      // Advance to the next non-empty bucket via the bitmap.
+      std::size_t word = cursor_ >> 6;
+      std::uint64_t bits = nonempty_[word] & (~0ull << (cursor_ & 63));
+      while (bits == 0) bits = nonempty_[++word];  // window_items_ > 0 => found
+      cursor_ = (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+      consume_idx_ = 0;
+    }
+    std::vector<Item>& bucket = buckets_[cursor_];
+    const std::uint64_t bit = 1ull << (cursor_ & 63);
+    if ((sorted_[cursor_ >> 6] & bit) == 0) {
+      std::sort(bucket.begin(), bucket.end(),
+                [](const Item& a, const Item& b) { return before(a, b); });
+      sorted_[cursor_ >> 6] |= bit;
+    }
+    return &bucket[consume_idx_];
+  }
+
+  // --- far tier: 4-ary min-heap --------------------------------------------
+
+  void far_push(Item item) {
+    std::size_t i = far_.size();
+    far_.emplace_back();  // hole; filled by the sift below
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!before(item, far_[parent])) break;
+      far_[i] = std::move(far_[parent]);
+      i = parent;
+    }
+    far_[i] = std::move(item);
+  }
+
+  std::pair<Time, Action> far_pop() {
+    Item& root = far_.front();
+    std::pair<Time, Action> out{root.t, std::move(root.action)};
+    Item last = std::move(far_.back());
+    far_.pop_back();
+    if (!far_.empty()) {
+      const std::size_t n = far_.size();
+      std::size_t i = 0;  // hole left by the root
+      for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (before(far_[c], far_[best])) best = c;
+        }
+        if (!before(far_[best], last)) break;
+        far_[i] = std::move(far_[best]);
+        i = best;
+      }
+      far_[i] = std::move(last);
+    }
+    return out;
+  }
+
+  std::vector<std::vector<Item>> buckets_;
+  std::uint64_t nonempty_[kBuckets / 64] = {};  ///< bit b: bucket b has items
+  std::uint64_t sorted_[kBuckets / 64] = {};    ///< bit b: bucket b is sorted
+  std::size_t cursor_ = 0;       ///< current bucket
+  std::size_t consume_idx_ = 0;  ///< next unpopped item in the cursor bucket
+  std::size_t window_items_ = 0;
+  Time base_ = 0;        ///< window start
+  int shift_ = kInitialShift;
+  Time last_pop_t_ = 0;  ///< monotone pop time; window re-anchors here
+  Time max_delta_ = 0;   ///< largest (push t - last pop) seen this window
+
+  std::vector<Item> far_;
   std::uint64_t next_seq_ = 0;
+  std::size_t count_ = 0;
 };
 
 }  // namespace serve::sim

@@ -11,6 +11,11 @@
 // Processes are started with Simulator::spawn(), which takes ownership of the
 // coroutine frame; frames self-destroy on completion and any frames still
 // suspended when the Simulator is destroyed are reclaimed then.
+//
+// Hot-path machinery: frames allocate through the sim frame pool (spawn /
+// retire churn recycles frames instead of hitting malloc), and each promise
+// carries intrusive live-list links so the simulator tracks live processes
+// without a hash set.
 #pragma once
 
 #include <coroutine>
@@ -18,18 +23,24 @@
 #include <exception>
 #include <utility>
 
+#include "sim/pool.h"
+
 namespace serve::sim {
 
 class Simulator;
-
-namespace detail {
-void retire_process(Simulator& sim, std::coroutine_handle<> h) noexcept;
-}  // namespace detail
 
 class [[nodiscard]] Process {
  public:
   struct promise_type {
     Simulator* sim = nullptr;  ///< set by Simulator::spawn before first resume
+    // Intrusive doubly-linked list of live processes, owned by the Simulator.
+    promise_type* live_prev = nullptr;
+    promise_type* live_next = nullptr;
+
+    static void* operator new(std::size_t n) { return detail::frame_alloc(n); }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      detail::frame_free(p, n);
+    }
 
     Process get_return_object() {
       return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
@@ -38,11 +49,10 @@ class [[nodiscard]] Process {
 
     struct FinalAwaiter {
       bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept {
-        // Unregister from the simulator and destroy the frame. After this
-        // returns, control goes back to the resumer without touching `h`.
-        detail::retire_process(*h.promise().sim, h);
-      }
+      // Unregisters from the simulator and destroys the frame. After this
+      // returns, control goes back to the resumer without touching `h`.
+      // Defined below the class (needs the retire_process declaration).
+      void await_suspend(std::coroutine_handle<promise_type> h) const noexcept;
       void await_resume() const noexcept {}
     };
     FinalAwaiter final_suspend() noexcept { return {}; }
@@ -92,5 +102,14 @@ class [[nodiscard]] Process {
 
   std::coroutine_handle<promise_type> handle_;
 };
+
+namespace detail {
+void retire_process(Simulator& sim, Process::promise_type& p) noexcept;
+}  // namespace detail
+
+inline void Process::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) const noexcept {
+  detail::retire_process(*h.promise().sim, h.promise());
+}
 
 }  // namespace serve::sim

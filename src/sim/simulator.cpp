@@ -5,9 +5,15 @@
 namespace serve::sim {
 
 namespace detail {
-void retire_process(Simulator& sim, std::coroutine_handle<> h) noexcept {
-  sim.live_.erase(h.address());
-  h.destroy();
+void retire_process(Simulator& sim, Process::promise_type& p) noexcept {
+  if (p.live_prev != nullptr) {
+    p.live_prev->live_next = p.live_next;
+  } else {
+    sim.live_head_ = p.live_next;
+  }
+  if (p.live_next != nullptr) p.live_next->live_prev = p.live_prev;
+  --sim.live_count_;
+  std::coroutine_handle<Process::promise_type>::from_promise(p).destroy();
 }
 }  // namespace detail
 
@@ -16,8 +22,10 @@ Simulator::~Simulator() {
   // outlive the experiment). Destroying a suspended coroutine is safe; the
   // frames' awaiter objects may reference channels/resources, but those are
   // plain members destroyed with the frame.
-  for (void* addr : live_) {
-    std::coroutine_handle<>::from_address(addr).destroy();
+  for (Process::promise_type* p = live_head_; p != nullptr;) {
+    Process::promise_type* next = p->live_next;
+    std::coroutine_handle<Process::promise_type>::from_promise(*p).destroy();
+    p = next;
   }
 }
 
@@ -28,8 +36,12 @@ void Simulator::schedule_at(Time t, Action action) {
 
 void Simulator::spawn(Process p) {
   auto h = p.detach();
-  h.promise().sim = this;
-  live_.insert(h.address());
+  Process::promise_type& pr = h.promise();
+  pr.sim = this;
+  pr.live_next = live_head_;
+  if (live_head_ != nullptr) live_head_->live_prev = &pr;
+  live_head_ = &pr;
+  ++live_count_;
   // First resume goes through the queue so spawning mid-event never nests.
   queue_.push(now_, [h] { h.resume(); });
 }

@@ -4,7 +4,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -29,6 +28,7 @@ class Event {
     for (auto h : waiters_) sim_.post([h] { h.resume(); });
     waiters_.clear();
     for (TimedAwaiter* w : timed_waiters_) {
+      sim_.cancel_timeout(w->timer);
       w->done = true;
       w->result = true;
       sim_.post([h = w->handle] { h.resume(); });
@@ -54,10 +54,10 @@ class Event {
     bool result = false;
     bool done = false;  ///< set or timeout already decided
     std::coroutine_handle<> handle{};
-    // The timeout lambda may fire after this awaiter is gone (the event was
-    // set first and the coroutine moved on); it holds a weak_ptr guard and
-    // no-ops once the guard expires.
-    std::shared_ptr<TimedAwaiter*> alive{};
+    // Cancelable deadline timer (simulator-owned cell, no allocation).
+    // set() cancels it when delivering, so the fire callback only ever runs
+    // while the awaiter is still suspended and registered here.
+    Simulator::TimerToken timer{};
 
     bool await_ready() {
       if (ev.set_) {
@@ -74,16 +74,16 @@ class Event {
     void await_suspend(std::coroutine_handle<> h) {
       handle = h;
       ev.timed_waiters_.push_back(this);
-      alive = std::make_shared<TimedAwaiter*>(this);
-      ev.sim_.schedule_at(deadline, [weak = std::weak_ptr<TimedAwaiter*>(alive)] {
-        auto guard = weak.lock();
-        if (!guard) return;  // awaiter already destroyed
-        TimedAwaiter* self = *guard;
-        if (self->done) return;  // set() already delivered
-        self->ev.remove_timed_waiter(self);
-        self->done = true;
-        self->handle.resume();
-      });
+      timer = ev.sim_.schedule_timeout(
+          deadline,
+          [](void* self_v) {
+            auto* self = static_cast<TimedAwaiter*>(self_v);
+            self->timer = {};
+            self->ev.remove_timed_waiter(self);
+            self->done = true;
+            self->handle.resume();
+          },
+          this);
     }
     bool await_resume() const noexcept { return result; }
   };

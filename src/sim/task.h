@@ -14,6 +14,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/pool.h"
+
 namespace serve::sim {
 
 template <typename T = void>
@@ -25,6 +27,13 @@ template <typename T>
 struct TaskPromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr error{};
+
+  // Task frames churn once per pipeline fragment per request; route them
+  // through the sim frame pool (inherited by the concrete promise types).
+  static void* operator new(std::size_t n) { return detail::frame_alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    detail::frame_free(p, n);
+  }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

@@ -167,6 +167,19 @@ TEST(Presets, OrderedByCapability) {
   EXPECT_GT(server.gpu.staging_budget_bytes, desktop.gpu.staging_budget_bytes);
 }
 
+TEST(Presets, LocalSubstrateOnlyRetunesCodecRates) {
+  // The measured-substrate preset (calibrate --substrate) replaces just the
+  // three codec rates; everything else must stay on the paper testbed so
+  // figure shapes remain comparable.
+  const auto local = hw::local_substrate_preset();
+  const auto paper = hw::rtx4090_i9_preset();
+  EXPECT_GT(local.cpu.decode_mpix_per_s, 0.0);
+  EXPECT_GT(local.cpu.resize_mpix_per_s, local.cpu.decode_mpix_per_s);
+  EXPECT_EQ(local.cpu.cores, paper.cpu.cores);
+  EXPECT_EQ(local.gpu.effective_flops, paper.gpu.effective_flops);
+  EXPECT_EQ(local.cpu.ingest_s, paper.cpu.ingest_s);
+}
+
 TEST(ModelZoo, SpansPaperRange) {
   const auto models = models::zoo();
   EXPECT_GE(models.size(), 15u);

@@ -160,40 +160,112 @@ class Scanner {
   std::size_t pos_ = 0;
 };
 
-std::optional<std::map<std::string, Bench>> load(const char* path) {
+struct LoadedFile {
+  std::map<std::string, Bench> benchmarks;
+  std::string build_type;  ///< "release"/"debug" from the context; "" if absent
+};
+
+/// Pulls the build type out of the context header. "build_type" is the
+/// app-level marker (Reporter exports set it; our google-benchmark mains
+/// inject it via AddCustomContext) and wins over google-benchmark's
+/// "library_build_type", which reflects how the *system benchmark library*
+/// was compiled, not the code under test. Only the text before the
+/// "benchmarks" array is searched so benchmark names can never alias the key.
+std::string build_type_of(const std::string& text) {
+  const std::size_t bench = text.find("\"benchmarks\"");
+  const std::string head =
+      text.substr(0, bench == std::string::npos ? text.size() : bench);
+  for (const char* key : {"\"build_type\"", "\"library_build_type\""}) {
+    std::size_t p = head.find(key);
+    if (p == std::string::npos) continue;
+    p = head.find(':', p);
+    if (p == std::string::npos) continue;
+    const std::size_t q1 = head.find('"', p);
+    if (q1 == std::string::npos) continue;
+    const std::size_t q2 = head.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    return head.substr(q1 + 1, q2 - q1 - 1);
+  }
+  return {};
+}
+
+std::optional<LoadedFile> load(const char* path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream ss;
   ss << in.rdbuf();
-  return Scanner{ss.str()}.benchmarks();
+  LoadedFile f;
+  f.build_type = build_type_of(ss.str());
+  f.benchmarks = Scanner{ss.str()}.benchmarks();
+  return f;
+}
+
+/// Debug-build numbers in either file make the comparison meaningless (a
+/// debug baseline hides every regression; a debug candidate fails falsely).
+/// Returns false when `role` should fail the check.
+bool check_build_type(const char* role, const char* path, const std::string& bt,
+                      bool allow_debug) {
+  if (bt.empty()) {
+    std::fprintf(stderr,
+                 "bench_check: WARN: %s %s has no build-type context; re-record it "
+                 "with a current Release build\n",
+                 role, path);
+    return true;
+  }
+  if (bt != "release" && !allow_debug) {
+    std::fprintf(stderr,
+                 "bench_check: %s %s was recorded from a '%s' build; benchmark "
+                 "gating requires Release numbers (pass --allow-debug to override)\n",
+                 role, path, bt.c_str());
+    return false;
+  }
+  if (bt != "release") {
+    std::fprintf(stderr, "bench_check: WARN: %s %s is a '%s' build (allowed by flag)\n",
+                 role, path, bt.c_str());
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   double tolerance = 0.30;
+  bool allow_debug = false;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tolerance" && i + 1 < argc) {
       tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--allow-debug") {
+      allow_debug = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: bench_check baseline.json current.json [--tolerance 0.30]\n");
+      std::printf(
+          "usage: bench_check baseline.json current.json [--tolerance 0.30] "
+          "[--allow-debug]\n");
       return 0;
     } else {
       files.push_back(argv[i]);
     }
   }
   if (files.size() != 2) {
-    std::fprintf(stderr, "usage: bench_check baseline.json current.json [--tolerance 0.30]\n");
+    std::fprintf(stderr,
+                 "usage: bench_check baseline.json current.json [--tolerance 0.30] "
+                 "[--allow-debug]\n");
     return 2;
   }
-  const auto baseline = load(files[0]);
-  const auto current = load(files[1]);
-  if (!baseline) { std::fprintf(stderr, "bench_check: cannot read %s\n", files[0]); return 2; }
-  if (!current) { std::fprintf(stderr, "bench_check: cannot read %s\n", files[1]); return 2; }
+  const auto loaded_base = load(files[0]);
+  const auto loaded_cur = load(files[1]);
+  if (!loaded_base) { std::fprintf(stderr, "bench_check: cannot read %s\n", files[0]); return 2; }
+  if (!loaded_cur) { std::fprintf(stderr, "bench_check: cannot read %s\n", files[1]); return 2; }
+  const auto* baseline = &loaded_base->benchmarks;
+  const auto* current = &loaded_cur->benchmarks;
   if (baseline->empty()) { std::fprintf(stderr, "bench_check: no benchmarks in %s\n", files[0]); return 2; }
   if (current->empty()) { std::fprintf(stderr, "bench_check: no benchmarks in %s\n", files[1]); return 2; }
+
+  bool builds_ok = true;
+  builds_ok &= check_build_type("baseline", files[0], loaded_base->build_type, allow_debug);
+  builds_ok &= check_build_type("candidate", files[1], loaded_cur->build_type, allow_debug);
+  if (!builds_ok) return 1;
 
   int regressions = 0;
   std::printf("%-44s %12s %12s %8s\n", "benchmark", "baseline", "current", "delta");
