@@ -19,7 +19,7 @@ core::FleetResult run(std::vector<int> gpus, BalancerPolicy policy, int concurre
   spec.server.model = models::vit_base();
   spec.server.preproc = serving::PreprocDevice::kGpu;
   spec.gpus_per_node = std::move(gpus);
-  spec.policy = policy;
+  spec.server.balancer.policy = policy;
   spec.concurrency = concurrency;
   spec.measure = sim::seconds(8.0);
   return core::run_fleet(spec);

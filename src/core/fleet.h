@@ -1,61 +1,223 @@
-// Multi-node fleet with a load balancer (the paper's Fig. 1 system).
+// Multi-node fleet with a health-checked load balancer (the paper's Fig. 1
+// system, plus the failure domains the paper's scaling story assumes away).
 //
 // "A load balancer within the datacenter receives incoming requests and
 // strategically distributes them among the available processing servers."
 // This module stands up N serving nodes (each its own CPU+GPU platform) in
-// one simulation and dispatches a shared client population across them
-// under a selectable balancing policy — including heterogeneous fleets
-// where nodes have different GPU counts.
+// one simulation and dispatches a shared client population across them —
+// closed-loop or open-loop Poisson — under a selectable balancing policy,
+// including heterogeneous fleets where nodes have different GPU counts.
+//
+// Beyond dispatch, the balancer is a failure-domain boundary:
+//
+//   - node-scoped FaultPlan windows (kNodeCrash / kNodeGrayFailure /
+//     kNodePartition) act on the balancer<->node edge, not inside the node;
+//   - periodic health probes per node feed an EWMA health score together
+//     with balancer-observed request outcomes; unhealthy nodes are ejected,
+//     trialled half-open, and rejoined (NodeHealth below);
+//   - power-of-two-choices and latency-weighted policies route over the
+//     currently routable nodes only;
+//   - request hedging re-dispatches slow requests to a second node under a
+//     gRPC-style token budget; the loser is cancelled and drop-accounted on
+//     its node, so per-node auditors still conserve every request.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "workload/arrivals.h"
 
 namespace serve::core {
 
-enum class BalancerPolicy : std::uint8_t {
-  kRoundRobin,        ///< strict rotation
-  kRandom,            ///< uniform random node
-  kLeastOutstanding,  ///< join-the-shortest-queue on in-flight counts
-};
+// The policy enum and balancer knobs live in serving/config.h (so config
+// files round-trip them); re-export the names callers have always used.
+using serving::BalancerPolicy;
+using serving::balancer_policy_name;
 
-[[nodiscard]] constexpr std::string_view balancer_policy_name(BalancerPolicy p) noexcept {
-  switch (p) {
-    case BalancerPolicy::kRoundRobin: return "round-robin";
-    case BalancerPolicy::kRandom: return "random";
-    case BalancerPolicy::kLeastOutstanding: return "least-outstanding";
+/// Per-node health state machine at the balancer: the PR 3 circuit breaker
+/// lifted to fleet scope. Pure bookkeeping (no simulator dependency) so the
+/// transitions are unit-testable; the balancer feeds it probe and request
+/// outcomes stamped with virtual time.
+class NodeHealth {
+ public:
+  enum class State : std::uint8_t { kHealthy, kEjected, kHalfOpen };
+
+  explicit NodeHealth(const serving::HealthCheckPolicy& policy) : policy_(policy) {}
+
+  /// Feeds one health-probe outcome. Consecutive failures eject fast (a
+  /// crashed or partitioned node answers nothing); half-open successes count
+  /// toward rejoin; a half-open failure re-ejects immediately.
+  void on_probe(bool success, sim::Time now) { feed(success, now, /*is_probe=*/true); }
+
+  /// Feeds one balancer-observed request outcome. This is what catches gray
+  /// failures: the node still answers probes, but its error rate drags the
+  /// EWMA score below the ejection threshold.
+  void on_request_outcome(bool success, sim::Time now) {
+    feed(success, now, /*is_probe=*/false);
   }
-  return "?";
-}
+
+  /// May a new request be routed here now? Healthy yes; ejected no (but the
+  /// eject hold expiring flips to half-open first); half-open only while
+  /// trial slots remain. Does not claim a slot — the balancer calls
+  /// begin_trial()/end_trial() around the dispatch it actually makes.
+  [[nodiscard]] bool routable(sim::Time now) {
+    if (!policy_.enabled) return true;
+    advance(now);
+    if (state_ == State::kHealthy) return true;
+    return state_ == State::kHalfOpen && trials_in_flight_ < policy_.rejoin_probes;
+  }
+  void begin_trial() noexcept { ++trials_in_flight_; }
+  void end_trial() noexcept {
+    if (trials_in_flight_ > 0) --trials_in_flight_;
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] double score() const noexcept { return score_; }
+  [[nodiscard]] std::uint64_t ejections() const noexcept { return ejections_; }
+  [[nodiscard]] std::uint64_t rejoins() const noexcept { return rejoins_; }
+
+ private:
+  void advance(sim::Time now) {
+    if (state_ == State::kEjected && now >= eject_until_) {
+      state_ = State::kHalfOpen;
+      half_open_successes_ = 0;
+      trials_in_flight_ = 0;
+    }
+  }
+
+  void feed(bool success, sim::Time now, bool is_probe) {
+    if (!policy_.enabled) return;
+    advance(now);
+    score_ = policy_.ewma_alpha * (success ? 1.0 : 0.0) + (1.0 - policy_.ewma_alpha) * score_;
+    if (is_probe) consecutive_probe_failures_ = success ? 0 : consecutive_probe_failures_ + 1;
+    switch (state_) {
+      case State::kHealthy:
+        if (score_ < policy_.eject_score ||
+            consecutive_probe_failures_ >= policy_.eject_probe_failures) {
+          eject(now);
+        }
+        break;
+      case State::kHalfOpen:
+        if (!success) {
+          eject(now);
+        } else if (++half_open_successes_ >= policy_.rejoin_probes) {
+          state_ = State::kHealthy;
+          score_ = 1.0;  // rejoin with a clean slate, like the breaker's close
+          ++rejoins_;
+        }
+        break;
+      case State::kEjected:
+        break;  // outcomes of requests dispatched pre-ejection; EWMA already fed
+    }
+  }
+
+  void eject(sim::Time now) {
+    state_ = State::kEjected;
+    eject_until_ = now + policy_.eject_duration;
+    consecutive_probe_failures_ = 0;
+    half_open_successes_ = 0;
+    trials_in_flight_ = 0;
+    ++ejections_;
+  }
+
+  serving::HealthCheckPolicy policy_{};
+  State state_ = State::kHealthy;
+  double score_ = 1.0;
+  int consecutive_probe_failures_ = 0;
+  int half_open_successes_ = 0;
+  int trials_in_flight_ = 0;
+  sim::Time eject_until_ = 0;
+  std::uint64_t ejections_ = 0;
+  std::uint64_t rejoins_ = 0;
+};
 
 struct FleetSpec {
   serving::ServerConfig server{};       ///< endpoint deployed on every node
   std::vector<int> gpus_per_node{1, 1}; ///< one entry per node (heterogeneous ok)
-  BalancerPolicy policy = BalancerPolicy::kRoundRobin;
   hw::Calibration calib = hw::default_calibration();
   int concurrency = 512;                ///< fleet-wide closed-loop clients
+  /// Open-loop offered load: when > 0, requests arrive on `arrivals` at this
+  /// rate and `concurrency` is ignored — fault windows are then measured
+  /// under constant offered load instead of a self-throttling client.
+  double rate_rps = 0.0;
+  workload::ArrivalKind arrivals = workload::ArrivalKind::kPoisson;
   hw::ImageSpec image = hw::kMediumImage;
   sim::Time warmup = sim::seconds(2.0);
   sim::Time measure = sim::seconds(10.0);
   std::uint64_t seed = 5;
+
+  /// Optional fault schedule (must outlive the run). Node-scoped kinds act
+  /// at the balancer; device kinds pass through to every node's platform.
+  const sim::FaultPlan* faults = nullptr;
+  /// Arm every node's RequestAuditor and aggregate violations (overrides
+  /// server.audit).
+  bool audit = false;
+  sim::TraceRecorder* trace = nullptr;      ///< optional probe/hedge/fault spans
+  trace::CausalTracer* tracer = nullptr;    ///< optional cross-node causal traces
+  metrics::Registry* registry = nullptr;    ///< optional fleet-level instruments
 };
 
 struct FleetResult {
-  double throughput_rps = 0.0;  ///< fleet aggregate
+  // Window-scoped performance (the measurement window only).
+  double throughput_rps = 0.0;  ///< logical goodput: first-wins successes / s
   double mean_latency_s = 0.0;
   double p99_latency_s = 0.0;
-  std::vector<double> node_throughput_rps;
-  /// max/min per-node throughput — 1.0 is perfectly balanced.
+  std::vector<double> node_throughput_rps;       ///< node-side completions / s
+  std::vector<std::uint64_t> node_dispatches;    ///< balancer sends per node
+
+  // Run-wide logical accounting (warmup + window + drain): every logical
+  // request reaches exactly one terminal state.
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t crash_failed = 0;   ///< refused/lost on a crashed node
+  std::uint64_t gray_failed = 0;    ///< fast-failed by a gray node frontend
+
+  // Hedging (run-wide).
+  std::uint64_t hedges = 0;         ///< secondary dispatches issued
+  std::uint64_t hedge_wins = 0;     ///< logical requests decided by the hedge
+  std::uint64_t hedge_losses = 0;   ///< hedged but the primary answered first
+  std::uint64_t hedges_denied = 0;  ///< hedge wanted, token budget empty
+  std::uint64_t cancelled = 0;      ///< losers drop-accounted on their node
+
+  // Health checking (run-wide).
+  std::uint64_t probes = 0;
+  std::uint64_t probe_failures = 0;
+  std::uint64_t ejections = 0;
+  std::uint64_t rejoins = 0;
+
+  std::uint64_t audit_violations = 0;
+  std::vector<std::string> audit_report{};
+
+  /// Nodes that completed nothing during the measurement window.
+  [[nodiscard]] int dead_nodes() const noexcept {
+    int n = 0;
+    for (double t : node_throughput_rps) n += t <= 0.0 ? 1 : 0;
+    return n;
+  }
+
+  /// max/min per-node throughput — 1.0 is perfectly balanced. A fleet with a
+  /// dead node reports +inf (it used to report 0.0, the "perfectly
+  /// balanced" sentinel — the worst possible answer for a dead node).
   [[nodiscard]] double imbalance() const noexcept {
+    if (node_throughput_rps.empty()) return 0.0;
     double lo = 1e300, hi = 0.0;
     for (double t : node_throughput_rps) {
       lo = std::min(lo, t);
       hi = std::max(hi, t);
     }
-    return node_throughput_rps.empty() || lo <= 0.0 ? 0.0 : hi / lo;
+    return lo <= 0.0 ? std::numeric_limits<double>::infinity() : hi / lo;
   }
+
+  /// Every logical request issued reached exactly one terminal state.
+  [[nodiscard]] bool conserved() const noexcept { return issued == completed + failed; }
+
+  /// Deterministic run fingerprint: same seed + same spec must reproduce it
+  /// byte-identically.
+  [[nodiscard]] std::string digest() const;
 };
 
 [[nodiscard]] FleetResult run_fleet(const FleetSpec& spec);

@@ -70,6 +70,64 @@ struct BrokerPublishPolicy {
   sim::Time poll_interval = 10'000'000;  ///< blind re-poll cadence (10 ms)
 };
 
+/// Fleet balancer dispatch policy (the Fig. 1 datacenter balancer box).
+enum class BalancerPolicy : std::uint8_t {
+  kRoundRobin,        ///< strict rotation
+  kRandom,            ///< uniform random node
+  kLeastOutstanding,  ///< join-the-shortest-queue on balancer-visible in-flight
+  kPowerOfTwo,        ///< two random candidates, pick the shorter queue
+  kLatencyWeighted,   ///< C3-style: min ewma_latency * (outstanding + 1)
+};
+
+[[nodiscard]] constexpr std::string_view balancer_policy_name(BalancerPolicy p) noexcept {
+  switch (p) {
+    case BalancerPolicy::kRoundRobin: return "round-robin";
+    case BalancerPolicy::kRandom: return "random";
+    case BalancerPolicy::kLeastOutstanding: return "least-outstanding";
+    case BalancerPolicy::kPowerOfTwo: return "p2c";
+    case BalancerPolicy::kLatencyWeighted: return "latency-weighted";
+  }
+  return "?";
+}
+
+/// Per-node health checking at the fleet balancer: periodic probes feed an
+/// EWMA health score together with balancer-observed request outcomes; a
+/// node whose probes time out repeatedly (crash, partition) or whose score
+/// collapses (gray failure) is ejected, trialled half-open after
+/// `eject_duration`, and rejoined after `rejoin_probes` clean probes — the
+/// PR 3 circuit-breaker state machine lifted to fleet scope.
+struct HealthCheckPolicy {
+  bool enabled = false;
+  sim::Time probe_interval = 50'000'000;  ///< 50 ms between probes per node
+  sim::Time probe_timeout = 25'000'000;   ///< probe RTT above this = failure
+  double probe_cost_s = 200e-6;           ///< healthy probe round-trip time
+  double ewma_alpha = 0.2;                ///< weight of the newest outcome
+  double eject_score = 0.5;               ///< eject when score falls below
+  int eject_probe_failures = 3;           ///< or after N consecutive probe losses
+  sim::Time eject_duration = 500'000'000; ///< ejected hold before half-open (500 ms)
+  int rejoin_probes = 3;                  ///< clean half-open trials to rejoin
+};
+
+/// Request hedging at the fleet balancer: if the primary dispatch has not
+/// answered within `deadline`, re-dispatch to a second node; first response
+/// wins and the loser is cancelled (drop-accounted on its node). The token
+/// budget is gRPC-style: hedges spend a token, successes refill fractions,
+/// so a fleet-wide incident cannot turn into a dispatch storm.
+struct HedgePolicy {
+  bool enabled = false;
+  sim::Time deadline = 50'000'000;        ///< hedge fires 50 ms after dispatch
+  double budget = 64.0;                   ///< initial hedge tokens (also the cap)
+  double budget_refill_per_success = 0.1; ///< tokens returned per logical success
+};
+
+/// Everything the Fig. 1 balancer box needs to know (consumed by
+/// core::run_fleet; inert for a single-node server).
+struct FleetBalancerConfig {
+  BalancerPolicy policy = BalancerPolicy::kRoundRobin;
+  HealthCheckPolicy health{};
+  HedgePolicy hedge{};
+};
+
 /// Content-addressed preprocess cache over the ingress tier (Kang et al.:
 /// preprocessing is skippable on a hit over a skewed corpus). Budgets are
 /// per-level; requests whose `content_hash` is zero always bypass.
@@ -144,6 +202,11 @@ struct ServerConfig {
   CircuitBreakerPolicy breaker{};
   DegradePolicy degrade{};
   BrokerPublishPolicy broker_publish{};
+
+  /// Fleet-balancer knobs (policy, health checks, hedging). Lives on the
+  /// server config so one config file describes a whole deployment; ignored
+  /// outside core::run_fleet.
+  FleetBalancerConfig balancer{};
 
   [[nodiscard]] int effective_max_batch() const {
     const int mb = max_batch > 0 ? max_batch : model.max_batch;

@@ -188,6 +188,46 @@ ServerConfig parse_server_config(const std::string& text) {
       cfg.broker_publish.backoff_base = sim::milliseconds(parse_int(line_no, key, value, 0));
     } else if (key == "broker_poll_ms") {
       cfg.broker_publish.poll_interval = sim::milliseconds(parse_int(line_no, key, value, 0));
+    } else if (key == "balancer_policy") {
+      if (value == "round_robin") {
+        cfg.balancer.policy = BalancerPolicy::kRoundRobin;
+      } else if (value == "random") {
+        cfg.balancer.policy = BalancerPolicy::kRandom;
+      } else if (value == "least_outstanding") {
+        cfg.balancer.policy = BalancerPolicy::kLeastOutstanding;
+      } else if (value == "p2c") {
+        cfg.balancer.policy = BalancerPolicy::kPowerOfTwo;
+      } else if (value == "latency_weighted") {
+        cfg.balancer.policy = BalancerPolicy::kLatencyWeighted;
+      } else {
+        fail(line_no, "unknown balancer policy '" + value + "'");
+      }
+    } else if (key == "health_checks") {
+      cfg.balancer.health.enabled = parse_bool(line_no, key, value);
+    } else if (key == "health_probe_interval_ms") {
+      cfg.balancer.health.probe_interval = sim::milliseconds(parse_int(line_no, key, value, 1));
+    } else if (key == "health_probe_timeout_ms") {
+      cfg.balancer.health.probe_timeout = sim::milliseconds(parse_int(line_no, key, value, 1));
+    } else if (key == "health_probe_cost_us") {
+      cfg.balancer.health.probe_cost_s = parse_double(line_no, key, value, 0.0, 1e6) * 1e-6;
+    } else if (key == "health_ewma_alpha") {
+      cfg.balancer.health.ewma_alpha = parse_double(line_no, key, value, 1e-6, 1.0);
+    } else if (key == "health_eject_score") {
+      cfg.balancer.health.eject_score = parse_double(line_no, key, value, 0.0, 1.0);
+    } else if (key == "health_eject_probe_failures") {
+      cfg.balancer.health.eject_probe_failures = parse_int(line_no, key, value, 1);
+    } else if (key == "health_eject_ms") {
+      cfg.balancer.health.eject_duration = sim::milliseconds(parse_int(line_no, key, value, 1));
+    } else if (key == "health_rejoin_probes") {
+      cfg.balancer.health.rejoin_probes = parse_int(line_no, key, value, 1);
+    } else if (key == "hedge") {
+      cfg.balancer.hedge.enabled = parse_bool(line_no, key, value);
+    } else if (key == "hedge_deadline_ms") {
+      cfg.balancer.hedge.deadline = sim::milliseconds(parse_int(line_no, key, value, 1));
+    } else if (key == "hedge_budget") {
+      cfg.balancer.hedge.budget = parse_double(line_no, key, value, 0.0, 1e9);
+    } else if (key == "hedge_budget_refill") {
+      cfg.balancer.hedge.budget_refill_per_success = parse_double(line_no, key, value, 0.0, 1e9);
     } else {
       fail(line_no, "unknown key '" + key + "'");
     }
@@ -248,6 +288,29 @@ std::string format_server_config(const ServerConfig& config) {
   out << "broker_max_attempts = " << config.broker_publish.max_attempts << "\n";
   out << "broker_backoff_ms = " << sim::to_milliseconds(config.broker_publish.backoff_base) << "\n";
   out << "broker_poll_ms = " << sim::to_milliseconds(config.broker_publish.poll_interval) << "\n";
+  out << "balancer_policy = "
+      << (config.balancer.policy == BalancerPolicy::kRoundRobin          ? "round_robin"
+          : config.balancer.policy == BalancerPolicy::kRandom            ? "random"
+          : config.balancer.policy == BalancerPolicy::kLeastOutstanding  ? "least_outstanding"
+          : config.balancer.policy == BalancerPolicy::kPowerOfTwo        ? "p2c"
+                                                                         : "latency_weighted")
+      << "\n";
+  out << "health_checks = " << (config.balancer.health.enabled ? "true" : "false") << "\n";
+  out << "health_probe_interval_ms = "
+      << sim::to_milliseconds(config.balancer.health.probe_interval) << "\n";
+  out << "health_probe_timeout_ms = "
+      << sim::to_milliseconds(config.balancer.health.probe_timeout) << "\n";
+  out << "health_probe_cost_us = " << config.balancer.health.probe_cost_s * 1e6 << "\n";
+  out << "health_ewma_alpha = " << config.balancer.health.ewma_alpha << "\n";
+  out << "health_eject_score = " << config.balancer.health.eject_score << "\n";
+  out << "health_eject_probe_failures = " << config.balancer.health.eject_probe_failures << "\n";
+  out << "health_eject_ms = " << sim::to_milliseconds(config.balancer.health.eject_duration)
+      << "\n";
+  out << "health_rejoin_probes = " << config.balancer.health.rejoin_probes << "\n";
+  out << "hedge = " << (config.balancer.hedge.enabled ? "true" : "false") << "\n";
+  out << "hedge_deadline_ms = " << sim::to_milliseconds(config.balancer.hedge.deadline) << "\n";
+  out << "hedge_budget = " << config.balancer.hedge.budget << "\n";
+  out << "hedge_budget_refill = " << config.balancer.hedge.budget_refill_per_success << "\n";
   return out.str();
 }
 

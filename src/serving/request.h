@@ -77,6 +77,14 @@ struct Request {
   std::size_t gpu_index = 0;               ///< accelerator this request runs on
   sim::Time enqueue_time = 0;              ///< last scheduler-queue entry time
   bool dropped = false;                    ///< shed by admission control
+  /// Cooperative cancellation (set by the fleet balancer when a hedged
+  /// sibling already won, or when the request's node crashed). Schedulers
+  /// drop the request at the next dispatch point instead of spending GPU
+  /// time on it; if it is already past dispatch it completes normally as
+  /// wasted work. `cancel_reason` must point at a static string — it blames
+  /// the drop's residual queue charge.
+  bool cancel_requested = false;
+  std::string_view cancel_reason = "cancelled";
   bool failed = false;                     ///< completed exceptionally (fault path)
   FailReason fail_reason = FailReason::kNone;
   int attempt = 1;                         ///< 1-based client retry attempt

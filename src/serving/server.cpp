@@ -641,13 +641,24 @@ sim::Process InferenceServer::inference_loop(std::size_t g) {
       co_await sim.wait(std::max<Time>(until - sim.now(), 1));
     }
     if (batch_failed) continue;
-    // Admission control: shed requests that already blew the deadline
-    // before spending GPU time on them.
-    if (config_.shed_deadline > 0) {
+    // Admission control: shed requests that already blew the deadline — or
+    // were cancelled by a hedging balancer — before spending GPU time on
+    // them. Both paths drop-account, so the auditor conserves them.
+    bool any_cancelled = false;
+    for (const auto& r : batch) {
+      if (r->cancel_requested) {
+        any_cancelled = true;
+        break;
+      }
+    }
+    if (config_.shed_deadline > 0 || any_cancelled) {
       std::vector<RequestPtr> kept;
       kept.reserve(batch.size());
       for (auto& r : batch) {
-        if (sim.now() - r->arrival > config_.shed_deadline) {
+        if (r->cancel_requested) {
+          const std::string_view blame = r->cancel_reason;
+          drop_request(g, std::move(r), blame);
+        } else if (config_.shed_deadline > 0 && sim.now() - r->arrival > config_.shed_deadline) {
           drop_request(g, std::move(r));
         } else {
           kept.push_back(std::move(r));
@@ -797,7 +808,7 @@ void InferenceServer::fail_request(std::size_t g, RequestPtr req, FailReason rea
   req->done.set();
 }
 
-void InferenceServer::drop_request(std::size_t g, RequestPtr req) {
+void InferenceServer::drop_request(std::size_t g, RequestPtr req, std::string_view blame) {
   if (req->staged != 0) {
     platform_.gpu(g).stager().release(req->staged);
     req->staged = 0;
@@ -807,7 +818,7 @@ void InferenceServer::drop_request(std::size_t g, RequestPtr req) {
   // stage time like completed ones.
   const Time now = platform_.sim().now();
   if (req->enqueue_time >= req->arrival && now > req->enqueue_time) {
-    req->charge(Stage::kQueue, now - req->enqueue_time, "shed-deadline");
+    req->charge(Stage::kQueue, now - req->enqueue_time, blame);
   }
   req->dropped = true;
   req->completed = now;

@@ -98,7 +98,9 @@ class InferenceServer {
                                      sim::ResourceToken pipeline);
   sim::Process inference_loop(std::size_t g);
   sim::Process finish_request(RequestPtr req);
-  void drop_request(std::size_t gpu, RequestPtr req);
+  /// `blame` annotates the residual queue charge ("shed-deadline" for
+  /// admission-control drops, "hedge-cancelled" for balancer cancellations).
+  void drop_request(std::size_t gpu, RequestPtr req, std::string_view blame = "shed-deadline");
 
   /// Terminal failure: releases staged memory, charges the queue residue,
   /// records + signals completion with `failed = true`.

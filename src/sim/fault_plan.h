@@ -14,6 +14,9 @@
 //     kGpuMemoryShrink window edges (forced eviction storms);
 //   - broker::SimBroker fails publishes and stalls deliveries inside a
 //     kBrokerOutage window;
+//   - the fleet balancer (core/fleet.*) consults kNodeCrash,
+//     kNodeGrayFailure, and kNodePartition windows (target = node index)
+//     when dispatching, probing, and awaiting responses from fleet nodes;
 //   - per-request payload corruption is a seeded Bernoulli draw keyed by the
 //     request id, so the same (seed, probability) corrupts the same requests
 //     on every run regardless of scheduling.
@@ -25,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -42,6 +46,10 @@ enum class FaultKind : std::uint8_t {
   kPcieDegradation,  ///< PCIe transfers take `magnitude` times longer
   kGpuMemoryShrink,  ///< staging budget scaled to `magnitude` (fraction kept)
   kBrokerOutage,     ///< broker publishes fail, deliveries stall
+  // Node-scoped fleet faults (target = node index, consulted by the balancer):
+  kNodeCrash,        ///< node refuses dispatches, responses in flight are lost
+  kNodeGrayFailure,  ///< node stays "up" but only serves `magnitude` of requests
+  kNodePartition,    ///< balancer<->node link delays traffic by `magnitude` s
   kCount
 };
 
@@ -52,6 +60,9 @@ enum class FaultKind : std::uint8_t {
     case FaultKind::kPcieDegradation: return "pcie-degradation";
     case FaultKind::kGpuMemoryShrink: return "gpu-memory-shrink";
     case FaultKind::kBrokerOutage: return "broker-outage";
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kNodeGrayFailure: return "node-gray-failure";
+    case FaultKind::kNodePartition: return "node-partition";
     case FaultKind::kCount: break;
   }
   return "?";
@@ -105,6 +116,25 @@ class FaultPlan {
   void broker_outage(Time begin, Time end) {
     add({FaultKind::kBrokerOutage, FaultWindow::kAllTargets, begin, end, 1.0});
   }
+  void node_crash(int node, Time begin, Time end) {
+    add({FaultKind::kNodeCrash, node, begin, end, 1.0});
+  }
+  /// The node keeps answering health probes but only serves `serve_fraction`
+  /// of its dispatches; the rest fast-fail at the node frontend. The fast
+  /// failures keep its queue short — the configuration that fools
+  /// join-the-shortest-queue into sending it *more* traffic.
+  void node_gray_failure(int node, Time begin, Time end, double serve_fraction) {
+    if (serve_fraction <= 0.0 || serve_fraction > 1.0) {
+      throw std::invalid_argument("FaultPlan: serve fraction must be in (0, 1]");
+    }
+    add({FaultKind::kNodeGrayFailure, node, begin, end, serve_fraction});
+  }
+  /// Every dispatch and response crossing the balancer<->node link during
+  /// the window is delayed by `delay_s` seconds (each direction).
+  void node_partition(int node, Time begin, Time end, double delay_s) {
+    if (delay_s <= 0.0) throw std::invalid_argument("FaultPlan: partition delay must be > 0");
+    add({FaultKind::kNodePartition, node, begin, end, delay_s});
+  }
 
   /// Corrupts each request's payload with probability `p`, decided by a
   /// seeded hash of the request id (scheduling-independent).
@@ -141,6 +171,52 @@ class FaultPlan {
       if (w.kind == k && w.covers(target, now) && w.end > until) until = w.end;
     }
     return until;
+  }
+
+  /// Earliest begin strictly after `from` among windows of `k` on `target`
+  /// (kNever when none remains) — how long an in-flight response to a node
+  /// can safely be awaited before a crash would swallow it.
+  [[nodiscard]] Time next_begin(FaultKind k, int target, Time from) const noexcept {
+    Time next = kNever;
+    for (const FaultWindow& w : windows_) {
+      if (w.kind == k && (w.target == FaultWindow::kAllTargets || w.target == target) &&
+          w.begin > from && w.begin < next) {
+        next = w.begin;
+      }
+    }
+    return next;
+  }
+  static constexpr Time kNever = std::numeric_limits<Time>::max();
+
+  /// One-way balancer<->node link delay in seconds (max over the active
+  /// kNodePartition windows; 0.0 when the link is healthy).
+  [[nodiscard]] double partition_delay_s(int node, Time now) const noexcept {
+    double d = 0.0;
+    for (const FaultWindow& w : windows_) {
+      if (w.kind == FaultKind::kNodePartition && w.covers(node, now) && w.magnitude > d) {
+        d = w.magnitude;
+      }
+    }
+    return d;
+  }
+
+  /// Deterministic per-request verdict inside a gray-failure window: does
+  /// `node` actually serve this dispatch? True (serve) with probability
+  /// `magnitude`, keyed by (request id, node) so the same requests fail on
+  /// every run regardless of scheduling. True when no window is active.
+  [[nodiscard]] bool gray_serves(int node, std::uint64_t request_id, Time now) const noexcept {
+    double serve_fraction = 1.0;
+    for (const FaultWindow& w : windows_) {
+      if (w.kind == FaultKind::kNodeGrayFailure && w.covers(node, now) &&
+          w.magnitude < serve_fraction) {
+        serve_fraction = w.magnitude;
+      }
+    }
+    if (serve_fraction >= 1.0) return true;
+    const std::uint64_t z =
+        splitmix(request_id * 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(node) + 1));
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return u < serve_fraction;
   }
 
   [[nodiscard]] double corruption_probability() const noexcept { return corruption_p_; }

@@ -9,9 +9,11 @@
 //    standard bursty-traffic model.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string_view>
 
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -29,6 +31,19 @@ using ArrivalProcess = std::function<sim::Time(sim::Rng&)>;
 [[nodiscard]] inline ArrivalProcess deterministic_arrivals(double rate_per_s) {
   if (rate_per_s <= 0.0) throw std::invalid_argument("deterministic_arrivals: rate must be > 0");
   return [rate_per_s](sim::Rng&) { return sim::seconds(1.0 / rate_per_s); };
+}
+
+/// Named arrival shapes, for specs (e.g. core::FleetSpec) that pick an
+/// open-loop generator by configuration rather than by factory call.
+enum class ArrivalKind : std::uint8_t { kPoisson, kDeterministic, kBursty };
+
+[[nodiscard]] constexpr std::string_view arrival_kind_name(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kDeterministic: return "deterministic";
+    case ArrivalKind::kBursty: return "bursty";
+  }
+  return "?";
 }
 
 /// Two-state MMPP with the given mean rate. The process alternates between
@@ -61,6 +76,15 @@ using ArrivalProcess = std::function<sim::Time(sim::Rng&)>;
     state->dwell_left_s -= gap;
     return sim::seconds(gap);
   };
+}
+
+[[nodiscard]] inline ArrivalProcess make_arrivals(ArrivalKind kind, double rate_per_s) {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return poisson_arrivals(rate_per_s);
+    case ArrivalKind::kDeterministic: return deterministic_arrivals(rate_per_s);
+    case ArrivalKind::kBursty: return mmpp2_arrivals(rate_per_s);
+  }
+  throw std::invalid_argument("make_arrivals: unknown arrival kind");
 }
 
 }  // namespace serve::workload

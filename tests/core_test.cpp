@@ -122,7 +122,9 @@ TEST(Fleet, AggregatesNodeThroughput) {
   spec.measure = sim::seconds(4.0);
   const auto r = run_fleet(spec);
   ASSERT_EQ(r.node_throughput_rps.size(), 2u);
-  EXPECT_NEAR(r.throughput_rps, r.node_throughput_rps[0] + r.node_throughput_rps[1], 1e-9);
+  // Logical goodput at the balancer matches the sum of node-side completions
+  // (modulo requests straddling the window edges).
+  EXPECT_NEAR(r.throughput_rps, r.node_throughput_rps[0] + r.node_throughput_rps[1], 50.0);
   EXPECT_NEAR(r.imbalance(), 1.0, 0.05);  // round-robin over equal nodes
   EXPECT_GT(r.throughput_rps, 3000.0);
 }
@@ -134,9 +136,9 @@ TEST(Fleet, LeastOutstandingAdaptsToHeterogeneity) {
   spec.concurrency = 384;
   spec.warmup = sim::seconds(1.0);
   spec.measure = sim::seconds(4.0);
-  spec.policy = BalancerPolicy::kRoundRobin;
+  spec.server.balancer.policy = BalancerPolicy::kRoundRobin;
   const auto rr = run_fleet(spec);
-  spec.policy = BalancerPolicy::kLeastOutstanding;
+  spec.server.balancer.policy = BalancerPolicy::kLeastOutstanding;
   const auto jsq = run_fleet(spec);
   EXPECT_GT(jsq.throughput_rps, rr.throughput_rps);
   // JSQ routes proportionally more work to the 2-GPU node.

@@ -422,6 +422,56 @@ TEST(ConfigFile, IngressKeysRoundTrip) {
   EXPECT_DOUBLE_EQ(round.ingress_cache.lookup_s, 35e-6);
 }
 
+TEST(ConfigFile, BalancerKeysRoundTrip) {
+  serving::ServerConfig cfg;
+  cfg.model = models::tiny_vit();
+  cfg.balancer.policy = serving::BalancerPolicy::kLatencyWeighted;
+  cfg.balancer.health.enabled = true;
+  cfg.balancer.health.probe_interval = sim::milliseconds(20);
+  cfg.balancer.health.probe_timeout = sim::milliseconds(10);
+  cfg.balancer.health.probe_cost_s = 150e-6;
+  cfg.balancer.health.ewma_alpha = 0.3;
+  cfg.balancer.health.eject_score = 0.4;
+  cfg.balancer.health.eject_probe_failures = 5;
+  cfg.balancer.health.eject_duration = sim::milliseconds(750);
+  cfg.balancer.health.rejoin_probes = 4;
+  cfg.balancer.hedge.enabled = true;
+  cfg.balancer.hedge.deadline = sim::milliseconds(35);
+  cfg.balancer.hedge.budget = 128.0;
+  cfg.balancer.hedge.budget_refill_per_success = 0.25;
+  const auto round = serving::parse_server_config(serving::format_server_config(cfg));
+  EXPECT_EQ(round.balancer.policy, serving::BalancerPolicy::kLatencyWeighted);
+  EXPECT_TRUE(round.balancer.health.enabled);
+  EXPECT_EQ(round.balancer.health.probe_interval, sim::milliseconds(20));
+  EXPECT_EQ(round.balancer.health.probe_timeout, sim::milliseconds(10));
+  EXPECT_DOUBLE_EQ(round.balancer.health.probe_cost_s, 150e-6);
+  EXPECT_DOUBLE_EQ(round.balancer.health.ewma_alpha, 0.3);
+  EXPECT_DOUBLE_EQ(round.balancer.health.eject_score, 0.4);
+  EXPECT_EQ(round.balancer.health.eject_probe_failures, 5);
+  EXPECT_EQ(round.balancer.health.eject_duration, sim::milliseconds(750));
+  EXPECT_EQ(round.balancer.health.rejoin_probes, 4);
+  EXPECT_TRUE(round.balancer.hedge.enabled);
+  EXPECT_EQ(round.balancer.hedge.deadline, sim::milliseconds(35));
+  EXPECT_DOUBLE_EQ(round.balancer.hedge.budget, 128.0);
+  EXPECT_DOUBLE_EQ(round.balancer.hedge.budget_refill_per_success, 0.25);
+}
+
+TEST(ConfigFile, BalancerKeysRejectBadValues) {
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nbalancer_policy = dns\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)serving::parse_server_config("model = vit-base\nhealth_probe_interval_ms = 0\n"),
+      std::invalid_argument);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nhealth_ewma_alpha = 1.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nhealth_eject_score = 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nhedge_deadline_ms = -5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)serving::parse_server_config("model = vit-base\nhedge_budget = -1\n"),
+               std::invalid_argument);
+}
+
 TEST(ConfigFile, IngressKeysRejectBadValues) {
   EXPECT_THROW((void)serving::parse_server_config("model = vit-base\ningress = png\n"),
                std::invalid_argument);

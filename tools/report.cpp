@@ -291,6 +291,49 @@ int main(int argc, char** argv) {
                 burn, burn > 1.0 ? "  (burning faster than budget)" : "");
   }
 
+  // --- fleet health (per-node balancer instruments) -------------------------
+  struct FleetNode {
+    double score = -1.0, state = -1.0, dispatches = 0.0, ejections = 0.0, rejoins = 0.0;
+  };
+  std::vector<std::pair<std::string, FleetNode>> fleet;  // node label -> row
+  auto fleet_row = [&fleet](const std::string& node) -> FleetNode& {
+    for (auto& [n, row] : fleet) {
+      if (n == node) return row;
+    }
+    fleet.emplace_back(node, FleetNode{});
+    return fleet.back().second;
+  };
+  if (instruments != nullptr && instruments->is_array()) {
+    for (const Value& ins : instruments->array) {
+      const std::string name = ins.str_or("name", "");
+      if (name.rfind("fleet_node_", 0) != 0) continue;
+      std::string node = "?";
+      if (const Value* labels = ins.find("labels")) node = labels->str_or("node", "?");
+      FleetNode& row = fleet_row(node);
+      const double v = ins.num_or("value", 0.0);
+      if (name == "fleet_node_health_score") row.score = v;
+      else if (name == "fleet_node_state") row.state = v;
+      else if (name == "fleet_node_dispatches_total") row.dispatches = v;
+      else if (name == "fleet_node_ejections_total") row.ejections = v;
+      else if (name == "fleet_node_rejoins_total") row.rejoins = v;
+    }
+  }
+  if (!fleet.empty()) {
+    std::printf("\nFleet health (end-of-run balancer view):\n");
+    std::printf("  %-6s %-10s %-12s %12s %10s %8s\n", "node", "state", "score", "dispatches",
+                "ejections", "rejoins");
+    for (const auto& [node, row] : fleet) {
+      const char* state = row.state >= 1.0 ? "healthy" : row.state >= 0.5 ? "half-open"
+                                                                          : "ejected";
+      char bar[11];
+      const int filled = std::clamp(static_cast<int>(row.score * 10.0 + 0.5), 0, 10);
+      for (int i = 0; i < 10; ++i) bar[i] = i < filled ? '#' : '.';
+      bar[10] = '\0';
+      std::printf("  %-6s %-10s %s %12.0f %10.0f %8.0f\n", node.c_str(), state, bar,
+                  row.dispatches, row.ejections, row.rejoins);
+    }
+  }
+
   // --- shape checks ---------------------------------------------------------
   if (const Value* checks = doc->find("checks"); checks != nullptr && checks->is_array()) {
     std::size_t pass = 0;
