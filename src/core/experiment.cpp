@@ -96,6 +96,9 @@ ExperimentResult run_with_clients(const ExperimentSpec& spec, hw::Platform& plat
     r.audit_violations = audit->violation_count();
     r.audit_report = audit->report();
   }
+  // The triggered-capture binding points into the auditor, which dies with
+  // the server when this frame unwinds; the engine must not outlive it armed.
+  if (spec.alerts != nullptr) spec.alerts->release_triggered_sampler();
   // Callback instruments capture the platform/server/clients by reference;
   // convert them to plain values while everything is still alive so the
   // registry can be read (and exported) after this stack frame unwinds.
@@ -118,6 +121,14 @@ void wire_audit_trace(const ExperimentSpec& spec, serving::InferenceServer& serv
                               [rec] { return static_cast<double>(rec->event_count()); });
     spec.registry->counter_fn("trace_events_dropped_total", {},
                               [rec] { return static_cast<double>(rec->dropped_events()); });
+  }
+  if (spec.alerts != nullptr) {
+    if (spec.trace != nullptr) spec.alerts->set_trace(spec.trace);
+    // Triggered capture only makes sense when requests are being sampled at
+    // all: the auditor owns the sampler that originates SpanContexts.
+    if (server.auditor() != nullptr && spec.tracer != nullptr) {
+      spec.alerts->set_triggered_sampler(&server.auditor()->sampler());
+    }
   }
 }
 

@@ -13,6 +13,7 @@
 #include "metrics/breakdown.h"
 #include "metrics/flight_recorder.h"
 #include "metrics/registry.h"
+#include "obs/alert_engine.h"
 #include "serving/client.h"
 #include "serving/config.h"
 #include "serving/server.h"
@@ -65,6 +66,13 @@ struct ExperimentSpec {
   /// starts it when clients start and stops it at the end of the
   /// measurement window, before the drain.
   metrics::FlightRecorder* recorder = nullptr;
+
+  /// Optional SLO watch plane over `registry` + `recorder` (requires both;
+  /// the caller attaches it to the recorder). The runner binds the trace
+  /// ("alerts" instant events) and — when auditing with a causal tracer —
+  /// the auditor's sampler for triggered capture, then releases the sampler
+  /// binding before the server is torn down.
+  obs::AlertEngine* alerts = nullptr;
 };
 
 /// Outputs of a serving experiment (one point of a paper figure).

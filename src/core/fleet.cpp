@@ -526,10 +526,14 @@ FleetResult run_fleet(const FleetSpec& spec) {
     for (int i = 0; i < spec.concurrency; ++i) sim.spawn(fleet.client());
   }
 
+  if (spec.recorder != nullptr) spec.recorder->start(sim);
   sim.run_until(spec.warmup);
   for (auto& n : fleet.nodes) n->server->stats().begin();
   fleet.measuring = true;
   sim.run_until(spec.warmup + spec.measure);
+  // Stop at the window edge: the drain runs the simulator dry, and a live
+  // recorder would re-schedule its tick forever.
+  if (spec.recorder != nullptr) spec.recorder->stop();
 
   FleetResult r;
   for (auto& n : fleet.nodes) {

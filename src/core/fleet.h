@@ -158,6 +158,11 @@ struct FleetSpec {
   sim::TraceRecorder* trace = nullptr;      ///< optional probe/hedge/fault spans
   trace::CausalTracer* tracer = nullptr;    ///< optional cross-node causal traces
   metrics::Registry* registry = nullptr;    ///< optional fleet-level instruments
+  /// Optional flight recorder over `registry` (requires it): started before
+  /// warmup, stopped at the measurement-window edge. Gives fleet runs the
+  /// same per-node health/queue trajectories single-server runs record —
+  /// and an obs::AlertEngine attached to it per-node alert evaluation.
+  metrics::FlightRecorder* recorder = nullptr;
 };
 
 struct FleetResult {

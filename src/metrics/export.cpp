@@ -68,6 +68,23 @@ std::string flat_labels(const Labels& labels) {
   return out;
 }
 
+/// RFC 4180 field quoting: cells containing a comma, double quote, CR, or LF
+/// are wrapped in quotes with embedded quotes doubled. Label *values* are
+/// caller-supplied free text (model names, file paths), so the long-form CSV
+/// must not let one hostile value shear the row into extra columns.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 /// Prometheus metric/label names: [a-zA-Z_][a-zA-Z0-9_]*.
 std::string prom_name(const std::string& s) {
   std::string out = s;
@@ -209,9 +226,17 @@ void TelemetryExport::write_json(std::ostream& out) const {
           << ", \"buckets\": [";
       std::uint64_t cum = 0;
       for (std::size_t i = 0; i < ins.buckets.size(); ++i) {
-        cum += ins.buckets[i].count;
-        out << (i ? ", " : "") << "{\"le\": " << format_double(ins.buckets[i].upper)
-            << ", \"count\": " << cum << '}';
+        const auto& b = ins.buckets[i];
+        cum += b.count;
+        out << (i ? ", " : "") << "{\"le\": " << format_double(b.upper)
+            << ", \"count\": " << cum;
+        if (b.exemplar_trace_id != 0) {
+          // Last causal witness for this latency band: lets a reader jump
+          // from an SLO tail bucket straight to the trace that landed there.
+          out << ", \"exemplar\": {\"trace_id\": " << b.exemplar_trace_id
+              << ", \"value\": " << format_double(b.exemplar_value) << '}';
+        }
+        out << '}';
       }
       out << ']';
     } else {
@@ -245,28 +270,30 @@ void TelemetryExport::write_csv(std::ostream& out) const {
   out << "record,name,labels,x,value\n";
   for (const auto& ins : instruments_) {
     if (ins.wall_clock) continue;
-    const std::string labels = flat_labels(ins.labels);
+    const std::string name = csv_field(ins.name);
+    const std::string labels = csv_field(flat_labels(ins.labels));
     if (ins.type == InstrumentType::kHistogram) {
-      out << "histogram," << ins.name << ',' << labels << ",count," << ins.count << '\n';
-      out << "histogram," << ins.name << ',' << labels << ",sum," << format_double(ins.sum)
+      out << "histogram," << name << ',' << labels << ",count," << ins.count << '\n';
+      out << "histogram," << name << ',' << labels << ",sum," << format_double(ins.sum)
           << '\n';
       std::uint64_t cum = 0;
       for (const auto& b : ins.buckets) {
         cum += b.count;
-        out << "bucket," << ins.name << ',' << labels << ',' << format_double(b.upper) << ','
+        out << "bucket," << name << ',' << labels << ',' << format_double(b.upper) << ','
             << cum << '\n';
       }
     } else {
-      out << instrument_type_name(ins.type) << ',' << ins.name << ',' << labels << ",,"
+      out << instrument_type_name(ins.type) << ',' << name << ',' << labels << ",,"
           << format_double(ins.value) << '\n';
     }
   }
   for (const auto& s : series_) {
-    const std::string labels = flat_labels(s.labels);
+    const std::string name = csv_field(s.name);
+    const std::string labels = csv_field(flat_labels(s.labels));
     for (std::size_t j = 0; j < s.samples.size(); ++j) {
       const double t =
           series_start_s_ + static_cast<double>(s.start_tick + j) * series_period_s_;
-      out << "sample," << s.name << ',' << labels << ',' << format_double(t) << ','
+      out << "sample," << name << ',' << labels << ',' << format_double(t) << ','
           << format_double(s.samples[j]) << '\n';
     }
   }

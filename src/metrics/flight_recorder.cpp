@@ -16,6 +16,7 @@ void FlightRecorder::start(sim::Simulator& sim) {
   start_time_ = sim.now();
   sample(sim.now());
   ++ticks_;
+  for (auto& fn : listeners_) fn(sim.now(), ticks_ - 1);
   sim.schedule_after(opts_.period, [this, &sim] { tick(sim); });
 }
 
@@ -23,12 +24,14 @@ void FlightRecorder::tick(sim::Simulator& sim) {
   if (!running_) return;  // stopped while this event was pending
   sample(sim.now());
   ++ticks_;
+  for (auto& fn : listeners_) fn(sim.now(), ticks_ - 1);
   sim.schedule_after(opts_.period, [this, &sim] { tick(sim); });
 }
 
 void FlightRecorder::sample(sim::Time /*now*/) {
   const auto t0 = std::chrono::steady_clock::now();
-  const std::size_t n = registry_.instrument_count();
+  registry_.sample_values(scratch_);  // one lock for the whole tick
+  const std::size_t n = scratch_.size();
   if (rings_.size() < n) {
     // Instruments registered after start() join mid-flight: their first
     // retained sample is this tick, earlier ticks are simply absent.
@@ -37,10 +40,15 @@ void FlightRecorder::sample(sim::Time /*now*/) {
       if (ring.total == 0 && ring.buf.empty()) ring.first_tick = ticks_;
     }
   }
+  // The wall-clock flag is fixed at registration; cache it per index so the
+  // steady-state tick never re-reads instrument metadata.
+  while (wall_clock_.size() < n) {
+    wall_clock_.push_back(registry_.info(wall_clock_.size()).wall_clock ? 1 : 0);
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    if (registry_.info(i).wall_clock) continue;
+    if (wall_clock_[i] != 0) continue;
     Ring& ring = rings_[i];
-    const double v = registry_.current_value(i);
+    const double v = scratch_[i];
     if (ring.buf.size() < opts_.capacity) {
       ring.buf.push_back(v);
     } else {

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,17 @@ class FlightRecorder {
   /// Wall-clock seconds the recorder spent sampling (self-overhead).
   [[nodiscard]] double self_seconds() const noexcept { return self_time_.value(); }
 
+  /// Called after every sample with the virtual time and the tick index just
+  /// recorded (tick k sampled at start_time() + k * period()). This is the
+  /// evaluation cadence hook the obs::AlertEngine rides: listeners observe a
+  /// fully-sampled registry at exact virtual-time multiples, so anything they
+  /// derive is as deterministic as the series themselves. Listeners must not
+  /// register instruments from inside the callback for the *current* tick
+  /// (they would sample starting next tick anyway) and must outlive the
+  /// recorder's sampling window.
+  using TickListener = std::function<void(sim::Time now, std::uint64_t tick)>;
+  void add_tick_listener(TickListener fn) { listeners_.push_back(std::move(fn)); }
+
  private:
   struct Ring {
     std::uint64_t first_tick = 0;  ///< tick of buf's logically-first sample
@@ -91,7 +103,10 @@ class FlightRecorder {
   std::uint64_t ticks_ = 0;
   sim::Time start_time_ = 0;
   std::vector<Ring> rings_;  ///< index-aligned with registry instruments
+  std::vector<double> scratch_;       ///< per-tick bulk-sample buffer (reused)
+  std::vector<std::uint8_t> wall_clock_;  ///< cached per-index wall-clock flag
   Counter self_time_;        ///< wall-clock seconds spent in sample()
+  std::vector<TickListener> listeners_;
 };
 
 }  // namespace serve::metrics

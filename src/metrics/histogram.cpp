@@ -18,6 +18,7 @@ Histogram::Histogram(const Options& opts) : opts_(opts) {
   const double span = std::log(opts_.max_value / opts_.min_value) * log_growth_inv_;
   // +2: one underflow bucket in front, one overflow bucket at the back.
   counts_.assign(static_cast<std::size_t>(std::ceil(span)) + 2, 0);
+  if (opts_.track_exemplars) exemplars_.assign(counts_.size(), Exemplar{});
 }
 
 std::size_t Histogram::bucket_index(double value) const noexcept {
@@ -48,6 +49,13 @@ void Histogram::add(double value) noexcept {
   stats_.add(value);
 }
 
+void Histogram::add(double value, std::uint64_t trace_id) noexcept {
+  const std::size_t idx = bucket_index(value);
+  ++counts_[idx];
+  stats_.add(value);
+  if (!exemplars_.empty() && trace_id != 0) exemplars_[idx] = {trace_id, value};
+}
+
 void Histogram::merge(const Histogram& other) {
   // Bucket i only means the same value range when every layout parameter
   // matches; equal bucket *counts* are not enough (e.g. [1e-6, 1e3] and
@@ -57,6 +65,13 @@ void Histogram::merge(const Histogram& other) {
     throw std::invalid_argument("Histogram::merge: incompatible layouts");
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  // Exemplars are last-write-wins per bucket: `other`'s (when present) is the
+  // more recent witness from the merging side, so it takes precedence.
+  if (!exemplars_.empty() && !other.exemplars_.empty()) {
+    for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+      if (other.exemplars_[i].trace_id != 0) exemplars_[i] = other.exemplars_[i];
+    }
+  }
   stats_.merge(other.stats_);
 }
 
@@ -90,13 +105,38 @@ std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
   std::vector<Bucket> out;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] == 0) continue;
-    out.push_back({bucket_lower(i), bucket_upper(i), counts_[i]});
+    Bucket b{bucket_lower(i), bucket_upper(i), counts_[i], 0, 0.0};
+    if (!exemplars_.empty()) {
+      b.exemplar_trace_id = exemplars_[i].trace_id;
+      b.exemplar_value = exemplars_[i].value;
+    }
+    out.push_back(b);
   }
   return out;
 }
 
+double Histogram::count_at_or_below(double value) const noexcept {
+  if (stats_.count() == 0) return 0.0;
+  // Everything strictly below the straddling bucket counts in full; the
+  // straddling bucket contributes linearly. bucket_index() pins the split
+  // point so only that one bucket's edges are ever computed — this runs on
+  // the alert engine's per-tick path.
+  const std::size_t split = bucket_index(value);
+  double below = 0.0;
+  for (std::size_t i = 0; i < split; ++i) below += static_cast<double>(counts_[i]);
+  if (counts_[split] != 0) {
+    const double lo = bucket_lower(split);
+    const double hi = bucket_upper(split);
+    const double width = hi - lo;
+    const double frac = width > 0.0 ? (value - lo) / width : (value >= hi ? 1.0 : 0.0);
+    below += static_cast<double>(counts_[split]) * std::clamp(frac, 0.0, 1.0);
+  }
+  return below;
+}
+
 void Histogram::reset() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
+  std::fill(exemplars_.begin(), exemplars_.end(), Exemplar{});
   stats_.reset();
 }
 

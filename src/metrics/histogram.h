@@ -23,16 +23,30 @@ class Histogram {
     double min_value = 1e-6;        ///< lower edge of first regular bucket
     double max_value = 1e3;         ///< upper edge of last regular bucket
     double growth = 1.04;           ///< geometric bucket growth factor
+    bool track_exemplars = false;   ///< retain the last (trace_id, value) per bucket
   };
 
   Histogram() : Histogram(Options{}) {}
   explicit Histogram(const Options& opts);
 
   void add(double value) noexcept;
+
+  /// Records `value` and — when `track_exemplars` is set and trace_id is
+  /// nonzero — retains (trace_id, value) as the bucket's exemplar,
+  /// overwriting any previous one. Last-write-wins keeps the exemplar the
+  /// most recent causal witness for that latency band; exporters use it to
+  /// link SLO tail buckets to a concrete trace.
+  void add(double value, std::uint64_t trace_id) noexcept;
+
   void merge(const Histogram& other);
 
   /// Returns the value at quantile q in [0, 1] (e.g. 0.99 for p99).
   /// Linear interpolation within the containing bucket.
+  ///
+  /// Contract on an empty histogram (`count() == 0`): every quantile —
+  /// including p999() — returns exactly 0.0. Callers that must distinguish
+  /// "no samples" from "all samples were 0" check `count()`; this is a
+  /// deliberate, tested contract, not incidental fallthrough.
   [[nodiscard]] double quantile(double q) const noexcept;
 
   [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
@@ -49,10 +63,20 @@ class Histogram {
     double lower = 0.0;
     double upper = 0.0;
     std::uint64_t count = 0;
+    // Exemplar: last (trace_id, value) observed in this bucket when
+    // `track_exemplars` is enabled. trace_id == 0 means "none retained".
+    std::uint64_t exemplar_trace_id = 0;
+    double exemplar_value = 0.0;
   };
 
   /// Occupied buckets in ascending value order (empty buckets elided).
   [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
+
+  /// Samples with value <= `value`, interpolating linearly within the
+  /// straddling bucket (the same convention tools/report uses for SLO
+  /// attainment). Allocation-free — the alert engine calls this every
+  /// recorder tick.
+  [[nodiscard]] double count_at_or_below(double value) const noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept { return stats_.count(); }
   [[nodiscard]] double mean() const noexcept { return stats_.mean(); }
@@ -69,9 +93,15 @@ class Histogram {
   [[nodiscard]] double bucket_lower(std::size_t i) const noexcept;
   [[nodiscard]] double bucket_upper(std::size_t i) const noexcept;
 
+  struct Exemplar {
+    std::uint64_t trace_id = 0;
+    double value = 0.0;
+  };
+
   Options opts_;
   double log_growth_inv_ = 0.0;  ///< 1 / ln(growth), cached
   std::vector<std::uint64_t> counts_;
+  std::vector<Exemplar> exemplars_;  ///< bucket-aligned; empty unless tracking
   StatAccumulator stats_;
 };
 

@@ -100,7 +100,9 @@ Registry::InstrumentSnapshot Registry::snapshot_one(const Instrument& ins) const
     s.sum = h.sum();
     s.min = h.min();
     s.max = h.max();
-    for (const auto& b : h.nonzero_buckets()) s.buckets.push_back({b.lower, b.upper, b.count});
+    for (const auto& b : h.nonzero_buckets()) {
+      s.buckets.push_back({b.lower, b.upper, b.count, b.exemplar_trace_id, b.exemplar_value});
+    }
   }
   return s;
 }
@@ -138,6 +140,25 @@ Registry::InstrumentInfo Registry::info(std::size_t i) const {
 double Registry::current_value(std::size_t i) const {
   std::lock_guard lock{mu_};
   return instruments_.at(i)->value();
+}
+
+void Registry::sample_values(std::vector<double>& out) const {
+  std::lock_guard lock{mu_};
+  out.resize(instruments_.size());
+  for (std::size_t i = 0; i < instruments_.size(); ++i) out[i] = instruments_[i]->value();
+}
+
+Registry::InstrumentSnapshot Registry::snapshot_at(std::size_t i) const {
+  std::lock_guard lock{mu_};
+  return snapshot_one(*instruments_.at(i));
+}
+
+std::pair<std::uint64_t, double> Registry::histogram_count_below(std::size_t i,
+                                                                 double threshold) const {
+  std::lock_guard lock{mu_};
+  const auto& ins = *instruments_.at(i);
+  if (ins.type != InstrumentType::kHistogram) return {0, 0.0};
+  return {ins.hist->count(), ins.hist->count_at_or_below(threshold)};
 }
 
 std::optional<Registry::InstrumentSnapshot> Registry::find(const std::string& name,

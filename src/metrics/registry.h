@@ -109,6 +109,10 @@ class HistogramHandle {
   void observe(double v) noexcept {
     if (hist_ != nullptr) hist_->add(v);
   }
+  /// Observe with a trace exemplar (no-op trace_id 0 degrades to observe(v)).
+  void observe(double v, std::uint64_t trace_id) noexcept {
+    if (hist_ != nullptr) hist_->add(v, trace_id);
+  }
   [[nodiscard]] bool enabled() const noexcept { return hist_ != nullptr; }
   [[nodiscard]] const Histogram* get() const noexcept { return hist_; }
 
@@ -150,6 +154,8 @@ class Registry {
     double lower = 0.0;
     double upper = 0.0;
     std::uint64_t count = 0;
+    std::uint64_t exemplar_trace_id = 0;  ///< 0 = no exemplar retained
+    double exemplar_value = 0.0;
   };
 
   struct InstrumentSnapshot {
@@ -191,9 +197,27 @@ class Registry {
   /// Sampled value of instrument `i` (histograms report their count).
   [[nodiscard]] double current_value(std::size_t i) const;
 
+  /// Bulk read: resizes `out` to instrument_count() and fills every
+  /// instrument's sampled value (registration order) under one lock. The
+  /// flight recorder's per-tick path — one lock per tick instead of two
+  /// per instrument.
+  void sample_values(std::vector<double>& out) const;
+
   /// Looks an instrument up by exact name + labels; nullopt when absent.
   [[nodiscard]] std::optional<InstrumentSnapshot> find(const std::string& name,
                                                       const Labels& labels = {}) const;
+
+  /// Full snapshot of instrument `i` (registration order). The alert
+  /// engine's burn-rate rules use this to read histogram buckets on the
+  /// flight-recorder cadence without snapshotting the whole registry.
+  [[nodiscard]] InstrumentSnapshot snapshot_at(std::size_t i) const;
+
+  /// (total count, samples <= threshold) for histogram instrument `i`;
+  /// {0, 0} when `i` is not a histogram. Allocation-free — this is the alert
+  /// engine's per-tick burn-rate read, where snapshot_at()'s string/bucket
+  /// copies would dominate the engine's self-time.
+  [[nodiscard]] std::pair<std::uint64_t, double> histogram_count_below(std::size_t i,
+                                                                       double threshold) const;
 
  private:
   struct Instrument {

@@ -145,6 +145,11 @@ class RequestAuditor final : public ChargeObserver {
   [[nodiscard]] const metrics::Breakdown& breakdown() const noexcept { return breakdown_; }
   [[nodiscard]] std::uint64_t traced_requests() const noexcept { return sampler_.sampled_count(); }
 
+  /// Mutable sampler access for triggered capture: the alert engine flips
+  /// the sampler into full-sampling while an alert is firing so the
+  /// anomalous interval is captured wholesale.
+  [[nodiscard]] trace::TraceSampler& sampler() noexcept { return sampler_; }
+
   /// Formatted violation lines ("check (request N): detail"), capped at
   /// Options::max_recorded with a trailing "... and N more" marker.
   [[nodiscard]] std::vector<std::string> report() const;

@@ -85,7 +85,9 @@ void InferenceServer::init_telemetry() {
         "serving_stage_seconds_total",
         {{"stage", std::string(metrics::stage_name(static_cast<Stage>(s)))}});
   }
-  tele_.latency = reg.histogram("serving_request_latency_seconds");
+  // Exemplars on the latency histogram let the exporter link each bucket —
+  // SLO tail included — to the last trace that landed there.
+  tele_.latency = reg.histogram("serving_request_latency_seconds", {}, {.track_exemplars = true});
   tele_.batch_size =
       reg.histogram("serving_batch_size", {}, {.min_value = 1.0, .max_value = 4096.0});
   if (ingress_cache_ != nullptr) {
@@ -122,7 +124,7 @@ void InferenceServer::init_telemetry() {
 
 void InferenceServer::record_terminal(const Request& req) {
   if (!tele_.latency.enabled()) return;
-  tele_.latency.observe(sim::to_seconds(req.latency()));
+  tele_.latency.observe(sim::to_seconds(req.latency()), req.trace_ctx.trace_id);
   for (std::size_t s = 0; s < metrics::kStageCount; ++s) {
     const double v = req.stages.seconds[s];
     if (v > 0.0) tele_.stage_seconds[s].inc(v);

@@ -118,6 +118,14 @@ class TraceSampler {
   explicit TraceSampler(SamplerOptions opts) : opts_(opts) {}
 
   [[nodiscard]] bool sample(std::uint64_t id) noexcept {
+    if (forced_) {
+      // Triggered capture (alert window): sample everything, bypassing both
+      // the mode and the head-sampling cap — an anomaly's traces must not be
+      // truncated by a budget meant for steady-state sampling. Counted
+      // separately so the cap still applies once the window closes.
+      ++forced_taken_;
+      return true;
+    }
     if (taken_ >= opts_.max_sampled) return false;
     bool hit = false;
     switch (opts_.mode) {
@@ -144,8 +152,14 @@ class TraceSampler {
     return hit;
   }
 
-  [[nodiscard]] std::uint64_t sampled_count() const noexcept { return taken_; }
+  [[nodiscard]] std::uint64_t sampled_count() const noexcept { return taken_ + forced_taken_; }
+  [[nodiscard]] std::uint64_t forced_count() const noexcept { return forced_taken_; }
   [[nodiscard]] const SamplerOptions& options() const noexcept { return opts_; }
+
+  /// Full-sampling override for triggered capture; deterministic because the
+  /// alert engine flips it at exact flight-recorder ticks in virtual time.
+  void set_forced(bool forced) noexcept { forced_ = forced; }
+  [[nodiscard]] bool forced() const noexcept { return forced_; }
 
   [[nodiscard]] static std::uint64_t splitmix64(std::uint64_t x) noexcept {
     x += 0x9e3779b97f4a7c15ULL;
@@ -157,6 +171,8 @@ class TraceSampler {
  private:
   SamplerOptions opts_{};
   std::uint64_t taken_ = 0;
+  std::uint64_t forced_taken_ = 0;
+  bool forced_ = false;
 };
 
 }  // namespace serve::trace

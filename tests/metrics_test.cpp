@@ -37,6 +37,47 @@ TEST(StatAccumulator, BasicMoments) {
   EXPECT_DOUBLE_EQ(a.sum(), 40.0);
 }
 
+TEST(Histogram, EmptyHistogramQuantilesAreExactlyZero) {
+  // Documented contract: with count() == 0 every quantile — including
+  // p999() — returns exactly 0.0. Consumers distinguish "no samples" from
+  // "all zero" via count(); tools/report prints "no completed requests".
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 0.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p999(), 0.0);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(Histogram, ExemplarsTrackLastTracePerBucket) {
+  Histogram h{{.track_exemplars = true}};
+  h.add(0.010, 7);
+  h.add(0.010, 0);   // trace_id 0 = unsampled: must not clobber the exemplar
+  h.add(3.0, 41);
+  h.add(3.0, 42);    // same bucket: last write wins
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].exemplar_trace_id, 7u);
+  EXPECT_DOUBLE_EQ(buckets[0].exemplar_value, 0.010);
+  EXPECT_EQ(buckets[1].exemplar_trace_id, 42u);
+  EXPECT_DOUBLE_EQ(buckets[1].exemplar_value, 3.0);
+
+  // Merge carries exemplars across; reset clears them.
+  Histogram other{{.track_exemplars = true}};
+  other.add(0.010, 99);
+  h.merge(other);
+  EXPECT_EQ(h.nonzero_buckets()[0].exemplar_trace_id, 99u);
+  h.reset();
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+
+  // Untracked histograms never retain exemplars even via the id overload.
+  Histogram plain;
+  plain.add(1.0, 123);
+  EXPECT_EQ(plain.nonzero_buckets()[0].exemplar_trace_id, 0u);
+}
+
 TEST(StatAccumulator, MergeMatchesSequential) {
   sim::Rng rng{7};
   StatAccumulator whole, a, b;

@@ -328,6 +328,55 @@ TEST(ExporterGoldenTest, Prometheus) {
   EXPECT_NE(text.find("latency_seconds_count 3\n"), std::string::npos);
 }
 
+TEST(ExporterCsvQuotingTest, HostileLabelValuesStayOneFieldPerColumn) {
+  Registry reg;
+  // RFC-4180 hazards: embedded comma, double quote, and CR/LF in a label
+  // value. A reader splitting on commas must still see exactly 5 columns.
+  auto c = reg.counter("requests_total", {{"route", "a,b"}});
+  c.inc(7.0);
+  auto g = reg.gauge("depth", {{"note", "say \"hi\""}});
+  g.set(1.0);
+  auto g2 = reg.gauge("depth2", {{"raw", "line1\r\nline2"}});
+  g2.set(2.0);
+  TelemetryExport exp;
+  exp.capture_instruments(reg);
+  std::ostringstream out;
+  exp.write_csv(out);
+  const std::string text = out.str();
+  // Comma-bearing value is quoted whole; embedded quotes are doubled.
+  EXPECT_NE(text.find("counter,requests_total,\"route=a,b\",,7\n"), std::string::npos);
+  EXPECT_NE(text.find("gauge,depth,\"note=say \"\"hi\"\"\",,1\n"), std::string::npos);
+  EXPECT_NE(text.find("\"raw=line1\r\nline2\""), std::string::npos);
+  // The unquoted form must NOT appear (it would split the row).
+  EXPECT_EQ(text.find("counter,requests_total,route=a,b,,7"), std::string::npos);
+}
+
+TEST(ExporterExemplarTest, JsonCarriesBucketExemplarsWhenTracked) {
+  Registry reg;
+  auto h = reg.histogram("latency_seconds", {}, {.track_exemplars = true});
+  h.observe(0.010, /*trace_id=*/7);
+  h.observe(5.0, /*trace_id=*/42);
+  h.observe(5.0, /*trace_id=*/43);  // last-write-wins in the same bucket
+  TelemetryExport exp;
+  exp.capture_instruments(reg);
+  std::ostringstream out;
+  exp.write_json(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"exemplar\": {\"trace_id\": 7, \"value\": 0.01}"), std::string::npos);
+  EXPECT_NE(text.find("\"exemplar\": {\"trace_id\": 43, \"value\": 5}"), std::string::npos);
+  EXPECT_EQ(text.find("\"trace_id\": 42"), std::string::npos);
+
+  // Without tracking (the default), no exemplar keys appear at all.
+  Registry plain;
+  auto hp = plain.histogram("latency_seconds");
+  hp.observe(5.0, /*trace_id=*/42);
+  TelemetryExport exp2;
+  exp2.capture_instruments(plain);
+  std::ostringstream out2;
+  exp2.write_json(out2);
+  EXPECT_EQ(out2.str().find("exemplar"), std::string::npos);
+}
+
 // --- trace instants ----------------------------------------------------------
 
 TEST(TraceInstantTest, FaultWindowsAnnotateTrace) {

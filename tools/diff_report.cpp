@@ -1,0 +1,293 @@
+// Differential run attribution for servescope-telemetry-v1 exports.
+//
+// bench_check diffs raw benchmark rates; this tool explains *why* two runs
+// differ. It aligns two telemetry exports (same-seed baseline vs candidate,
+// or fault-free vs faulted), computes the throughput and p99 deltas, and
+// attributes the latency shift to per-stage breakdown changes: each
+// serving_stage_seconds_total{stage=...} counter divided by completed
+// requests gives per-request seconds in that stage, and the stage whose
+// per-request cost moved the most is the attribution. Alert counters
+// (obs_alerts_fired_total) are diffed alongside so a regression report names
+// the alerts that fired in one run but not the other.
+//
+// The regression gate is one-sided (it is a *regression* gate): a p99
+// increase, a throughput decrease, or a per-stage per-request increase
+// larger than `tolerance` (relative; stages are normalized by the baseline's
+// total per-request seconds so microscopic stages cannot trip it) exits 1.
+// Two identical exports always exit 0.
+//
+// Exit codes: 0 within tolerance, 1 regression above tolerance, 2 malformed
+// input.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json_mini.h"
+
+namespace {
+
+struct Options {
+  std::string base_path;
+  std::string cand_path;
+  double tolerance = 0.05;
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::cerr << "usage: diff_report <base.json> <candidate.json> [--tolerance <frac>]\n";
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      o.tolerance = std::strtod(argv[++i], nullptr);
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "diff_report: unknown flag '" << arg << "'\n";
+      usage_and_exit();
+    } else if (o.base_path.empty()) {
+      o.base_path = arg;
+    } else if (o.cand_path.empty()) {
+      o.cand_path = arg;
+    } else {
+      usage_and_exit();
+    }
+  }
+  if (o.base_path.empty() || o.cand_path.empty()) usage_and_exit();
+  return o;
+}
+
+jsonmini::Value load_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "diff_report: cannot open '" << path << "'\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  jsonmini::Parser parser(text);
+  auto parsed = parser.parse();
+  if (!parsed || !parsed->is_object()) {
+    std::cerr << "diff_report: '" << path << "' is not valid JSON\n";
+    std::exit(2);
+  }
+  if (parsed->str_or("schema", "") != "servescope-telemetry-v1") {
+    std::cerr << "diff_report: '" << path << "' is not a servescope-telemetry-v1 export\n";
+    std::exit(2);
+  }
+  return std::move(*parsed);
+}
+
+/// One run's digested view of the export.
+struct RunView {
+  double completed = 0.0;
+  double p99_s = 0.0;  ///< from the latency histogram buckets; 0 when absent
+  bool have_p99 = false;
+  std::map<std::string, double> stage_per_req_s;       ///< stage -> seconds/request
+  std::map<std::string, double> alerts_fired;          ///< alert name -> fire count
+  std::map<std::string, double> throughput;            ///< benchmark -> tput extra
+};
+
+/// p99 from the export's cumulative (`le`, count) buckets, interpolating
+/// within the straddling bucket (mirrors metrics::Histogram::quantile).
+double bucket_quantile(const jsonmini::Value& ins, double q) {
+  const double total = ins.num_or("count", 0.0);
+  if (total <= 0.0) return 0.0;
+  const jsonmini::Value* buckets = ins.find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) return 0.0;
+  const double target = total * q;
+  double lower = 0.0;
+  double prev_cum = 0.0;
+  for (const auto& b : buckets->array) {
+    const double le = b.num_or("le", 0.0);
+    const double cum = b.num_or("count", 0.0);
+    if (cum >= target) {
+      const double in_bucket = cum - prev_cum;
+      const double frac = in_bucket > 0.0 ? (target - prev_cum) / in_bucket : 1.0;
+      return lower + (le - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    lower = le;
+    prev_cum = cum;
+  }
+  return lower;
+}
+
+RunView digest(const jsonmini::Value& doc, const std::string& path) {
+  RunView view;
+  const jsonmini::Value* instruments = doc.find("instruments");
+  if (instruments == nullptr || !instruments->is_array()) {
+    std::cerr << "diff_report: '" << path << "' has no instruments array\n";
+    std::exit(2);
+  }
+  std::map<std::string, double> stage_total_s;
+  for (const auto& ins : instruments->array) {
+    const std::string name = ins.str_or("name", "");
+    const jsonmini::Value* labels = ins.find("labels");
+    if (name == "serving_requests_completed_total") {
+      view.completed += ins.num_or("value", 0.0);
+    } else if (name == "serving_request_latency_seconds") {
+      view.p99_s = bucket_quantile(ins, 0.99);
+      view.have_p99 = true;
+    } else if (name == "serving_stage_seconds_total" && labels != nullptr) {
+      const std::string stage = labels->str_or("stage", "");
+      if (!stage.empty()) stage_total_s[stage] += ins.num_or("value", 0.0);
+    } else if (name == "obs_alerts_fired_total" && labels != nullptr) {
+      const std::string alert = labels->str_or("alert", "");
+      if (!alert.empty()) view.alerts_fired[alert] += ins.num_or("value", 0.0);
+    }
+  }
+  if (view.completed > 0.0) {
+    for (const auto& [stage, total_s] : stage_total_s) {
+      view.stage_per_req_s[stage] = total_s / view.completed;
+    }
+  }
+  const jsonmini::Value* benches = doc.find("benchmarks");
+  if (benches != nullptr && benches->is_array()) {
+    for (const auto& b : benches->array) {
+      const std::string name = b.str_or("name", "");
+      if (name.empty() || !b.is_object()) continue;
+      for (const auto& [k, v] : b.object) {
+        // Any "tput_*" extra is a throughput; keyed by benchmark so sweeps
+        // with several rows stay aligned row-by-row.
+        if (k.rfind("tput", 0) == 0 && v.is_number()) {
+          view.throughput[name + '/' + k] = v.number;
+        }
+      }
+    }
+  }
+  return view;
+}
+
+double pct(double base, double cand) {
+  return base != 0.0 ? 100.0 * (cand - base) / base : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const jsonmini::Value base_doc = load_telemetry(opt.base_path);
+  const jsonmini::Value cand_doc = load_telemetry(opt.cand_path);
+  const RunView base = digest(base_doc, opt.base_path);
+  const RunView cand = digest(cand_doc, opt.cand_path);
+
+  std::printf("diff_report: base=%s candidate=%s tolerance=%.1f%%\n", opt.base_path.c_str(),
+              opt.cand_path.c_str(), 100.0 * opt.tolerance);
+
+  std::vector<std::string> regressions;
+
+  // Throughput rows shared by both exports; a decrease past tolerance trips.
+  for (const auto& [key, base_v] : base.throughput) {
+    const auto it = cand.throughput.find(key);
+    if (it == cand.throughput.end()) continue;
+    const double delta_pct = pct(base_v, it->second);
+    std::printf("  throughput %-40s %12.2f -> %12.2f  (%+.2f%%)\n", key.c_str(), base_v,
+                it->second, delta_pct);
+    if (base_v > 0.0 && (base_v - it->second) / base_v > opt.tolerance) {
+      char line[160];
+      std::snprintf(line, sizeof line, "throughput %s %+.2f%%", key.c_str(), delta_pct);
+      regressions.emplace_back(line);
+    }
+  }
+
+  if (base.have_p99 && cand.have_p99) {
+    const double delta_pct = pct(base.p99_s, cand.p99_s);
+    std::printf("  p99 latency %38.2f -> %12.2f ms (%+.2f%%)\n", 1e3 * base.p99_s,
+                1e3 * cand.p99_s, delta_pct);
+    if (base.p99_s > 0.0 && (cand.p99_s - base.p99_s) / base.p99_s > opt.tolerance) {
+      char line[96];
+      std::snprintf(line, sizeof line, "p99 latency %+.2f%%", delta_pct);
+      regressions.emplace_back(line);
+    }
+  }
+
+  // Per-stage attribution: rank stages by the absolute shift in per-request
+  // seconds; the top stage is where the p99/throughput delta lives.
+  double base_total_per_req = 0.0;
+  for (const auto& [stage, s] : base.stage_per_req_s) base_total_per_req += s;
+  struct StageDelta {
+    std::string stage;
+    double base_s = 0.0;
+    double cand_s = 0.0;
+    double delta_s = 0.0;
+  };
+  std::vector<StageDelta> stage_deltas;
+  double total_shift = 0.0;
+  for (const auto& [stage, base_s] : base.stage_per_req_s) {
+    const auto it = cand.stage_per_req_s.find(stage);
+    const double cand_s = it != cand.stage_per_req_s.end() ? it->second : 0.0;
+    stage_deltas.push_back({stage, base_s, cand_s, cand_s - base_s});
+    total_shift += std::abs(cand_s - base_s);
+  }
+  for (const auto& [stage, cand_s] : cand.stage_per_req_s) {
+    if (base.stage_per_req_s.count(stage) == 0) {
+      stage_deltas.push_back({stage, 0.0, cand_s, cand_s});
+      total_shift += std::abs(cand_s);
+    }
+  }
+  std::sort(stage_deltas.begin(), stage_deltas.end(), [](const auto& a, const auto& b) {
+    if (std::abs(a.delta_s) != std::abs(b.delta_s)) return std::abs(a.delta_s) > std::abs(b.delta_s);
+    return a.stage < b.stage;  // deterministic tie-break
+  });
+  if (!stage_deltas.empty()) {
+    std::printf("  per-stage per-request time (ms/req):\n");
+    std::printf("    %-16s %10s %10s %10s %8s\n", "stage", "base", "cand", "delta", "share");
+    for (const auto& d : stage_deltas) {
+      const double share = total_shift > 0.0 ? 100.0 * std::abs(d.delta_s) / total_shift : 0.0;
+      std::printf("    %-16s %10.3f %10.3f %+10.3f %7.1f%%\n", d.stage.c_str(), 1e3 * d.base_s,
+                  1e3 * d.cand_s, 1e3 * d.delta_s, share);
+      // Gate on growth relative to the baseline's total per-request budget.
+      if (base_total_per_req > 0.0 && d.delta_s / base_total_per_req > opt.tolerance) {
+        char line[128];
+        std::snprintf(line, sizeof line, "stage '%s' +%.3f ms/req", d.stage.c_str(),
+                      1e3 * d.delta_s);
+        regressions.emplace_back(line);
+      }
+    }
+    // Attribution names the top *service* stage: queue growth is the symptom
+    // of a bottleneck elsewhere, so it is reported but never blamed.
+    const StageDelta* top = nullptr;
+    for (const auto& d : stage_deltas) {
+      if (d.stage != "queue") {
+        top = &d;
+        break;
+      }
+    }
+    if (top != nullptr && std::abs(top->delta_s) > 0.0 && total_shift > 0.0) {
+      std::printf("  attribution: shift driven by stage '%s' (%+.3f ms/req, %.1f%% of stage shift)\n",
+                  top->stage.c_str(), 1e3 * top->delta_s,
+                  100.0 * std::abs(top->delta_s) / total_shift);
+      if (stage_deltas.front().stage == "queue" && stage_deltas.front().delta_s > 0.0) {
+        std::printf("  (queueing grew %+.3f ms/req — the symptom of the bottleneck above)\n",
+                    1e3 * stage_deltas.front().delta_s);
+      }
+    }
+  }
+
+  // Alert-count diffs (informational, never gated): name what fired.
+  for (const auto& [alert, cand_n] : cand.alerts_fired) {
+    const auto it = base.alerts_fired.find(alert);
+    const double base_n = it != base.alerts_fired.end() ? it->second : 0.0;
+    if (cand_n != base_n) {
+      std::printf("  alerts: '%s' fired %.0f time(s) (base %.0f)\n", alert.c_str(), cand_n,
+                  base_n);
+    }
+  }
+
+  if (regressions.empty()) {
+    std::printf("OK: candidate within %.1f%% of baseline\n", 100.0 * opt.tolerance);
+    return 0;
+  }
+  for (const auto& r : regressions) std::printf("REGRESSION: %s\n", r.c_str());
+  return 1;
+}

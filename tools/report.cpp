@@ -75,6 +75,8 @@ double mean_over(const std::vector<double>& v, std::size_t lo, std::size_t hi) {
 }
 
 /// 8-level unicode sparkline, downsampled to at most `width` columns.
+/// Non-finite samples (hostile/hand-edited input) render as '?' and are
+/// excluded from the scale so one NaN cannot blank the whole line.
 std::string sparkline(const std::vector<double>& v, std::size_t width = 64) {
   static const char* kLevels[] = {"▁", "▂", "▃", "▄",
                                   "▅", "▆", "▇", "█"};
@@ -91,10 +93,21 @@ std::string sparkline(const std::vector<double>& v, std::size_t width = 64) {
       cols[c] = mean_over(v, lo, hi);
     }
   }
-  const auto [mn_it, mx_it] = std::minmax_element(cols.begin(), cols.end());
-  const double mn = *mn_it, mx = *mx_it;
+  double mn = 0.0, mx = 0.0;
+  bool have_finite = false;
+  for (const double x : cols) {
+    if (!std::isfinite(x)) continue;
+    mn = have_finite ? std::min(mn, x) : x;
+    mx = have_finite ? std::max(mx, x) : x;
+    have_finite = true;
+  }
+  if (!have_finite) return "(no finite samples)";
   std::string out;
   for (const double x : cols) {
+    if (!std::isfinite(x)) {
+      out += '?';
+      continue;
+    }
     const double t = mx > mn ? (x - mn) / (mx - mn) : 0.5;
     const int level = std::clamp(static_cast<int>(t * 7.0 + 0.5), 0, 7);
     out += kLevels[level];
@@ -104,16 +117,29 @@ std::string sparkline(const std::vector<double>& v, std::size_t width = 64) {
 
 void print_timeline_row(const char* label, const std::vector<double>& v, const char* unit) {
   if (v.size() < 3) {
-    std::printf("  %-14s (too few samples)\n", label);
+    // One or two samples have no meaningful thirds; print them verbatim.
+    std::string vals;
+    for (const double x : v) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%s%.1f", vals.empty() ? "" : ", ", x);
+      vals += buf;
+    }
+    std::printf("  %-14s %s %s (too few samples for a trend)\n", label,
+                v.empty() ? "(no samples)" : vals.c_str(), v.empty() ? "" : unit);
     return;
   }
   const std::size_t n = v.size();
   const double first = mean_over(v, 0, n / 3);
   const double last = mean_over(v, 2 * n / 3, n);
-  const double change = first != 0.0 ? 100.0 * (last - first) / first : 0.0;
   std::printf("  %-14s %s\n", label, sparkline(v).c_str());
-  std::printf("  %-14s first⅓ %.1f %s, last⅓ %.1f %s (%+.1f%%)\n", "", first, unit,
-              last, unit, change);
+  if (first != 0.0 && std::isfinite(first) && std::isfinite(last)) {
+    std::printf("  %-14s first⅓ %.1f %s, last⅓ %.1f %s (%+.1f%%)\n", "", first, unit, last,
+                unit, 100.0 * (last - first) / first);
+  } else {
+    // A zero or non-finite first third makes the relative change meaningless.
+    std::printf("  %-14s first⅓ %.1f %s, last⅓ %.1f %s (change n/a)\n", "", first, unit, last,
+                unit);
+  }
 }
 
 struct HistogramData {
@@ -278,6 +304,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (have_latency && latency.count == 0) {
+    // An export from a run that completed nothing (e.g. a total-outage fault
+    // window) still has the histogram registered; the quantile contract says
+    // every quantile of an empty histogram is exactly 0, which would render
+    // as a perfect SLO. Say what actually happened instead.
+    std::printf("\nLatency SLO: no completed requests recorded\n");
+  }
   if (have_latency && latency.count > 0) {
     const double attainment = bucket_attainment(latency, slo_s);
     const double burn = (1.0 - attainment) / (1.0 - slo_target);
@@ -289,6 +322,40 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(latency.count));
     std::printf("  attainment %.2f%%   error-budget burn rate %.1fx%s\n", 100.0 * attainment,
                 burn, burn > 1.0 ? "  (burning faster than budget)" : "");
+  }
+
+  // --- alerts (obs::AlertEngine counters) -----------------------------------
+  struct AlertRow {
+    double fired = 0.0, resolved = 0.0;
+  };
+  std::vector<std::pair<std::string, AlertRow>> alerts;
+  auto alert_row = [&alerts](const std::string& name) -> AlertRow& {
+    for (auto& [n, row] : alerts) {
+      if (n == name) return row;
+    }
+    alerts.emplace_back(name, AlertRow{});
+    return alerts.back().second;
+  };
+  if (instruments != nullptr && instruments->is_array()) {
+    for (const Value& ins : instruments->array) {
+      const std::string name = ins.str_or("name", "");
+      if (name != "obs_alerts_fired_total" && name != "obs_alerts_resolved_total") continue;
+      std::string alert = "?";
+      if (const Value* labels = ins.find("labels")) alert = labels->str_or("alert", "?");
+      AlertRow& row = alert_row(alert);
+      (name == "obs_alerts_fired_total" ? row.fired : row.resolved) += ins.num_or("value", 0.0);
+    }
+  }
+  if (!alerts.empty()) {
+    bool any = false;
+    for (const auto& [_, row] : alerts) any = any || row.fired > 0.0;
+    std::printf("\nAlerts:%s\n", any ? "" : " all rules silent");
+    for (const auto& [name, row] : alerts) {
+      if (row.fired <= 0.0) continue;
+      std::printf("  %-24s fired %.0f time(s), resolved %.0f time(s)%s\n", name.c_str(),
+                  row.fired, row.resolved,
+                  row.fired > row.resolved ? "  (still firing at end of run)" : "");
+    }
   }
 
   // --- fleet health (per-node balancer instruments) -------------------------
