@@ -87,6 +87,17 @@ class SimBroker {
       failures_m_ = registry->counter("broker_publish_failures_total", labels);
       registry->gauge_fn("broker_topic_depth", labels,
                          [this] { return static_cast<double>(topic_.size()); });
+      // Capacity-plane feed: the broker IO pool joins the hw_resource_*
+      // namespace so the attributor sees it next to the device engines.
+      const metrics::Labels rl{{"device", "broker"}, {"engine", "io"}};
+      registry->gauge_fn("hw_resource_in_use", rl,
+                         [this] { return static_cast<double>(io_.in_use()); });
+      registry->counter_fn("hw_resource_busy_seconds_total", rl,
+                           [this] { return io_.busy_seconds_total(); });
+      registry->counter_fn("hw_resource_queue_seconds_total", rl,
+                           [this] { return io_.queue_seconds_total(); });
+      registry->gauge_fn("hw_resource_capacity", rl,
+                         [this] { return static_cast<double>(io_.capacity()); });
     }
   }
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "metrics/histogram.h"
+#include "metrics/time_weighted.h"
 #include "sim/task.h"
 #include "trace/span_context.h"
 
@@ -61,6 +62,9 @@ struct FleetBalancer {
     NodeHealth health;
     NodeHealth::State last_state = NodeHealth::State::kHealthy;
     std::uint64_t outstanding = 0;  ///< balancer-visible in-flight dispatches
+    /// Time-weighted outstanding integral (alias-free per-node queue depth
+    /// for the capacity plane; point samples miss fast-failing bursts).
+    metrics::TimeIntegrator outstanding_integral;
     double latency_ewma_s = kLatencyPriorS;
     std::uint64_t dispatches_total = 0;
     std::uint64_t dispatches_window = 0;
@@ -210,6 +214,7 @@ struct FleetBalancer {
         cfg.health.enabled && node.health.state() == NodeHealth::State::kHalfOpen;
     if (trial) node.health.begin_trial();
     ++node.outstanding;
+    node.outstanding_integral.set(sim.now(), static_cast<double>(node.outstanding));
     ++node.dispatches_total;
     if (measuring) ++node.dispatches_window;
     const Time t0 = sim.now();
@@ -291,6 +296,7 @@ struct FleetBalancer {
                       const char* fail_kind, bool trial, bool hedged) {
     Node& node = *nodes[static_cast<std::size_t>(n)];
     --node.outstanding;
+    node.outstanding_integral.set(sim.now(), static_cast<double>(node.outstanding));
     if (trial) node.health.end_trial();
     const Time now = sim.now();
     if (neutral) {
@@ -314,6 +320,11 @@ struct FleetBalancer {
   void decide(const LogicalPtr& lg, bool success, bool by_hedge, Time now) {
     if (success) {
       ++completed;
+      // Run-wide completion-charged latency sum: the λ·W side of the fleet
+      // Little's-law audit, paired against the per-node outstanding
+      // integrals (the L side). Charged at every success, not just inside
+      // the measurement window, so interval differencing stays monotone.
+      latency_sum_s += sim::to_seconds(now - lg->start);
       hedge_tokens =
           std::min(cfg.hedge.budget, hedge_tokens + cfg.hedge.budget_refill_per_success);
       if (measuring) {
@@ -444,6 +455,9 @@ struct FleetBalancer {
       });
       reg->gauge_fn("fleet_node_outstanding", labels,
                     [n] { return static_cast<double>(n->outstanding); });
+      reg->counter_fn("fleet_node_outstanding_seconds_total", labels, [n, this] {
+        return n->outstanding_integral.integral_seconds(sim.now());
+      });
       reg->counter_fn("fleet_node_dispatches_total", labels,
                       [n] { return static_cast<double>(n->dispatches_total); });
       reg->counter_fn("fleet_node_ejections_total", labels,
@@ -467,6 +481,7 @@ struct FleetBalancer {
                     [this] { return static_cast<double>(hedges_denied); });
     reg->counter_fn("fleet_cancelled_total", {},
                     [this] { return static_cast<double>(cancelled); });
+    reg->counter_fn("fleet_latency_seconds_total", {}, [this] { return latency_sum_s; });
     reg->gauge_fn("fleet_hedge_tokens", {}, [this] { return hedge_tokens; });
   }
 
@@ -492,6 +507,7 @@ struct FleetBalancer {
   std::uint64_t cancelled = 0;
   std::uint64_t probes = 0, probe_failures = 0;
   std::uint64_t window_completed = 0;
+  double latency_sum_s = 0.0;  ///< completion-charged; fleet_latency_seconds_total
 };
 
 }  // namespace

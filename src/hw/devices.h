@@ -242,23 +242,32 @@ class Platform {
     auto in_use = [](sim::Resource& r) {
       return [&r] { return static_cast<double>(r.in_use()); };
     };
-    registry_->gauge_fn("hw_resource_in_use", {{"device", "cpu"}, {"engine", "cores"}},
-                        in_use(cpu_.cores()));
-    registry_->gauge_fn("hw_resource_in_use", {{"device", "cpu"}, {"engine", "preproc_workers"}},
-                        in_use(cpu_.preproc_workers()));
-    registry_->gauge_fn("hw_resource_in_use", {{"device", "host"}, {"engine", "pcie"}},
-                        in_use(host_link_));
+    // Interval-readable siblings of the point-sampled occupancy gauge: the
+    // cumulative busy integral, the cumulative waiter integral, and the
+    // static capacity. Differencing the counters across recorder ticks gives
+    // alias-free per-interval busy fractions and mean queue depths — the
+    // capacity plane's raw feed.
+    auto expose = [this, &in_use](sim::Resource& r, const std::string& dev,
+                                  const std::string& engine) {
+      const metrics::Labels labels{{"device", dev}, {"engine", engine}};
+      registry_->gauge_fn("hw_resource_in_use", labels, in_use(r));
+      registry_->counter_fn("hw_resource_busy_seconds_total", labels,
+                            [&r] { return r.busy_seconds_total(); });
+      registry_->counter_fn("hw_resource_queue_seconds_total", labels,
+                            [&r] { return r.queue_seconds_total(); });
+      registry_->gauge_fn("hw_resource_capacity", labels,
+                          [&r] { return static_cast<double>(r.capacity()); });
+    };
+    expose(cpu_.cores(), "cpu", "cores");
+    expose(cpu_.preproc_workers(), "cpu", "preproc_workers");
+    expose(host_link_, "host", "pcie");
     for (auto& gpu_ptr : gpus_) {
       GpuModel& g = *gpu_ptr;
       const std::string dev = "gpu" + std::to_string(g.index());
-      registry_->gauge_fn("hw_resource_in_use", {{"device", dev}, {"engine", "compute"}},
-                          in_use(g.compute()));
-      registry_->gauge_fn("hw_resource_in_use", {{"device", dev}, {"engine", "preproc"}},
-                          in_use(g.preproc()));
-      registry_->gauge_fn("hw_resource_in_use", {{"device", dev}, {"engine", "copy_h2d"}},
-                          in_use(g.copy_h2d()));
-      registry_->gauge_fn("hw_resource_in_use", {{"device", dev}, {"engine", "copy_d2h"}},
-                          in_use(g.copy_d2h()));
+      expose(g.compute(), dev, "compute");
+      expose(g.preproc(), dev, "preproc");
+      expose(g.copy_h2d(), dev, "copy_h2d");
+      expose(g.copy_d2h(), dev, "copy_d2h");
       GpuMemoryStager& st = g.stager();
       registry_->gauge_fn("gpu_staging_resident_bytes", {{"device", dev}},
                           [&st] { return static_cast<double>(st.resident_bytes()); });

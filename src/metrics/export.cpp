@@ -263,6 +263,50 @@ void TelemetryExport::write_json(std::ostream& out) const {
     }
     out << (series_.empty() ? "]" : "\n  ]") << '}';
   }
+  if (have_capacity_) {
+    const CapacitySnapshot& c = capacity_;
+    const auto samples = [&out](const std::vector<double>& v) {
+      out << '[';
+      for (std::size_t i = 0; i < v.size(); ++i) out << (i ? "," : "") << format_double(v[i]);
+      out << ']';
+    };
+    out << ",\n  \"capacity\": {\"period_s\": " << format_double(c.period_s)
+        << ", \"binding\": ";
+    json_escape(out, c.binding);
+    out << ", \"binding_stage\": ";
+    json_escape(out, c.binding_stage);
+    out << ", \"sustainable_rps\": " << format_double(c.sustainable_rps)
+        << ",\n    \"resources\": [";
+    for (std::size_t i = 0; i < c.resources.size(); ++i) {
+      const auto& r = c.resources[i];
+      out << (i ? ",\n      " : "\n      ") << "{\"device\": ";
+      json_escape(out, r.device);
+      out << ", \"engine\": ";
+      json_escape(out, r.engine);
+      out << ", \"capacity\": " << format_double(r.capacity) << ", \"busy_frac\": ";
+      samples(r.busy_frac);
+      out << ", \"queue_mean\": ";
+      samples(r.queue_mean);
+      out << '}';
+    }
+    out << (c.resources.empty() ? "]" : "\n    ]") << ",\n    \"segments\": [";
+    for (std::size_t i = 0; i < c.segments.size(); ++i) {
+      const auto& s = c.segments[i];
+      out << (i ? ", " : "") << "{\"begin\": " << s.begin << ", \"end\": " << s.end
+          << ", \"resource\": ";
+      json_escape(out, s.resource);
+      out << '}';
+    }
+    out << "],\n    \"little_l\": ";
+    samples(c.little_l);
+    out << ", \"little_lambda_w\": ";
+    samples(c.little_lambda_w);
+    out << ", \"violation_intervals\": [";
+    for (std::size_t i = 0; i < c.violation_intervals.size(); ++i) {
+      out << (i ? "," : "") << c.violation_intervals[i];
+    }
+    out << "]}";
+  }
   out << "\n}\n";
 }
 

@@ -55,6 +55,35 @@ struct CheckRow {
   std::string detail;
 };
 
+/// Capacity-plane payload for the JSON "capacity" section (produced by
+/// obs::CapacityPlane::snapshot()): per-resource interval timelines, binding
+/// segments, the Little's-law audit series, and the headroom estimate. All
+/// values derive from monotone counters differenced at recorder ticks, so
+/// same-seed runs export byte-identical sections.
+struct CapacitySnapshot {
+  double period_s = 0.0;  ///< recorder tick period (interval length)
+  struct Resource {
+    std::string device;
+    std::string engine;
+    double capacity = 1.0;
+    std::vector<double> busy_frac;   ///< per interval, in [0, 1]
+    std::vector<double> queue_mean;  ///< per interval time-average depth
+  };
+  std::vector<Resource> resources;
+  struct Segment {
+    std::uint64_t begin = 0;    ///< first interval (inclusive)
+    std::uint64_t end = 0;      ///< last interval (exclusive)
+    std::string resource;       ///< "device.engine", or "idle"
+  };
+  std::vector<Segment> segments;
+  std::vector<double> little_l;         ///< Δ occupancy-integral / dt
+  std::vector<double> little_lambda_w;  ///< Δ latency-sum / dt
+  std::vector<std::uint64_t> violation_intervals;
+  double sustainable_rps = 0.0;  ///< headroom knee estimate (0 = unknown)
+  std::string binding;           ///< dominant binding resource, "idle" if none
+  std::string binding_stage;     ///< stage-taxonomy verdict for `binding`
+};
+
 class TelemetryExport {
  public:
   /// Free-form string context ("figure" -> "fig05", "preproc" -> "gpu"...).
@@ -72,6 +101,13 @@ class TelemetryExport {
 
   /// Captures the recorder's ring-buffered series (and its cadence).
   void capture_series(const FlightRecorder& recorder);
+
+  /// Attaches a capacity-plane snapshot; emitted as the JSON "capacity"
+  /// section (bench_check ignores it, tools/capacity and tools/report read it).
+  void set_capacity(CapacitySnapshot snapshot) {
+    capacity_ = std::move(snapshot);
+    have_capacity_ = true;
+  }
 
   [[nodiscard]] std::size_t failed_checks() const noexcept;
   [[nodiscard]] const std::vector<BenchmarkRow>& benchmarks() const noexcept {
@@ -99,6 +135,8 @@ class TelemetryExport {
   double series_period_s_ = 0.0;
   double series_start_s_ = 0.0;
   bool have_series_ = false;
+  CapacitySnapshot capacity_;
+  bool have_capacity_ = false;
 };
 
 }  // namespace serve::metrics

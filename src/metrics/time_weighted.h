@@ -1,0 +1,61 @@
+// Time-weighted integrator for gauge-like quantities.
+//
+// Point-sampling a bursty gauge on the flight-recorder cadence aliases: a
+// queue that oscillates 0 -> 8 -> 0 between ticks can sample as permanently
+// empty (or permanently full) depending on phase. The fix is to integrate the
+// value over virtual time at every *change* and export the integral as a
+// monotone counter; differencing two recorder ticks then yields the exact
+// interval time-average, independent of sampling phase.
+//
+// sim::Resource carries its own integrals (busy_seconds_total /
+// queue_seconds_total); this helper provides the same accumulation for
+// quantities that are not resources — requests in flight, batcher queue
+// depth, fleet-node outstanding dispatches.
+//
+// Usage: call set(now, v) (or add(now, delta)) at every change;
+// integral_seconds(now) integrates up to `now` and returns value-seconds.
+// Sim-thread only, like the components it instruments.
+#pragma once
+
+#include "sim/time.h"
+
+namespace serve::metrics {
+
+class TimeIntegrator {
+ public:
+  TimeIntegrator() = default;
+  explicit TimeIntegrator(sim::Time start) : last_change_(start) {}
+
+  void set(sim::Time now, double value) noexcept {
+    advance(now);
+    value_ = value;
+  }
+
+  void add(sim::Time now, double delta) noexcept {
+    advance(now);
+    value_ += delta;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  /// Integral of the tracked value over virtual time, in value-seconds.
+  /// Monotone for non-negative values; safe to export as a counter.
+  [[nodiscard]] double integral_seconds(sim::Time now) noexcept {
+    advance(now);
+    return integral_ns_ * 1e-9;
+  }
+
+ private:
+  void advance(sim::Time now) noexcept {
+    if (now > last_change_) {
+      integral_ns_ += value_ * static_cast<double>(now - last_change_);
+      last_change_ = now;
+    }
+  }
+
+  double value_ = 0.0;
+  double integral_ns_ = 0.0;
+  sim::Time last_change_ = 0;
+};
+
+}  // namespace serve::metrics

@@ -69,6 +69,19 @@ void AlertEngine::add_stall(StallRule rule) {
   stalls_.push_back(std::move(st));
 }
 
+void AlertEngine::add_littles_law(LittleLawRule rule) {
+  if (!(rule.tolerance > 0.0)) {
+    throw std::invalid_argument("LittleLawRule '" + rule.name + "': tolerance must be > 0");
+  }
+  LittleState st;
+  st.fired = registry_.counter("obs_alerts_fired_total", {{"alert", rule.name}});
+  st.resolved = registry_.counter("obs_alerts_resolved_total", {{"alert", rule.name}});
+  st.deviation_ticks =
+      registry_.counter("obs_little_law_deviation_ticks_total", {{"alert", rule.name}});
+  st.rule = std::move(rule);
+  littles_.push_back(std::move(st));
+}
+
 void AlertEngine::attach(metrics::FlightRecorder& recorder) {
   recorder.add_tick_listener(
       [this](sim::Time now, std::uint64_t tick) { evaluate(now, tick); });
@@ -362,6 +375,51 @@ void AlertEngine::evaluate_stall(StallState& st, sim::Time now, std::size_t n) {
   }
 }
 
+void AlertEngine::scan_new_instruments(LittleState& st, std::size_t n) {
+  for (std::size_t i = st.scanned_until; i < n; ++i) {
+    const auto info = registry_.info(i);
+    if (info.wall_clock) continue;
+    if (!matches(info.labels, st.rule.label_filter)) continue;
+    if (info.name == st.rule.occupancy_integral) st.occ_matched.push_back(i);
+    if (info.name == st.rule.latency_sum) st.lat_matched.push_back(i);
+  }
+  st.scanned_until = n;
+}
+
+void AlertEngine::evaluate_little(LittleState& st, sim::Time now, double dt_s, std::size_t n) {
+  scan_new_instruments(st, n);
+  const LittleLawRule& r = st.rule;
+  if (st.occ_matched.empty() || st.lat_matched.empty()) return;
+  double occ = 0.0, lat = 0.0;
+  for (const std::size_t i : st.occ_matched) occ += registry_.current_value(i);
+  for (const std::size_t i : st.lat_matched) lat += registry_.current_value(i);
+  if (!st.have_prev || dt_s <= 0.0) {
+    st.prev_occ = occ;
+    st.prev_lat = lat;
+    st.have_prev = true;
+    return;
+  }
+  // L and λW are both time-averages over this tick's interval, derived from
+  // monotone counters — immune to sampling phase by construction.
+  const double little_l = (occ - st.prev_occ) / dt_s;
+  const double lam_w = (lat - st.prev_lat) / dt_s;
+  st.prev_occ = occ;
+  st.prev_lat = lat;
+  const double hi = std::max(little_l, lam_w);
+  const bool active = hi >= r.min_occupancy;
+  const double dev = active ? std::abs(little_l - lam_w) / std::max(hi, 1e-12) : 0.0;
+  const bool breach = active && dev > r.tolerance;
+  if (breach) st.deviation_ticks.inc();
+  const int step = step_state(st.state, breach, !breach, r.for_ticks, r.clear_for_ticks);
+  if (step != 0) {
+    std::string detail = "L=" + metrics::format_double(little_l) +
+                         " lambda_w=" + metrics::format_double(lam_w) +
+                         " deviation=" + metrics::format_double(dev);
+    transition(now, r.name, step > 0, dev, r.tolerance, std::move(detail), st.fired,
+               st.resolved);
+  }
+}
+
 void AlertEngine::evaluate(sim::Time now, std::uint64_t tick) {
   const auto t0 = std::chrono::steady_clock::now();
   const double dt_s = have_prev_tick_ ? sim::to_seconds(now - prev_tick_time_) : 0.0;
@@ -370,6 +428,7 @@ void AlertEngine::evaluate(sim::Time now, std::uint64_t tick) {
   for (auto& st : thresholds_) evaluate_threshold(st, now, dt_s, n);
   for (auto& st : burns_) evaluate_burn(st, now, n);
   for (auto& st : stalls_) evaluate_stall(st, now, n);
+  for (auto& st : littles_) evaluate_little(st, now, dt_s, n);
 
   active_gauge_.set(static_cast<double>(active_));
   prev_tick_time_ = now;

@@ -104,6 +104,34 @@ struct BurnRateRule {
   int clear_for_ticks = 3;  ///< short-window burn below threshold this long
 };
 
+/// Little's-law audit: per-tick comparison of the two integral counters
+///
+///   L   = Δ(occupancy time integral) / dt     (time-average in-system count)
+///   λ·W = Δ(completion-charged latency sum) / dt
+///
+/// Every completed request contributes its full latency to `latency_sum` at
+/// its terminal instant and exactly that much area to `occupancy_integral`
+/// spread over its lifetime — so in steady state the per-tick derivatives
+/// agree and L ≈ λ·W holds tick by tick. The two split apart only while
+/// backlog is growing (L > λ·W: area accrues now, charge lands later) or
+/// draining (the reverse) — precisely the transients fault windows cause.
+/// The audit therefore doubles as a conservation check on the telemetry
+/// itself *and* a backlog-transient detector.
+struct LittleLawRule {
+  std::string name = "littles-law";
+  /// Counter: time integral of in-system requests (value-seconds).
+  std::string occupancy_integral = "serving_in_flight_seconds_total";
+  /// Counter: sum of request latencies charged at completion (seconds).
+  std::string latency_sum = "serving_latency_seconds_total";
+  metrics::Labels label_filter;  ///< applied to both instruments
+  double tolerance = 0.15;       ///< relative |L - λW| / max(L, λW) that breaches
+  /// Near-idle ticks (both sides below this many requests) never breach:
+  /// the relative error of ~0 against ~0 is noise, not signal.
+  double min_occupancy = 0.5;
+  int for_ticks = 2;
+  int clear_for_ticks = 2;
+};
+
 /// Progress watchdog: fires when `progress` stops advancing while work is
 /// outstanding.
 struct StallRule {
@@ -134,6 +162,7 @@ class AlertEngine {
   void add_threshold(ThresholdRule rule);
   void add_burn_rate(BurnRateRule rule);
   void add_stall(StallRule rule);
+  void add_littles_law(LittleLawRule rule);
 
   /// Rides the recorder's cadence: registers a tick listener that calls
   /// evaluate() after every sample. The engine must outlive the recorder's
@@ -230,14 +259,32 @@ class AlertEngine {
     std::size_t scanned_until = 0;
   };
 
+  struct LittleState {
+    LittleLawRule rule;
+    metrics::Counter fired;
+    metrics::Counter resolved;
+    /// obs_little_law_deviation_ticks_total{alert=...}: every breaching tick,
+    /// independent of the hysteresis machine — the audit's raw signal.
+    metrics::Counter deviation_ticks;
+    AlertState state;
+    std::vector<std::size_t> occ_matched;  ///< occupancy-integral instruments
+    std::vector<std::size_t> lat_matched;  ///< latency-sum instruments
+    double prev_occ = 0.0;
+    double prev_lat = 0.0;
+    bool have_prev = false;
+    std::size_t scanned_until = 0;
+  };
+
   // `n` is the registry's instrument count, read once per tick: scans are
   // incremental (instruments only append) and this path runs per tick.
   void scan_new_instruments(ThresholdState& st, std::size_t n);
   void scan_new_instruments(BurnState& st, std::size_t n);
   void scan_new_instruments(StallState& st, std::size_t n);
+  void scan_new_instruments(LittleState& st, std::size_t n);
   void evaluate_threshold(ThresholdState& st, sim::Time now, double dt_s, std::size_t n);
   void evaluate_burn(BurnState& st, sim::Time now, std::size_t n);
   void evaluate_stall(StallState& st, sim::Time now, std::size_t n);
+  void evaluate_little(LittleState& st, sim::Time now, double dt_s, std::size_t n);
 
   /// Advances the hysteresis state machine; returns +1 on fire, -1 on
   /// resolve, 0 otherwise.
@@ -265,6 +312,7 @@ class AlertEngine {
   std::vector<ThresholdState> thresholds_;
   std::vector<BurnState> burns_;
   std::vector<StallState> stalls_;
+  std::vector<LittleState> littles_;
 
   std::vector<AlertEvent> events_;
   std::size_t active_ = 0;

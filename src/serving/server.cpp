@@ -30,6 +30,11 @@ InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
         .tensor_budget_bytes = config_.ingress_cache.tensor_budget_bytes,
         .lookup_s = config_.ingress_cache.lookup_s});
   }
+  // Occupancy integrators are sized before telemetry registers callbacks
+  // over them and never resized afterwards (channel observers capture
+  // element addresses).
+  preproc_queue_integral_.resize(platform_.gpu_count());
+  inf_queue_integral_.resize(platform_.gpu_count());
   if (platform_.registry() != nullptr) init_telemetry();
   if (config_.audit) {
     auditor_ = std::make_unique<RequestAuditor>(RequestAuditor::Options{
@@ -52,6 +57,17 @@ InferenceServer::InferenceServer(hw::Platform& platform, ServerConfig config)
     gpus_.push_back(std::make_unique<GpuState>(platform_.sim(), preproc_opts, inf_opts));
   }
   auto& sim = platform_.sim();
+  // Time-integrate batcher queue depths at every size change: point samples
+  // of a bursty queue alias on the recorder cadence; the integral does not.
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    gpus_[g]->preproc_batcher.input().set_size_observer(
+        [this, g](std::size_t n) {
+          preproc_queue_integral_[g].set(platform_.sim().now(), static_cast<double>(n));
+        });
+    gpus_[g]->inf_batcher.input().set_size_observer([this, g](std::size_t n) {
+      inf_queue_integral_[g].set(platform_.sim().now(), static_cast<double>(n));
+    });
+  }
   for (std::size_t g = 0; g < gpus_.size(); ++g) {
     const bool wants_gpu_preproc =
         config_.preproc == PreprocDevice::kGpu && config_.mode != PipelineMode::kInferenceOnly;
@@ -109,8 +125,18 @@ void InferenceServer::init_telemetry() {
   }
   reg.gauge_fn("serving_in_flight", {},
                [this] { return static_cast<double>(in_flight()); });
+  // Little's-law feed: the time integral of in-flight requests (L side) and
+  // the completion-charged latency sum (λ·W side). Both monotone counters;
+  // per-tick deltas agree in steady state and split apart only while the
+  // backlog is growing or draining — exactly what the audit rule watches.
+  reg.counter_fn("serving_in_flight_seconds_total", {}, [this] {
+    return inflight_integral_.integral_seconds(platform_.sim().now());
+  });
+  tele_.latency_sum = reg.counter("serving_latency_seconds_total");
   // Queue depth per scheduler queue: sampled from the batchers at recorder
-  // ticks (the growth-toward-seconds trajectory behind the Fig. 5 claim).
+  // ticks (the growth-toward-seconds trajectory behind the Fig. 5 claim),
+  // plus the time-weighted integral sibling the capacity plane differences
+  // into alias-free interval means.
   for (std::size_t g = 0; g < platform_.gpu_count(); ++g) {
     const std::string dev = "gpu" + std::to_string(g);
     reg.gauge_fn("serving_queue_depth", {{"device", dev}, {"queue", "preproc"}}, [this, g] {
@@ -119,12 +145,21 @@ void InferenceServer::init_telemetry() {
     reg.gauge_fn("serving_queue_depth", {{"device", dev}, {"queue", "inference"}}, [this, g] {
       return g < gpus_.size() ? static_cast<double>(gpus_[g]->inf_batcher.queued()) : 0.0;
     });
+    reg.counter_fn("serving_queue_depth_seconds_total",
+                   {{"device", dev}, {"queue", "preproc"}}, [this, g] {
+                     return preproc_queue_integral_[g].integral_seconds(platform_.sim().now());
+                   });
+    reg.counter_fn("serving_queue_depth_seconds_total",
+                   {{"device", dev}, {"queue", "inference"}}, [this, g] {
+                     return inf_queue_integral_[g].integral_seconds(platform_.sim().now());
+                   });
   }
 }
 
 void InferenceServer::record_terminal(const Request& req) {
   if (!tele_.latency.enabled()) return;
   tele_.latency.observe(sim::to_seconds(req.latency()), req.trace_ctx.trace_id);
+  tele_.latency_sum.inc(sim::to_seconds(req.latency()));
   for (std::size_t s = 0; s < metrics::kStageCount; ++s) {
     const double v = req.stages.seconds[s];
     if (v > 0.0) tele_.stage_seconds[s].inc(v);
@@ -147,6 +182,7 @@ void InferenceServer::note_breaker(BreakerState to) {
 
 void InferenceServer::submit(RequestPtr req) {
   ++submitted_;
+  inflight_integral_.add(platform_.sim().now(), 1.0);
   tele_.submitted.inc();
   if (auditor_) auditor_->on_submit(*req);
   if (!accepting_) {
@@ -797,6 +833,7 @@ void InferenceServer::fail_request(std::size_t g, RequestPtr req, FailReason rea
   req->fail_reason = reason;
   req->completed = now;
   ++finished_;
+  inflight_integral_.add(now, -1.0);
   stats_.record(*req);
   tele_.failed.inc();
   if (reason == FailReason::kBreakerOpen) tele_.rejected.inc();
@@ -825,6 +862,7 @@ void InferenceServer::drop_request(std::size_t g, RequestPtr req, std::string_vi
   req->dropped = true;
   req->completed = now;
   ++finished_;
+  inflight_integral_.add(now, -1.0);
   stats_.record(*req);
   tele_.dropped.inc();
   record_terminal(*req);
@@ -880,6 +918,7 @@ sim::Process InferenceServer::finish_request(RequestPtr req) {
 
   req->completed = sim.now();
   ++finished_;
+  inflight_integral_.add(sim.now(), -1.0);
   stats_.record(*req);
   tele_.completed.inc();
   record_terminal(*req);

@@ -19,6 +19,7 @@
 #include "broker/broker.h"
 #include "hw/devices.h"
 #include "metrics/registry.h"
+#include "metrics/time_weighted.h"
 #include "serving/audit.h"
 #include "serving/batcher.h"
 #include "serving/config.h"
@@ -152,6 +153,10 @@ class InferenceServer {
     metrics::Counter breaker_to_open, breaker_to_half_open, breaker_to_closed;
     std::array<metrics::Counter, metrics::kStageCount> stage_seconds{};
     metrics::HistogramHandle latency, batch_size;
+    /// Completion-charged latency sum (the λ·W side of the Little's-law
+    /// audit; its Δ per tick over the in-flight integral's Δ converge in
+    /// steady state and split apart exactly during backlog transients).
+    metrics::Counter latency_sum;
   };
   void init_telemetry();
   /// Terminal accounting shared by finish/fail/drop: latency histogram and
@@ -163,6 +168,12 @@ class InferenceServer {
   ServerConfig config_;
   ServerStats stats_;
   Telemetry tele_{};
+  /// Time-weighted occupancy integrals (the L side of Little's law and the
+  /// alias-free queue-depth series). Updated unconditionally — one add per
+  /// request edge — and exported via counter_fn when a registry is attached.
+  metrics::TimeIntegrator inflight_integral_;
+  std::vector<metrics::TimeIntegrator> preproc_queue_integral_;  ///< per GPU
+  std::vector<metrics::TimeIntegrator> inf_queue_integral_;      ///< per GPU
   std::unique_ptr<IngressCache> ingress_cache_;
   std::unique_ptr<RequestAuditor> auditor_;
   std::vector<std::unique_ptr<GpuState>> gpus_;

@@ -5,6 +5,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -94,6 +95,14 @@ class Channel {
     std::optional<T> await_resume() noexcept { return std::move(result); }
   };
 
+  /// Observer invoked after every buffered-count change with the new size.
+  /// Telemetry uses it to time-integrate queue depth (point samples alias on
+  /// bursty queues); direct getter hand-offs never touch the buffer and are
+  /// invisible here by design — they spend zero time queued.
+  void set_size_observer(std::function<void(std::size_t)> observer) {
+    size_observer_ = std::move(observer);
+  }
+
   /// Waits for an element (forever, or until close).
   [[nodiscard]] GetAwaiter get() { return GetAwaiter{*this, kInfiniteTime}; }
 
@@ -150,6 +159,7 @@ class Channel {
       buffer_.push_back(std::move(p->value));
       sim_.post([h = p->handle] { h.resume(); });
     }
+    if (size_observer_) size_observer_(buffer_.size());
     return v;
   }
 
@@ -188,6 +198,7 @@ class Channel {
     }
     if (buffer_.size() < capacity_) {
       buffer_.push_back(std::move(value));
+      if (size_observer_) size_observer_(buffer_.size());
       return true;
     }
     return false;
@@ -208,6 +219,7 @@ class Channel {
   std::deque<T> buffer_;
   std::deque<GetAwaiter*> getters_;
   std::deque<PutAwaiter*> putters_;
+  std::function<void(std::size_t)> size_observer_;
   bool closed_ = false;
 };
 

@@ -80,6 +80,7 @@ class Resource {
     }
     void await_suspend(std::coroutine_handle<> h) {
       handle = h;
+      res.touch();  // waiter count is about to change; integrate up to now
       res.waiters_.push_back(this);
     }
     ResourceToken await_resume() noexcept { return ResourceToken{&res, amount}; }
@@ -125,6 +126,24 @@ class Resource {
     return usage_integral_ / (elapsed * static_cast<double>(capacity_));
   }
 
+  /// Cumulative busy integral since *construction* in unit-seconds — a
+  /// monotone counter untouched by reset_stats(), so interval readers
+  /// (capacity plane, flight recorder) can difference consecutive reads even
+  /// when the experiment harness resets the windowed stats mid-run.
+  [[nodiscard]] double busy_seconds_total() {
+    touch();
+    return busy_integral_ns_ * 1e-9;
+  }
+
+  /// Cumulative waiter-count integral since construction in waiter-seconds
+  /// (time-weighted queue length). Differencing across an interval and
+  /// dividing by its length yields the interval's *mean* queue depth — the
+  /// alias-free alternative to point-sampling queue_length().
+  [[nodiscard]] double queue_seconds_total() {
+    touch();
+    return queue_integral_ns_ * 1e-9;
+  }
+
   void reset_stats() {
     touch();
     usage_integral_ = 0.0;
@@ -142,7 +161,10 @@ class Resource {
 
   void touch() noexcept {
     const Time now = sim_.now();
-    usage_integral_ += static_cast<double>(in_use_) * static_cast<double>(now - last_change_);
+    const auto dt = static_cast<double>(now - last_change_);
+    usage_integral_ += static_cast<double>(in_use_) * dt;
+    busy_integral_ns_ += static_cast<double>(in_use_) * dt;
+    queue_integral_ns_ += static_cast<double>(waiters_.size()) * dt;
     last_change_ = now;
   }
 
@@ -156,6 +178,7 @@ class Resource {
     while (!waiters_.empty()) {
       AcquireAwaiter* w = waiters_.front();
       if (in_use_ + w->amount > capacity_) break;
+      touch();  // waiter leaves the queue; integrate the old length first
       waiters_.pop_front();
       grab(w->amount);
       sim_.post([h = w->handle] { h.resume(); });
@@ -169,6 +192,8 @@ class Resource {
   std::deque<AcquireAwaiter*> waiters_;
   std::function<void(std::size_t)> observer_;
   double usage_integral_ = 0.0;
+  double busy_integral_ns_ = 0.0;   ///< monotone; never reset
+  double queue_integral_ns_ = 0.0;  ///< monotone; never reset
   Time last_change_;
   Time stats_start_ = 0;
 };

@@ -1,0 +1,242 @@
+// Capacity explorer: renders the "capacity" section of a
+// servescope-telemetry-v1 JSON export (a run with obs::CapacityPlane
+// attached) as per-resource utilization timelines, binding-resource
+// segments, and the headroom knee estimate.
+//
+//   capacity telemetry.json [--width <cols>] [--threshold <frac>]
+//
+// Sections:
+//   - timelines: one unicode sparkline per modeled resource (busy fraction
+//     per recorder interval) plus its time-average queue depth, sorted as
+//     exported (registration order — deterministic);
+//   - binding segments: the per-interval bottleneck attribution merged into
+//     runs ("[0, 14) cpu.preproc_workers", "[14, 40) gpu0.compute", ...)
+//     with each segment's share of recorded time;
+//   - knee estimate: the plane's sustainable-rps headroom verdict next to
+//     the peak observed demand, with the binding stage taxonomy verdict;
+//   - Little's-law audit: deviating intervals (backlog transients), if any.
+//
+// Exit codes: 0 on success (including a file with no capacity section,
+// which reports "n/a" — absence of data is not malformed input), 2 on
+// unreadable/malformed/wrong-schema input.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json_mini.h"
+
+namespace {
+
+using jsonmini::Value;
+
+double mean_over(const std::vector<double>& v, std::size_t lo, std::size_t hi) {
+  if (hi <= lo) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += v[i];
+  return sum / static_cast<double>(hi - lo);
+}
+
+/// 8-level unicode sparkline on a FIXED [0, 1] scale (unlike tools/report's
+/// min/max-normalized variant): busy fractions are already normalized, and a
+/// shared scale is what makes two resources' lines visually comparable.
+/// Non-finite samples render as '?'.
+std::string utilization_sparkline(const std::vector<double>& v, std::size_t width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (v.empty()) return "(no samples)";
+  std::vector<double> cols;
+  const std::size_t n = v.size();
+  if (n <= width) {
+    cols = v;
+  } else {
+    cols.resize(width);
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t lo = c * n / width;
+      const std::size_t hi = std::max(lo + 1, (c + 1) * n / width);
+      cols[c] = mean_over(v, lo, hi);
+    }
+  }
+  std::string out;
+  for (const double x : cols) {
+    if (!std::isfinite(x)) {
+      out += '?';
+      continue;
+    }
+    const double t = std::clamp(x, 0.0, 1.0);
+    const int level = std::clamp(static_cast<int>(t * 7.0 + 0.5), 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+int fail_input(const std::string& what) {
+  std::fprintf(stderr, "capacity: %s\n", what.c_str());
+  return 2;
+}
+
+struct CapResource {
+  std::string label;
+  double capacity = 1.0;
+  std::vector<double> busy, queue;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t width = 64;
+  double threshold = 0.9;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--width" && i + 1 < argc) {
+      width = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: capacity telemetry.json [--width <cols>] [--threshold <frac>]\n");
+      return 0;
+    } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "capacity: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: capacity telemetry.json [--width <cols>] [--threshold <frac>]\n");
+    return 2;
+  }
+  if (width < 8 || threshold <= 0.0 || threshold > 1.0) {
+    return fail_input("--width must be >= 8 and --threshold in (0, 1]");
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail_input("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();  // Parser keeps a view; must outlive it
+  jsonmini::Parser parser{text};
+  const auto doc = parser.parse();
+  if (!doc) return fail_input("malformed JSON in " + path + ": " + parser.error());
+  if (doc->str_or("schema", "") != "servescope-telemetry-v1") {
+    return fail_input(path + " is not a servescope-telemetry-v1 file");
+  }
+
+  std::printf("=== servescope capacity: %s ===\n", path.c_str());
+  const Value* cap = doc->find("capacity");
+  if (cap == nullptr || !cap->is_object()) {
+    std::printf("  no capacity section (attach an obs::CapacityPlane and re-export)\n");
+    return 0;
+  }
+
+  const double period_s = cap->num_or("period_s", 0.0);
+  std::vector<CapResource> res;
+  if (const Value* rs = cap->find("resources"); rs != nullptr && rs->is_array()) {
+    for (const Value& r : rs->array) {
+      CapResource cr;
+      cr.label = r.str_or("device", "?") + "." + r.str_or("engine", "?");
+      cr.capacity = r.num_or("capacity", 1.0);
+      if (const Value* b = r.find("busy_frac"); b != nullptr && b->is_array()) {
+        for (const Value& x : b->array) cr.busy.push_back(x.number);
+      }
+      if (const Value* q = r.find("queue_mean"); q != nullptr && q->is_array()) {
+        for (const Value& x : q->array) cr.queue.push_back(x.number);
+      }
+      res.push_back(std::move(cr));
+    }
+  }
+  std::size_t intervals = 0;
+  for (const auto& r : res) intervals = std::max(intervals, r.busy.size());
+  if (intervals == 0 || period_s <= 0.0) {
+    std::printf("  (no capacity intervals recorded)\n");
+    return 0;
+  }
+
+  // --- per-resource timelines ------------------------------------------------
+  std::printf("\nUtilization timelines (%zu intervals x %.0f ms, scale 0..100%%):\n", intervals,
+              period_s * 1e3);
+  for (const auto& r : res) {
+    double sum = 0.0, peak = 0.0, qsum = 0.0;
+    std::size_t n = 0;
+    for (const double x : r.busy) {
+      if (!std::isfinite(x)) continue;
+      sum += x;
+      peak = std::max(peak, x);
+      ++n;
+    }
+    for (const double x : r.queue) {
+      if (std::isfinite(x)) qsum += x;
+    }
+    const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    const double qmean = r.queue.empty() ? 0.0 : qsum / static_cast<double>(r.queue.size());
+    std::printf("  %-24s %s\n", r.label.c_str(), utilization_sparkline(r.busy, width).c_str());
+    std::printf("  %-24s cap %.0f, mean %.1f%%, peak %.1f%%, queue %.2f%s\n", "", r.capacity,
+                100.0 * mean, 100.0 * peak, qmean,
+                peak >= threshold ? "  << SATURATED" : "");
+  }
+
+  // --- binding segments ------------------------------------------------------
+  std::printf("\nBinding-resource segments:\n");
+  bool any_segment = false;
+  if (const Value* segs = cap->find("segments"); segs != nullptr && segs->is_array()) {
+    for (const Value& s : segs->array) {
+      const auto begin = static_cast<std::size_t>(s.num_or("begin", 0.0));
+      const auto end = static_cast<std::size_t>(s.num_or("end", 0.0));
+      if (end <= begin) continue;
+      any_segment = true;
+      const double share =
+          intervals > 0 ? 100.0 * static_cast<double>(end - begin) / static_cast<double>(intervals)
+                        : 0.0;
+      std::printf("  [%4zu, %4zu)  %6.1fs..%6.1fs  %-24s %5.1f%% of run\n", begin, end,
+                  static_cast<double>(begin) * period_s, static_cast<double>(end) * period_s,
+                  s.str_or("resource", "?").c_str(), share);
+    }
+  }
+  if (!any_segment) std::printf("  (none recorded)\n");
+
+  // --- knee estimate ---------------------------------------------------------
+  double peak_demand = 0.0;
+  // Peak demand comes from the audit's λW ceiling proxy: the binding line is
+  // the plane's verdict; the exported series gives the observed context.
+  if (const Value* lw = cap->find("little_lambda_w"); lw != nullptr && lw->is_array()) {
+    for (const Value& x : lw->array) {
+      if (std::isfinite(x.number)) peak_demand = std::max(peak_demand, x.number);
+    }
+  }
+  const double rps = cap->num_or("sustainable_rps", 0.0);
+  std::printf("\nKnee estimate:\n");
+  std::printf("  binding resource: %s (stage '%s')\n", cap->str_or("binding", "?").c_str(),
+              cap->str_or("binding_stage", "?").c_str());
+  if (rps > 0.0 && std::isfinite(rps)) {
+    std::printf("  est. max sustainable rate: %.1f req/s\n", rps);
+  } else {
+    std::printf("  est. max sustainable rate: n/a (no loaded intervals)\n");
+  }
+
+  // --- Little's-law audit ----------------------------------------------------
+  std::size_t audited = 0;
+  if (const Value* l = cap->find("little_l"); l != nullptr && l->is_array()) {
+    audited = l->array.size();
+  }
+  std::vector<std::size_t> violations;
+  if (const Value* v = cap->find("violation_intervals"); v != nullptr && v->is_array()) {
+    for (const Value& x : v->array) violations.push_back(static_cast<std::size_t>(x.number));
+  }
+  if (violations.empty()) {
+    std::printf("\nLittle's-law audit: clean over %zu interval(s)\n", audited);
+  } else {
+    std::printf("\nLittle's-law audit: %zu/%zu interval(s) deviated at:", violations.size(),
+                audited);
+    for (const std::size_t i : violations) {
+      std::printf(" %.1fs", static_cast<double>(i + 1) * period_s);
+    }
+    std::printf("\n  (L != lambda*W marks backlog growth/drain — fault or overload windows)\n");
+  }
+  return 0;
+}

@@ -12,6 +12,11 @@
 //   - SLO attainment from the request-latency histogram: p50/p95/p99/p99.9,
 //     fraction of requests under the objective, and the error-budget burn
 //     rate ((1 - attainment) / (1 - target));
+//   - capacity: per-resource interval utilization table (mean/peak busy
+//     fraction, time-average queue depth, saturation highlighting), the
+//     binding-resource verdict with the headroom estimate, and the
+//     Little's-law audit summary — present when the run attached an
+//     obs::CapacityPlane;
 //   - shape-check verdicts recorded by the bench.
 //
 // Exit codes: 0 on success, 2 on unreadable/malformed/wrong-schema input.
@@ -398,6 +403,90 @@ int main(int argc, char** argv) {
       bar[10] = '\0';
       std::printf("  %-6s %-10s %s %12.0f %10.0f %8.0f\n", node.c_str(), state, bar,
                   row.dispatches, row.ejections, row.rejoins);
+    }
+  }
+
+  // --- capacity (obs::CapacityPlane snapshot) -------------------------------
+  if (const Value* cap = doc->find("capacity"); cap != nullptr && cap->is_object()) {
+    const double period_s = cap->num_or("period_s", 0.0);
+    struct CapResource {
+      std::string label;
+      double capacity = 1.0;
+      std::vector<double> busy, queue;
+    };
+    std::vector<CapResource> res;
+    if (const Value* rs = cap->find("resources"); rs != nullptr && rs->is_array()) {
+      for (const Value& r : rs->array) {
+        CapResource cr;
+        cr.label = r.str_or("device", "?") + "." + r.str_or("engine", "?");
+        cr.capacity = r.num_or("capacity", 1.0);
+        if (const Value* b = r.find("busy_frac"); b != nullptr && b->is_array()) {
+          for (const Value& x : b->array) cr.busy.push_back(x.number);
+        }
+        if (const Value* q = r.find("queue_mean"); q != nullptr && q->is_array()) {
+          for (const Value& x : q->array) cr.queue.push_back(x.number);
+        }
+        res.push_back(std::move(cr));
+      }
+    }
+    std::size_t intervals = 0;
+    for (const auto& r : res) intervals = std::max(intervals, r.busy.size());
+    std::printf("\nCapacity (%zu resources, %zu intervals of %.0f ms):\n", res.size(), intervals,
+                period_s * 1e3);
+    if (intervals == 0 || period_s <= 0.0) {
+      // Zero-elapsed or empty-series exports (a run that never completed a
+      // recorder interval) carry the section header but no data.
+      std::printf("  (no capacity intervals recorded)\n");
+    } else {
+      std::printf("  %-24s %4s %7s %7s %8s  %s\n", "resource", "cap", "mean", "peak", "queue",
+                  "utilization");
+      for (const auto& r : res) {
+        double sum = 0.0, peak = 0.0, qsum = 0.0;
+        std::size_t n = 0;
+        for (const double x : r.busy) {
+          if (!std::isfinite(x)) continue;
+          sum += x;
+          peak = std::max(peak, x);
+          ++n;
+        }
+        for (const double x : r.queue) {
+          if (std::isfinite(x)) qsum += x;
+        }
+        if (n == 0) {
+          std::printf("  %-24s %4.0f %7s %7s %8s  (no finite samples)\n", r.label.c_str(),
+                      r.capacity, "n/a", "n/a", "n/a");
+          continue;
+        }
+        const double qmean = r.queue.empty() ? 0.0 : qsum / static_cast<double>(r.queue.size());
+        // The shared sparkline is min/max-normalized; an all-zero timeline
+        // would render mid-scale, so call the idle resource idle instead.
+        std::printf("  %-24s %4.0f %6.1f%% %6.1f%% %8.2f  %s%s\n", r.label.c_str(), r.capacity,
+                    100.0 * sum / static_cast<double>(n), 100.0 * peak, qmean,
+                    peak <= 0.0 ? "(idle)" : sparkline(r.busy, 32).c_str(),
+                    peak >= 0.9 ? "  SATURATED" : "");
+      }
+      const double rps = cap->num_or("sustainable_rps", 0.0);
+      std::printf("  binding resource: %s (stage '%s')", cap->str_or("binding", "?").c_str(),
+                  cap->str_or("binding_stage", "?").c_str());
+      if (rps > 0.0 && std::isfinite(rps)) {
+        std::printf(", est. sustainable %.1f req/s\n", rps);
+      } else {
+        std::printf(", headroom n/a\n");
+      }
+      std::size_t violations = 0;
+      if (const Value* v = cap->find("violation_intervals"); v != nullptr && v->is_array()) {
+        violations = v->array.size();
+      }
+      std::size_t audited = 0;
+      if (const Value* l = cap->find("little_l"); l != nullptr && l->is_array()) {
+        audited = l->array.size();
+      }
+      if (violations == 0) {
+        std::printf("  Little's-law audit: clean (%zu intervals)\n", audited);
+      } else {
+        std::printf("  Little's-law audit: %zu/%zu interval(s) deviated (backlog transients)\n",
+                    violations, audited);
+      }
     }
   }
 
